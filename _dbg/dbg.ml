@@ -1,0 +1,12 @@
+open Kona_cachesim
+let () =
+  let c = Cache.create ~name:"t" ~size:512 ~assoc:2 ~block:64 in
+  (match Cache.access c ~addr:0 ~write:false with
+   | Cache.Hit -> print_endline "a0: hit"
+   | Cache.Miss None -> print_endline "a0: miss none"
+   | Cache.Miss (Some v) -> Printf.printf "a0: miss victim %d dirty=%b\n" v.Cache.block_addr v.Cache.dirty);
+  (match Cache.access c ~addr:32 ~write:false with
+   | Cache.Hit -> print_endline "a32: hit"
+   | Cache.Miss None -> print_endline "a32: miss none"
+   | Cache.Miss (Some v) -> Printf.printf "a32: miss victim %d dirty=%b\n" v.Cache.block_addr v.Cache.dirty);
+  Printf.printf "probe 0: %b\n" (Cache.probe c ~addr:0)

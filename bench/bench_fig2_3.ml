@@ -1,0 +1,65 @@
+(* Fig. 2 (accessed cache-lines per page) and Fig. 3 (contiguous cache-line
+   segment lengths) as CDFs, for Redis-Rand and Redis-Seq, reads and writes
+   separately. *)
+
+open Kona_workloads
+module Access = Kona_trace.Access
+module Footprint = Kona_trace.Footprint
+module Window = Kona_trace.Window
+module Cdf = Kona_util.Cdf
+
+let sample_points = [ 1; 2; 4; 8; 16; 32; 48; 64 ]
+
+let footprint_of ~scale ~seed (spec : Workloads.spec) =
+  let fp = Footprint.create () in
+  let w =
+    Window.create
+      ~quantum:(spec.Workloads.quantum scale)
+      ~inner:(Footprint.sink fp)
+      ~on_boundary:(fun ~window -> Footprint.close_window fp ~window)
+  in
+  let heap =
+    Heap.create ~capacity:(spec.Workloads.heap_capacity scale) ~sink:(Window.sink w) ()
+  in
+  spec.Workloads.run scale ~heap ~seed;
+  Window.flush w;
+  fp
+
+let cdf_row name cdf =
+  name
+  :: List.map (fun n -> Printf.sprintf "%.2f" (Cdf.at cdf n)) sample_points
+  @ [ Printf.sprintf "%.1f" (Cdf.mean cdf) ]
+
+let run ~scale () =
+  let rand = footprint_of ~scale ~seed:42 Workloads.redis_rand in
+  let seq = footprint_of ~scale ~seed:42 Workloads.redis_seq in
+  let header =
+    "series" :: List.map (fun n -> "<=" ^ string_of_int n) sample_points @ [ "mean" ]
+  in
+
+  Report.section "Fig. 2: CDF of accessed cache-lines per page (Redis)";
+  Report.table ~header
+    [
+      cdf_row "Reads (Rand)" (Footprint.lines_per_page_cdf rand ~kind:Access.Read);
+      cdf_row "Writes (Rand)" (Footprint.lines_per_page_cdf rand ~kind:Access.Write);
+      cdf_row "Reads (Seq)" (Footprint.lines_per_page_cdf seq ~kind:Access.Read);
+      cdf_row "Writes (Seq)" (Footprint.lines_per_page_cdf seq ~kind:Access.Write);
+    ];
+  let rand_writes = Footprint.lines_per_page_cdf rand ~kind:Access.Write in
+  let seq_writes = Footprint.lines_per_page_cdf seq ~kind:Access.Write in
+  Report.note "shape: Rand pages are mostly 1-8 lines (P(<=8) = %.2f, paper ~0.8+)"
+    (Cdf.at rand_writes 8);
+  Report.note "shape: Seq pages skew towards fully-written (P(<=8) = %.2f, far lower)"
+    (Cdf.at seq_writes 8);
+
+  Report.section "Fig. 3: CDF of contiguous accessed cache-line segments (Redis)";
+  Report.table ~header
+    [
+      cdf_row "Reads (Rand)" (Footprint.segment_length_cdf rand ~kind:Access.Read);
+      cdf_row "Writes (Rand)" (Footprint.segment_length_cdf rand ~kind:Access.Write);
+      cdf_row "Reads (Seq)" (Footprint.segment_length_cdf seq ~kind:Access.Read);
+      cdf_row "Writes (Seq)" (Footprint.segment_length_cdf seq ~kind:Access.Write);
+    ];
+  let rand_segs = Footprint.segment_length_cdf rand ~kind:Access.Write in
+  Report.note "shape: most segments are 1-4 contiguous lines (P(<=4) = %.2f, paper ~0.8+)"
+    (Cdf.at rand_segs 4)

@@ -1,0 +1,131 @@
+(* Fig. 9: per-window 4KB-vs-cache-line dirty amplification timeline
+   (KTracker snapshot diffs) for Redis-Rand and Redis-Seq.
+
+   Fig. 10: modeled speedup of coherence-based tracking relative to
+   4KB write-protection, for the eight tracked workloads. *)
+
+open Kona
+module Heap = Kona_workloads.Heap
+module Workloads = Kona_workloads.Workloads
+module Window = Kona_trace.Window
+
+let cost = Cost_model.default
+
+(* The paper measures KTracker against wall-clock app time; our virtual
+   app time charges this much per instrumented access.  The constant is
+   calibrated once so Redis-Rand lands at its measured 35% (a heap access
+   in a real server is accompanied by hundreds of instructions of parsing /
+   networking / stack traffic that our instrumentation does not see); all
+   other workloads are then predictions.  See EXPERIMENTS.md. *)
+let app_access_ns = 730
+
+let track ~scale ~seed (spec : Workloads.spec) =
+  let heap_ref = ref None in
+  let tracker_ref = ref None in
+  let accesses = ref 0 in
+  let inner event =
+    incr accesses;
+    Ktracker.sink (Option.get !tracker_ref) event
+  in
+  let w =
+    Window.create
+      ~quantum:(spec.Workloads.quantum scale)
+      ~inner
+      ~on_boundary:(fun ~window ->
+        Ktracker.close_window (Option.get !tracker_ref) ~window)
+  in
+  let heap =
+    Heap.create ~capacity:(spec.Workloads.heap_capacity scale) ~sink:(Window.sink w) ()
+  in
+  heap_ref := Some heap;
+  tracker_ref := Some (Ktracker.create ~heap ());
+  spec.Workloads.run scale ~heap ~seed;
+  Window.flush w;
+  (Option.get !tracker_ref, !accesses)
+
+let fig9 ~scale () =
+  Report.section "Fig. 9: 4KB-page vs cache-line dirty amplification per window";
+  let series (spec : Workloads.spec) =
+    let tracker, _ = track ~scale ~seed:42 spec in
+    let windows = Ktracker.windows tracker in
+    (* Drop the tear-down window, as the paper does. *)
+    let windows = match List.rev windows with [] -> [] | _ :: r -> List.rev r in
+    (spec.Workloads.name, List.map Ktracker.amp_ratio windows)
+  in
+  let rand_name, rand = series Workloads.redis_rand in
+  let seq_name, seq = series Workloads.redis_seq in
+  let stats name values =
+    let n = List.length values in
+    let nonzero = List.filter (fun v -> v > 0.) values in
+    let sum = List.fold_left ( +. ) 0. nonzero in
+    let mean = sum /. float_of_int (max 1 (List.length nonzero)) in
+    let mx = List.fold_left max 0. values in
+    [ name; string_of_int n; Report.f1 mean; Report.f1 mx ]
+  in
+  Report.table
+    ~header:[ "workload"; "windows"; "mean ratio"; "max ratio" ]
+    [ stats rand_name rand; stats seq_name seq ];
+  let show name values =
+    (* Sample evenly across the whole run: startup windows first, then the
+       steady state the paper's Fig. 9 oscillates in. *)
+    let n = List.length values in
+    let step = max 1 (n / 16) in
+    let sampled = List.filteri (fun i _ -> i mod step = 0) values in
+    Format.printf "  %s timeline (every %dth window): %s@." name step
+      (String.concat " " (List.map Report.f1 sampled))
+  in
+  show rand_name rand;
+  show seq_name seq;
+  Report.note "paper: Redis-Rand 2-10x reduction per window, Redis-Seq ~2x"
+
+let fig10_workloads =
+  [
+    "Redis-Rand";
+    "Redis-Seq";
+    "Histogram";
+    "Linear Regression";
+    "Connected Components";
+    "Graph Coloring";
+    "Label Propagation";
+    "Page Rank";
+  ]
+
+let fig10 ~scale () =
+  Report.section "Fig. 10: dirty-tracking speedup vs 4KB write-protection";
+  Report.note "modeled: app time = accesses x %dns; overhead = wp faults + re-protection TLB invalidations"
+    app_access_ns;
+  let rows =
+    List.map
+      (fun name ->
+        let spec = Workloads.find name in
+        let tracker, accesses = track ~scale ~seed:42 spec in
+        let app_ns = accesses * app_access_ns in
+        let speedup = Ktracker.speedup_percent ~cost ~app_ns tracker in
+        let faults =
+          List.fold_left
+            (fun acc w -> acc + w.Ktracker.wp_faults)
+            0 (Ktracker.windows tracker)
+        in
+        (* Intel PML (related work, §8): the speedup an alternative
+           page-granularity hardware tracker would already capture. *)
+        let pml_speedup =
+          let wp = Ktracker.wp_overhead_ns ~cost tracker in
+          let pml = Ktracker.pml_overhead_ns ~cost tracker in
+          if app_ns = 0 then 0.
+          else 100. *. float_of_int (wp - pml) /. float_of_int (app_ns + pml)
+        in
+        [ name; string_of_int faults; Report.f1 speedup; Report.f1 pml_speedup ])
+      fig10_workloads
+  in
+  Report.table
+    ~header:[ "workload"; "wp faults"; "Kona speedup %"; "PML-equivalent %" ]
+    rows;
+  Report.note "paper: 35%% (Redis-Rand) down to ~1%% (Redis-Seq, Histogram)";
+  Report.note
+    "PML column: page-grain hardware logging captures nearly the same tracking";
+  Report.note
+    "speedup but none of the amplification reduction (Table 2 / Fig. 11)"
+
+let run ~scale () =
+  fig9 ~scale ();
+  fig10 ~scale ()

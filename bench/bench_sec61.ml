@@ -1,0 +1,39 @@
+(* §6.1 / §2.1 latency claims: per-operation remote-access and eviction
+   latencies for each system, measured from the models that the rest of the
+   evaluation builds on. *)
+
+open Kona
+module Units = Kona_util.Units
+module Vm_runtime = Kona_baselines.Vm_runtime
+
+let cost = Cost_model.default
+let rdma = Kona_rdma.Cost.default
+
+let run () =
+  Report.section "Sec. 6.1: remote access and eviction path latencies";
+  let raw_4k = Kona_rdma.Cost.batch_ns rdma ~sizes:[ Units.page_size ] in
+  let p_vm = Vm_runtime.kona_vm_profile cost rdma in
+  let p_lego = Vm_runtime.legoos_profile cost in
+  let p_inf = Vm_runtime.infiniswap_profile cost in
+  Report.table
+    ~header:[ "operation"; "latency"; "paper" ]
+    [
+      [ "raw RDMA 4KB read/write"; Report.ns raw_4k; "~3us" ];
+      [ "Kona remote fetch (no fault)"; Report.ns raw_4k; "~RDMA latency" ];
+      [ "Kona-VM remote fault (userfaultfd)";
+        Report.ns p_vm.Vm_runtime.remote_fetch_ns; "< Infiniswap by up to 60%" ];
+      [ "LegoOS remote fault"; Report.ns p_lego.Vm_runtime.remote_fetch_ns; "10us" ];
+      [ "Infiniswap remote fault"; Report.ns p_inf.Vm_runtime.remote_fetch_ns; "40us" ];
+      [ "write-protect (minor) fault"; Report.ns cost.Cost_model.minor_fault_ns; "~us-scale" ];
+      [ "TLB single invalidation"; Report.ns cost.Cost_model.tlb_invalidate_ns; "-" ];
+      [ "Infiniswap page eviction";
+        Report.ns
+          (p_inf.Vm_runtime.eviction_extra_ns + raw_4k
+          + Kona_rdma.Cost.memcpy_ns rdma ~bytes:Units.page_size);
+        ">32us" ];
+    ];
+  Report.note "Kona-VM vs Infiniswap fault latency: %.0f%% lower (paper: up to 60%%)"
+    (100.
+    *. (1.
+       -. float_of_int p_vm.Vm_runtime.remote_fetch_ns
+          /. float_of_int p_inf.Vm_runtime.remote_fetch_ns))

@@ -1,0 +1,73 @@
+(* Table 2: dirty data amplification for 4KB-page, 2MB-page and 64B
+   cache-line tracking granularities, across all nine workloads. *)
+
+open Kona_workloads
+module Amp = Kona_trace.Amplification
+module Window = Kona_trace.Window
+
+type row = {
+  spec : Workloads.spec;
+  windows : int;
+  written : int;
+  amp : Amp.aggregate;
+}
+
+let run_one ~scale ~seed (spec : Workloads.spec) =
+  let amp = Amp.create () in
+  let w =
+    Window.create
+      ~quantum:(spec.Workloads.quantum scale)
+      ~inner:(Amp.sink amp)
+      ~on_boundary:(fun ~window -> Amp.close_window amp ~window)
+  in
+  let heap =
+    Heap.create ~capacity:(spec.Workloads.heap_capacity scale) ~sink:(Window.sink w) ()
+  in
+  spec.Workloads.run scale ~heap ~seed;
+  Window.flush w;
+  (* Like the paper, drop the tear-down window (§6.3). *)
+  let aggregate = Amp.aggregate ~drop_last:true amp in
+  {
+    spec;
+    windows = List.length (Amp.windows amp);
+    written = aggregate.Amp.total_written_bytes;
+    amp = aggregate;
+  }
+
+let run ~scale () =
+  Report.section "Table 2: dirty data amplification by tracking granularity";
+  Report.note
+    "windows stand in for the paper's 10s wall-clock windows; memory scaled ~64-128x down";
+  Report.note
+    "2MB amplification is floored by the scaled-down heaps (few 2MB regions exist)";
+  let rows = List.map (run_one ~scale ~seed:42) Workloads.all in
+  Report.table
+    ~header:
+      [ "Application"; "windows"; "written"; "4KB"; "(paper)"; "2MB"; "(paper)";
+        "64B CL"; "(paper)" ]
+    (List.map
+       (fun r ->
+         [
+           r.spec.Workloads.name;
+           string_of_int r.windows;
+           Printf.sprintf "%dKB" (r.written / 1024);
+           Report.f2 r.amp.Amp.agg_amp_page;
+           Report.f2 r.spec.Workloads.paper_amp_4k;
+           Report.f2 r.amp.Amp.agg_amp_huge;
+           Report.f2 r.spec.Workloads.paper_amp_2m;
+           Report.f2 r.amp.Amp.agg_amp_line;
+           Report.f2 r.spec.Workloads.paper_amp_cl;
+         ])
+       rows);
+  (* Headline shape checks, printed so regressions are visible. *)
+  let find name = List.find (fun r -> r.spec.Workloads.name = name) rows in
+  let rand = find "Redis-Rand" and seq = find "Redis-Seq" in
+  Report.note "shape: Redis-Rand has the highest 4KB amplification: %b"
+    (List.for_all (fun r -> r.amp.Amp.agg_amp_page <= rand.amp.Amp.agg_amp_page) rows);
+  Report.note "shape: every workload amplifies >2x at 4KB except Redis-Seq-like: %b"
+    (List.for_all (fun r -> r.amp.Amp.agg_amp_page > 2.0) rows);
+  Report.note "shape: cache-line amplification close to 1 (all < 3): %b"
+    (List.for_all (fun r -> r.amp.Amp.agg_amp_line < 3.0) rows);
+  Report.note "shape: 4KB->CL reduction for Redis-Rand: %.1fx (paper 2-10x windowed, 21x agg)"
+    (rand.amp.Amp.agg_amp_page /. rand.amp.Amp.agg_amp_line);
+  ignore seq

@@ -1,0 +1,49 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md for the experiment index).
+
+     dune exec bench/main.exe                 -- run everything, full scale
+     dune exec bench/main.exe -- table2 fig8  -- run a subset
+     dune exec bench/main.exe -- --quick      -- smoke scale (CI-fast)
+
+   Experiment ids: table2 fig2 fig7 fig8 fig9 fig11 sec61 ablate micro
+   (fig2 includes fig3; fig9 includes fig10; ablate covers the design-choice
+   studies: associativity, prefetching, huge pages, replication,
+   batching). *)
+
+module Workloads = Kona_workloads.Workloads
+
+let all_ids =
+  [ "table2"; "fig2"; "fig7"; "fig8"; "fig9"; "fig11"; "sec61"; "ablate"; "system";
+    "micro" ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let ids = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  let ids = if ids = [] then all_ids else ids in
+  let unknown = List.filter (fun id -> not (List.mem id all_ids)) ids in
+  if unknown <> [] then begin
+    Format.eprintf "unknown experiment(s): %s@.known: %s@."
+      (String.concat " " unknown) (String.concat " " all_ids);
+    exit 2
+  end;
+  let scale = if quick then Workloads.Smoke else Workloads.Full in
+  Format.printf "Kona reproduction benchmarks (%s scale)@."
+    (if quick then "smoke" else "full");
+  let t0 = Sys.time () in
+  let run id =
+    match id with
+    | "table2" -> Bench_table2.run ~scale ()
+    | "fig2" -> Bench_fig2_3.run ~scale ()
+    | "fig7" -> Bench_fig7.run ()
+    | "fig8" -> Bench_fig8.run ~scale ()
+    | "fig9" -> Bench_fig9_10.run ~scale ()
+    | "fig11" -> Bench_fig11.run ()
+    | "sec61" -> Bench_sec61.run ()
+    | "ablate" -> Bench_ablation.run ~scale ()
+    | "system" -> Bench_system.run ~scale ()
+    | "micro" -> Bench_micro.run ()
+    | _ -> assert false
+  in
+  List.iter run ids;
+  Format.printf "@.done in %.1fs (host time)@." (Sys.time () -. t0)

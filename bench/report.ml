@@ -1,0 +1,36 @@
+let section title =
+  let line = String.make (String.length title + 8) '=' in
+  Format.printf "@.%s@.=== %s ===@.%s@." line title line
+
+let note fmt = Format.printf ("  " ^^ fmt ^^ "@.")
+
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    List.iteri
+      (fun c cell -> Format.printf "  %-*s" (List.nth widths c) cell)
+      row;
+    Format.printf "@."
+  in
+  print_row header;
+  Format.printf "  %s@."
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter print_row rows;
+  Format.printf "@."
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+
+let ns v =
+  if v >= 1_000_000_000 then Printf.sprintf "%.2fs" (float_of_int v /. 1e9)
+  else if v >= 1_000_000 then Printf.sprintf "%.1fms" (float_of_int v /. 1e6)
+  else if v >= 1_000 then Printf.sprintf "%.1fus" (float_of_int v /. 1e3)
+  else Printf.sprintf "%dns" v
+
+let vs_paper ~measured ~paper =
+  Printf.sprintf "%.2f (paper %.2f)" measured paper

@@ -1,0 +1,17 @@
+(** Console reporting helpers shared by all benchmark modules: fixed-width
+    tables, section banners, and paper-vs-measured annotations. *)
+
+val section : string -> unit
+(** Banner with the experiment id and title. *)
+
+val note : ('a, Format.formatter, unit) format -> 'a
+(** One explanatory line. *)
+
+val table : header:string list -> string list list -> unit
+(** Column widths derived from contents; first row underlined. *)
+
+val f1 : float -> string
+val f2 : float -> string
+val ns : int -> string
+val vs_paper : measured:float -> paper:float -> string
+(** "measured (paper X, Y.Yx off)" annotation. *)

@@ -1,0 +1,225 @@
+(* konactl: command-line driver for the Kona reproduction.
+
+     konactl workloads                 list the Table 2 workloads
+     konactl amp [-w NAME] [--full]    measure dirty-data amplification
+     konactl run -w NAME [--system kona|kona-vm] [--fmem-pages N] [--full]
+                                       execute a workload on a runtime and
+                                       report time, traffic and integrity *)
+
+open Kona
+module Workloads = Kona_workloads.Workloads
+module Heap = Kona_workloads.Heap
+module Units = Kona_util.Units
+module Amp = Kona_trace.Amplification
+module Window = Kona_trace.Window
+module Vm_runtime = Kona_baselines.Vm_runtime
+
+let scale_of full = if full then Workloads.Full else Workloads.Smoke
+
+(* ------------------------------------------------------------------ *)
+
+let cmd_workloads () =
+  List.iter
+    (fun (s : Workloads.spec) ->
+      Fmt.pr "%-22s paper: %.1fGB, amp 4KB %.2f / 2MB %.2f / CL %.2f@."
+        s.Workloads.name s.Workloads.paper_mem_gb s.Workloads.paper_amp_4k
+        s.Workloads.paper_amp_2m s.Workloads.paper_amp_cl)
+    Workloads.all;
+  0
+
+(* ------------------------------------------------------------------ *)
+
+let specs_of = function
+  | None -> Workloads.all
+  | Some name -> (
+      match Workloads.find name with
+      | spec -> [ spec ]
+      | exception Not_found ->
+          Fmt.epr "unknown workload %S (try 'konactl workloads')@." name;
+          exit 1)
+
+let cmd_amp workload full =
+  let scale = scale_of full in
+  List.iter
+    (fun (spec : Workloads.spec) ->
+      let amp = Amp.create () in
+      let w =
+        Window.create ~quantum:(spec.Workloads.quantum scale) ~inner:(Amp.sink amp)
+          ~on_boundary:(fun ~window -> Amp.close_window amp ~window)
+      in
+      let heap =
+        Heap.create ~capacity:(spec.Workloads.heap_capacity scale)
+          ~sink:(Window.sink w) ()
+      in
+      spec.Workloads.run scale ~heap ~seed:42;
+      Window.flush w;
+      let a = Amp.aggregate ~drop_last:true amp in
+      Fmt.pr "%-22s windows=%4d written=%9d  4K=%6.2f  2M=%8.2f  CL=%5.2f@."
+        spec.Workloads.name
+        (List.length (Amp.windows amp))
+        a.Amp.total_written_bytes a.Amp.agg_amp_page a.Amp.agg_amp_huge
+        a.Amp.agg_amp_line)
+    (specs_of workload);
+  0
+
+(* ------------------------------------------------------------------ *)
+
+let cmd_run workload system fmem_pages replicas prefetch full =
+  let scale = scale_of full in
+  let spec =
+    match specs_of (Some workload) with [ s ] -> s | _ -> assert false
+  in
+  let controller = Rack_controller.create ~slab_size:(Units.mib 1) () in
+  Rack_controller.register_node controller
+    (Memory_node.create ~id:0 ~capacity:(Units.mib 128));
+  Rack_controller.register_node controller
+    (Memory_node.create ~id:1 ~capacity:(Units.mib 128));
+  let heap_ref = ref None in
+  let read_local ~addr ~len = Heap.peek_bytes (Option.get !heap_ref) addr len in
+  let sink, elapsed, drain, stats, rm =
+    match system with
+    | "kona" ->
+        let config = { Runtime.default_config with fmem_pages; replicas; prefetch } in
+        let rt = Runtime.create ~config ~controller ~read_local () in
+        ( Runtime.sink rt,
+          (fun () -> Runtime.elapsed_ns rt),
+          (fun () -> Runtime.drain rt),
+          (fun () -> Runtime.stats rt),
+          Runtime.resource_manager rt )
+    | ("kona-vm" | "legoos" | "infiniswap") as sys ->
+        let cost = Cost_model.default in
+        let profile =
+          match sys with
+          | "legoos" -> Vm_runtime.legoos_profile cost
+          | "infiniswap" -> Vm_runtime.infiniswap_profile cost
+          | _ -> Vm_runtime.kona_vm_profile cost Kona_rdma.Cost.default
+        in
+        let config = { Vm_runtime.default_config with cache_pages = fmem_pages } in
+        let vm = Vm_runtime.create ~config ~profile ~controller ~read_local () in
+        ( Vm_runtime.sink vm,
+          (fun () -> Vm_runtime.elapsed_ns vm),
+          (fun () -> Vm_runtime.drain vm),
+          (fun () -> Vm_runtime.stats vm),
+          Vm_runtime.resource_manager vm )
+    | other ->
+        Fmt.epr "unknown system %S (kona | kona-vm | legoos | infiniswap)@." other;
+        exit 1
+  in
+  let heap =
+    Heap.create ~capacity:(spec.Workloads.heap_capacity scale) ~sink ()
+  in
+  heap_ref := Some heap;
+  spec.Workloads.run scale ~heap ~seed:42;
+  drain ();
+  Fmt.pr "%s on %s: %a virtual time, footprint %a@." spec.Workloads.name system
+    Units.pp_ns (elapsed ()) Units.pp_bytes (Heap.used heap);
+  List.iter (fun (k, v) -> Fmt.pr "  %-26s %d@." k v) (stats ());
+  (* integrity *)
+  let mismatches = ref 0 in
+  Resource_manager.iter_backed_pages rm (fun ~vpage ~node ~remote_addr ->
+      let base = vpage * Units.page_size in
+      (* skip pages holding mmap'd (poked) input: clean by construction *)
+      if base + Units.page_size <= Heap.capacity heap
+         && not (Heap.page_poked heap ~page:vpage)
+      then begin
+        let local = Heap.peek_bytes heap base Units.page_size in
+        let remote =
+          Memory_node.peek (Rack_controller.node controller ~id:node) ~addr:remote_addr
+            ~len:Units.page_size
+        in
+        if local <> remote then incr mismatches
+      end);
+  Fmt.pr "integrity: %s@."
+    (if !mismatches = 0 then "remote memory matches the heap"
+     else Printf.sprintf "%d PAGES DIVERGED" !mismatches);
+  if !mismatches > 0 then 1 else 0
+
+(* ------------------------------------------------------------------ *)
+
+let cmd_record workload out full =
+  let scale = scale_of full in
+  let spec = match specs_of (Some workload) with [ s ] -> s | _ -> assert false in
+  let sink, close = Kona_trace.Trace_file.writer ~path:out in
+  let heap =
+    Heap.create ~capacity:(spec.Workloads.heap_capacity scale) ~sink ()
+  in
+  spec.Workloads.run scale ~heap ~seed:42;
+  let events = close () in
+  Fmt.pr "recorded %d events from %s to %s@." events spec.Workloads.name out;
+  0
+
+let cmd_replay input quantum =
+  let amp = Amp.create () in
+  let fp = Kona_trace.Footprint.create () in
+  let inner = Kona_trace.Access.Tap.tee [ Amp.sink amp; Kona_trace.Footprint.sink fp ] in
+  let w =
+    Window.create ~quantum ~inner ~on_boundary:(fun ~window ->
+        Amp.close_window amp ~window;
+        Kona_trace.Footprint.close_window fp ~window)
+  in
+  let events = Kona_trace.Trace_file.iter ~path:input (Window.sink w) in
+  Window.flush w;
+  let a = Amp.aggregate ~drop_last:true amp in
+  Fmt.pr "replayed %d events (%d windows of %d accesses)@." events
+    (List.length (Amp.windows amp))
+    quantum;
+  Fmt.pr "amplification: 4K=%.2f 2M=%.2f CL=%.2f (unique bytes written: %d)@."
+    a.Amp.agg_amp_page a.Amp.agg_amp_huge a.Amp.agg_amp_line
+    a.Amp.total_written_bytes;
+  let cdf = Kona_trace.Footprint.lines_per_page_cdf fp ~kind:Kona_trace.Access.Write in
+  if Kona_util.Cdf.count cdf > 0 then
+    Fmt.pr "written lines/page: mean %.1f, P(<=8)=%.2f@." (Kona_util.Cdf.mean cdf)
+      (Kona_util.Cdf.at cdf 8);
+  0
+
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let workload_opt =
+  Arg.(value & opt (some string) None & info [ "w"; "workload" ] ~doc:"workload name")
+
+let workload_req =
+  Arg.(required & opt (some string) None & info [ "w"; "workload" ] ~doc:"workload name")
+
+let full = Arg.(value & flag & info [ "full" ] ~doc:"bench-sized run (default: smoke)")
+
+let system =
+  Arg.(
+    value & opt string "kona"
+    & info [ "system" ] ~doc:"kona | kona-vm | legoos | infiniswap")
+
+let fmem_pages =
+  Arg.(value & opt int 1024 & info [ "fmem-pages" ] ~doc:"local cache frames")
+
+let replicas =
+  Arg.(value & opt int 0 & info [ "replicas" ] ~doc:"eviction replication degree (kona only)")
+
+let prefetch =
+  Arg.(value & flag & info [ "prefetch" ] ~doc:"enable stream prefetching (kona only)")
+
+let out_path =
+  Arg.(required & opt (some string) None & info [ "o"; "out" ] ~doc:"output trace file")
+
+let in_path =
+  Arg.(required & opt (some string) None & info [ "i"; "in" ] ~doc:"input trace file")
+
+let quantum =
+  Arg.(value & opt int 20_000 & info [ "quantum" ] ~doc:"window size in accesses")
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "workloads" ~doc:"list Table 2 workloads")
+      Term.(const cmd_workloads $ const ());
+    Cmd.v (Cmd.info "record" ~doc:"record a workload's access trace to a file")
+      Term.(const cmd_record $ workload_req $ out_path $ full);
+    Cmd.v (Cmd.info "replay" ~doc:"replay a trace file through the analyses")
+      Term.(const cmd_replay $ in_path $ quantum);
+    Cmd.v (Cmd.info "amp" ~doc:"dirty-data amplification (Table 2)")
+      Term.(const cmd_amp $ workload_opt $ full);
+    Cmd.v (Cmd.info "run" ~doc:"run a workload on a remote-memory runtime")
+      Term.(const cmd_run $ workload_req $ system $ fmem_pages $ replicas $ prefetch $ full);
+  ]
+
+let () =
+  exit (Cmd.eval' (Cmd.group (Cmd.info "konactl" ~doc:"Kona reproduction driver") cmds))

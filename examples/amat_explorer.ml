@@ -1,0 +1,73 @@
+(* AMAT explorer: interactive access to KCacheSim (the Fig. 8 methodology).
+   Pick a workload, a set of local-cache fractions, and a fetch block size;
+   get the average memory access time under every system profile.
+
+   Run with, e.g.:
+     dune exec examples/amat_explorer.exe -- --workload "Redis-Rand" \
+       --fracs 0.1,0.25,0.5,1.0 --block 4096 *)
+
+open Kona
+module Workloads = Kona_workloads.Workloads
+
+let run workload_name fracs block full_scale =
+  let spec =
+    try Workloads.find workload_name
+    with Not_found ->
+      Fmt.epr "unknown workload %S; available:@." workload_name;
+      List.iter (fun (s : Workloads.spec) -> Fmt.epr "  %s@." s.Workloads.name) Workloads.all;
+      exit 1
+  in
+  let scale = if full_scale then Workloads.Full else Workloads.Smoke in
+  let cost = Cost_model.default in
+  let systems =
+    [
+      Cost_model.infiniswap cost;
+      Cost_model.legoos cost;
+      Cost_model.kona cost;
+      Cost_model.kona_main cost;
+    ]
+  in
+  Fmt.pr "AMAT (ns) for %s, fetch block %d B@." spec.Workloads.name block;
+  Fmt.pr "%-8s" "cache%";
+  List.iter (fun p -> Fmt.pr "%12s" p.Cost_model.system) systems;
+  Fmt.pr "@.";
+  List.iter
+    (fun frac ->
+      let counts = Kcachesim.simulate ~block ~spec ~scale ~seed:42 ~cache_frac:frac () in
+      Fmt.pr "%-8.0f" (100. *. frac);
+      List.iter
+        (fun profile -> Fmt.pr "%12.2f" (Kcachesim.amat_ns ~cost ~profile counts))
+        systems;
+      Fmt.pr "@.")
+    fracs;
+  0
+
+open Cmdliner
+
+let workload =
+  Arg.(value & opt string "Redis-Rand" & info [ "workload"; "w" ] ~doc:"Table 2 workload name")
+
+let fracs =
+  let parse s =
+    try Ok (List.map float_of_string (String.split_on_char ',' s))
+    with _ -> Error (`Msg "expected comma-separated floats")
+  in
+  let fracs_conv =
+    Arg.conv (parse, fun fmt l -> Fmt.pf fmt "%a" Fmt.(list ~sep:comma float) l)
+  in
+  Arg.(
+    value
+    & opt fracs_conv [ 0.1; 0.25; 0.5; 0.75; 1.0 ]
+    & info [ "fracs" ] ~doc:"cache fractions")
+
+let block =
+  Arg.(value & opt int 4096 & info [ "block" ] ~doc:"fetch block size in bytes (power of 2)")
+
+let full = Arg.(value & flag & info [ "full" ] ~doc:"bench-sized workload (slower)")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "amat_explorer" ~doc:"explore AMAT across systems (KCacheSim)")
+    Term.(const run $ workload $ fracs $ block $ full)
+
+let () = exit (Cmd.eval' cmd)

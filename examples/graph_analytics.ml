@@ -1,0 +1,51 @@
+(* Graph analytics over disaggregated memory: PageRank on a graph larger
+   than local DRAM, showing how cache-line dirty tracking shrinks eviction
+   traffic for scattered 8-byte rank updates inside 192-byte vertex
+   records.
+
+   Run with: dune exec examples/graph_analytics.exe *)
+
+open Kona
+module Heap = Kona_workloads.Heap
+module Graph = Kona_workloads.Graph
+module Graph_algos = Kona_workloads.Graph_algos
+module Units = Kona_util.Units
+module Rng = Kona_util.Rng
+
+let vertices = 20_000
+let degree = 8
+
+let () =
+  let controller = Rack_controller.create ~slab_size:(Units.mib 1) () in
+  Rack_controller.register_node controller (Memory_node.create ~id:0 ~capacity:(Units.mib 64));
+  Rack_controller.register_node controller (Memory_node.create ~id:1 ~capacity:(Units.mib 64));
+  let heap_ref = ref None in
+  let read_local ~addr ~len = Heap.peek_bytes (Option.get !heap_ref) addr len in
+  (* Local cache: 2 MiB against a ~7 MiB graph + vertex state footprint. *)
+  let config = { Runtime.default_config with fmem_pages = 512 } in
+  let runtime = Runtime.create ~config ~controller ~read_local () in
+  let heap = Heap.create ~capacity:(Units.mib 24) ~sink:(Runtime.sink runtime) () in
+  heap_ref := Some heap;
+
+  Fmt.pr "generating a %d-vertex graph (avg degree %d) in disaggregated memory...@."
+    vertices degree;
+  let g = Graph.generate heap ~rng:(Rng.create ~seed:9) ~vertices ~avg_degree:degree in
+  Fmt.pr "running 5 PageRank iterations...@.";
+  let mass = Graph_algos.pagerank g ~iterations:5 in
+  Runtime.drain runtime;
+
+  Fmt.pr "rank mass: %.4f (should be close to 1)@." mass;
+  Fmt.pr "footprint: %a; local cache: %a@." Units.pp_bytes (Heap.used heap)
+    Units.pp_bytes (config.Runtime.fmem_pages * Units.page_size);
+  let stats = Runtime.stats runtime in
+  let lines = List.assoc "evict.lines" stats in
+  let pages = List.assoc "evict.pages" stats - List.assoc "evict.clean_pages" stats in
+  Fmt.pr "app time %a, eviction time %a@." Units.pp_ns (Runtime.app_ns runtime)
+    Units.pp_ns (Runtime.bg_ns runtime);
+  Fmt.pr "evicted %d dirty pages carrying %d dirty lines (%.1f lines/page)@." pages
+    lines
+    (float_of_int lines /. float_of_int (max 1 pages));
+  Fmt.pr "cache-line eviction shipped %a; page-granularity would ship %a (%.1fx more)@."
+    Units.pp_bytes (lines * Units.cache_line) Units.pp_bytes (pages * Units.page_size)
+    (float_of_int (pages * Units.page_size)
+    /. float_of_int (max 1 (lines * Units.cache_line)))

@@ -1,0 +1,35 @@
+type state = Invalid | Shared | Modified
+
+type t = {
+  lines : (int, state) Hashtbl.t; (* absent = Invalid *)
+  mutable fills : int;
+  mutable writebacks : int;
+}
+
+let create () = { lines = Hashtbl.create 4096; fills = 0; writebacks = 0 }
+
+let state t ~line =
+  match Hashtbl.find_opt t.lines line with Some s -> s | None -> Invalid
+
+let on_fill t ~line ~write =
+  t.fills <- t.fills + 1;
+  let next =
+    match (state t ~line, write) with
+    | _, true -> Modified
+    | Modified, false -> Modified (* already writable; read refill keeps it *)
+    | (Invalid | Shared), false -> Shared
+  in
+  Hashtbl.replace t.lines line next
+
+let on_writeback t ~line =
+  t.writebacks <- t.writebacks + 1;
+  Hashtbl.remove t.lines line
+
+let snoop t ~line =
+  let result = match state t ~line with Modified -> `Dirty | Shared | Invalid -> `Clean in
+  Hashtbl.remove t.lines line;
+  result
+
+let granted_lines t = Hashtbl.length t.lines
+let fills t = t.fills
+let writebacks t = t.writebacks

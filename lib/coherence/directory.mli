@@ -1,0 +1,40 @@
+(** The VFMem coherence directory maintained by the FPGA memory agent
+    (§4.3): tracks, per cache-line, what the interconnect protocol lets the
+    agent know about the CPU's copy.
+
+    The protocol view is deliberately the weak one the paper's design
+    depends on: a fill tells the agent the CPU {e has} the line (and
+    whether it was requested for writing), a writeback tells it the line
+    was modified and has left the CPU, and a snoop forcibly recalls it.
+    The agent learns nothing when a shared line is silently dropped — which
+    is why eviction must snoop rather than trust the directory
+    (§4.4, "Snooping is necessary"). *)
+
+type state =
+  | Invalid  (** not at the CPU, as far as the agent knows *)
+  | Shared  (** granted for reading; CPU may silently drop it *)
+  | Modified  (** granted for writing; CPU may hold newer data *)
+
+type t
+
+val create : unit -> t
+
+val state : t -> line:int -> state
+(** [line] is a global cache-line index (byte address / 64). *)
+
+val on_fill : t -> line:int -> write:bool -> unit
+(** The CPU requested the line from VFMem. *)
+
+val on_writeback : t -> line:int -> unit
+(** A modified line reached the agent; the CPU no longer holds it. *)
+
+val snoop : t -> line:int -> [ `Clean | `Dirty ]
+(** Recall the line: afterwards it is [Invalid].  [`Dirty] if the agent had
+    granted write permission (the CPU's copy may contain new data that the
+    snoop response carries). *)
+
+val granted_lines : t -> int
+(** Lines currently believed to be at the CPU. *)
+
+val fills : t -> int
+val writebacks : t -> int

@@ -1,0 +1,59 @@
+type state = Invalid | Shared | Exclusive | Modified
+type processor_event = Read | Write | Evict
+type bus_event = Bus_read | Bus_read_for_ownership | Bus_invalidate
+
+type action =
+  | No_bus_action
+  | Issue_read
+  | Issue_rfo
+  | Issue_invalidate
+  | Writeback
+  | Supply_data
+
+let on_processor state event =
+  match (state, event) with
+  (* misses *)
+  | Invalid, Read -> (Exclusive, Issue_read)
+  (* we model the uncontended case: a read fill arrives Exclusive; the
+     home may downgrade it to Shared if other sharers exist *)
+  | Invalid, Write -> (Modified, Issue_rfo)
+  | Invalid, Evict -> (Invalid, No_bus_action)
+  (* hits *)
+  | Shared, Read -> (Shared, No_bus_action)
+  | Shared, Write -> (Modified, Issue_invalidate)
+  | Shared, Evict -> (Invalid, No_bus_action) (* silent drop of clean data *)
+  | Exclusive, Read -> (Exclusive, No_bus_action)
+  | Exclusive, Write -> (Modified, No_bus_action) (* the silent upgrade *)
+  | Exclusive, Evict -> (Invalid, No_bus_action)
+  | Modified, Read -> (Modified, No_bus_action)
+  | Modified, Write -> (Modified, No_bus_action)
+  | Modified, Evict -> (Invalid, Writeback)
+
+let on_bus state event =
+  match (state, event) with
+  | Invalid, (Bus_read | Bus_read_for_ownership | Bus_invalidate) ->
+      (Invalid, No_bus_action)
+  | Shared, Bus_read -> (Shared, No_bus_action)
+  | Shared, (Bus_read_for_ownership | Bus_invalidate) -> (Invalid, No_bus_action)
+  | Exclusive, Bus_read -> (Shared, No_bus_action)
+  | Exclusive, (Bus_read_for_ownership | Bus_invalidate) -> (Invalid, No_bus_action)
+  | Modified, Bus_read -> (Shared, Supply_data)
+  | Modified, Bus_read_for_ownership -> (Invalid, Supply_data)
+  | Modified, Bus_invalidate ->
+      (* An invalidate targets Shared copies; a Modified line cannot
+         coexist with one, but degrade gracefully: supply and drop. *)
+      (Invalid, Supply_data)
+
+let home_observes = function
+  | Issue_read | Issue_rfo | Issue_invalidate | Writeback | Supply_data -> true
+  | No_bus_action -> false
+
+let is_dirty = function Modified -> true | Invalid | Shared | Exclusive -> false
+
+let pp fmt state =
+  Format.pp_print_string fmt
+    (match state with
+    | Invalid -> "I"
+    | Shared -> "S"
+    | Exclusive -> "E"
+    | Modified -> "M")

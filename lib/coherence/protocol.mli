@@ -1,0 +1,52 @@
+(** MESI cache-coherence protocol state machine (§2.3).
+
+    The paper's key observation is that the memory controller (and hence a
+    cache-coherent FPGA acting as one) has "excellent visibility into when
+    a cache-line is being read or written", because every transition that
+    matters crosses the interconnect.  This module makes that visibility
+    precise: it models one cache-line's state at a caching agent, the bus
+    action each CPU/remote event triggers, and {e which of those actions
+    the home agent (the FPGA) observes}.  {!Directory} is the home-side
+    projection of exactly these observable actions; tests tie the two
+    together. *)
+
+type state =
+  | Invalid
+  | Shared  (** clean, possibly other sharers *)
+  | Exclusive  (** clean, sole owner — silent upgrade to Modified allowed *)
+  | Modified  (** dirty, sole owner *)
+
+type processor_event =
+  | Read  (** local load *)
+  | Write  (** local store *)
+  | Evict  (** capacity/conflict replacement *)
+
+type bus_event =
+  | Bus_read  (** another agent wants to read the line *)
+  | Bus_read_for_ownership  (** another agent wants to write it *)
+  | Bus_invalidate  (** another agent upgrades Shared -> Modified *)
+
+type action =
+  | No_bus_action  (** cache-internal; invisible to the home agent *)
+  | Issue_read  (** miss: request the line (home sees a fill) *)
+  | Issue_rfo  (** write miss: request for ownership (home sees a write fill) *)
+  | Issue_invalidate  (** upgrade S->M: invalidation broadcast *)
+  | Writeback  (** modified data leaves the cache (home sees the data) *)
+  | Supply_data  (** respond to a snoop with the modified line *)
+
+val on_processor : state -> processor_event -> state * action
+(** Next state and bus action for a local CPU event. *)
+
+val on_bus : state -> bus_event -> state * action
+(** Next state and response for an observed bus event (a snoop). *)
+
+val home_observes : action -> bool
+(** Whether the home agent (the ccFPGA directory) learns anything from the
+    action.  The crucial asymmetries, which drive Kona's design:
+    [Evict] of a {e clean} line is silent (so the directory over-
+    approximates sharers), and the [Exclusive -> Modified] upgrade is
+    silent (so writes are only visible at writeback — hence eviction must
+    snoop, §4.4). *)
+
+val is_dirty : state -> bool
+val pp : Format.formatter -> state -> unit

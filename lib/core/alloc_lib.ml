@@ -1,0 +1,36 @@
+open Kona_util
+
+type t = {
+  rm : Resource_manager.t;
+  free_lists : (int, int list ref) Hashtbl.t;
+  mutable brk : int;
+  mutable allocated : int;
+  mutable freed : int;
+}
+
+let create ~rm () =
+  { rm; free_lists = Hashtbl.create 32; brk = Units.page_size; allocated = 0; freed = 0 }
+
+let malloc t ?(align = 8) n =
+  if n <= 0 then invalid_arg "Alloc_lib.malloc: size must be positive";
+  let size = Units.align_up n ~alignment:align in
+  t.allocated <- t.allocated + size;
+  match Hashtbl.find_opt t.free_lists size with
+  | Some ({ contents = addr :: rest } as cell) when addr mod align = 0 ->
+      cell := rest;
+      addr
+  | _ ->
+      let addr = Units.align_up t.brk ~alignment:align in
+      t.brk <- addr + size;
+      Resource_manager.ensure_backed t.rm ~addr ~len:size;
+      addr
+
+let free t ~addr ~len =
+  let size = Units.align_up len ~alignment:8 in
+  t.freed <- t.freed + size;
+  match Hashtbl.find_opt t.free_lists size with
+  | Some cell -> cell := addr :: !cell
+  | None -> Hashtbl.add t.free_lists size (ref [ addr ])
+
+let allocated_bytes t = t.allocated
+let live_bytes t = t.allocated - t.freed

@@ -1,0 +1,17 @@
+(** AllocLib: the allocation-interposition layer (§4.1).  Applications call
+    plain [malloc]/[free]; AllocLib carves fine-grained allocations out of
+    slab-backed VFMem and guarantees, via the resource manager, that
+    disaggregated memory stands behind every returned address before the
+    application touches it. *)
+
+type t
+
+val create : rm:Resource_manager.t -> unit -> t
+
+val malloc : t -> ?align:int -> int -> int
+(** Allocate (default 8-byte aligned); the returned VFMem address range is
+    backed.  Exact-size free-list reuse, bump growth. *)
+
+val free : t -> addr:int -> len:int -> unit
+val allocated_bytes : t -> int
+val live_bytes : t -> int

@@ -1,0 +1,130 @@
+open Kona_util
+module Fmem = Kona_coherence.Fmem
+module Qp = Kona_rdma.Qp
+
+type t = {
+  cost : Cost_model.t;
+  fetch_block : int;
+  mce_threshold_ns : int option;
+  fmem : Fmem.t;
+  rm : Resource_manager.t;
+  fetch_qp : Qp.t;
+  prefetch_qp : Qp.t option;
+  mutable prefetcher : Prefetcher.t option;
+  prefetched : (int, unit) Hashtbl.t; (* prefetched, not yet demanded *)
+  on_victim : vpage:int -> dirty:Bitmap.t -> unit;
+  mutable fmem_hits : int;
+  mutable fmem_misses : int;
+  mutable pages_fetched : int;
+  mutable bytes_fetched : int;
+  mutable mce_raised : int;
+  mutable prefetch_useful : int;
+  fetch_latency : Histogram.t;
+}
+
+let create ~cost ?(fetch_block = Units.page_size) ?mce_threshold_ns ?prefetch_qp ~fmem
+    ~rm ~fetch_qp ~on_victim () =
+  if fetch_block < Units.page_size || fetch_block mod Units.page_size <> 0 then
+    invalid_arg "Caching_handler: fetch_block must be a positive multiple of the page size";
+  let t =
+    {
+      cost;
+      fetch_block;
+      mce_threshold_ns;
+      fmem;
+      rm;
+      fetch_qp;
+      prefetch_qp;
+      prefetcher = None;
+      prefetched = Hashtbl.create 64;
+      on_victim;
+      fmem_hits = 0;
+      fmem_misses = 0;
+      pages_fetched = 0;
+      bytes_fetched = 0;
+      mce_raised = 0;
+      prefetch_useful = 0;
+      fetch_latency = Histogram.create ();
+    }
+  in
+  (match prefetch_qp with
+  | Some qp ->
+      let on_prefetch ~vpage =
+        if not (Fmem.lookup t.fmem ~vpage) then begin
+          Resource_manager.ensure_backed t.rm ~addr:(vpage * Units.page_size)
+            ~len:Units.page_size;
+          (* Asynchronous: posted on the background queue pair; the demand
+             stream never waits for it. *)
+          Qp.post qp [ Qp.wqe Qp.Read ~len:Units.page_size ];
+          t.bytes_fetched <- t.bytes_fetched + Units.page_size;
+          Hashtbl.replace t.prefetched vpage ();
+          match Fmem.insert t.fmem ~vpage with
+          | None -> ()
+          | Some victim ->
+              t.on_victim ~vpage:victim.Fmem.vpage ~dirty:victim.Fmem.dirty_lines
+        end
+      in
+      t.prefetcher <- Some (Prefetcher.create ~on_prefetch ())
+  | None -> ());
+  t
+
+let app_clock t = Qp.clock t.fetch_qp
+
+let fetch_page t ~vpage =
+  (* The remote read is demand-synchronous: post and wait on the app clock.
+     Data is already locally visible in our emulation (the application heap
+     is the single store), so only timing and accounting flow here. *)
+  Resource_manager.ensure_backed t.rm ~addr:(vpage * Units.page_size) ~len:Units.page_size;
+  let before = Clock.now (app_clock t) in
+  let wqe = Qp.wqe ~signaled:true Qp.Read ~len:Units.page_size in
+  Qp.post t.fetch_qp [ wqe ];
+  Qp.wait_idle t.fetch_qp;
+  Histogram.add t.fetch_latency (Clock.now (app_clock t) - before);
+  (match t.mce_threshold_ns with
+  | Some threshold when Clock.now (app_clock t) - before > threshold ->
+      (* The coherence protocol timed out waiting for the response: the CPU
+         raises a machine check; recovery re-arms the line request. *)
+      t.mce_raised <- t.mce_raised + 1;
+      Clock.advance (app_clock t) t.cost.Cost_model.mce_recovery_ns
+  | Some _ | None -> ());
+  t.pages_fetched <- t.pages_fetched + 1;
+  t.bytes_fetched <- t.bytes_fetched + Units.page_size;
+  match Fmem.insert t.fmem ~vpage with
+  | None -> ()
+  | Some victim ->
+      t.on_victim ~vpage:victim.Fmem.vpage ~dirty:victim.Fmem.dirty_lines
+
+let on_fill t ~addr =
+  let vpage = Units.page_of_addr addr in
+  if Fmem.lookup t.fmem ~vpage then begin
+    t.fmem_hits <- t.fmem_hits + 1;
+    if Hashtbl.mem t.prefetched vpage then begin
+      t.prefetch_useful <- t.prefetch_useful + 1;
+      Hashtbl.remove t.prefetched vpage
+    end;
+    Clock.advance (app_clock t) (int_of_float t.cost.Cost_model.fmem_ns)
+  end
+  else begin
+    t.fmem_misses <- t.fmem_misses + 1;
+    (match t.prefetcher with
+    | Some p -> Prefetcher.observe_miss p ~vpage
+    | None -> ());
+    (* Fetch the whole block containing the page. *)
+    let pages_per_block = t.fetch_block / Units.page_size in
+    let first = vpage - (vpage mod pages_per_block) in
+    for p = first to first + pages_per_block - 1 do
+      if not (Fmem.lookup t.fmem ~vpage:p) then fetch_page t ~vpage:p
+    done;
+    Clock.advance (app_clock t) (int_of_float t.cost.Cost_model.fmem_ns)
+  end
+
+let mce_raised t = t.mce_raised
+let prefetches_issued t =
+  match t.prefetcher with Some p -> Prefetcher.issued p | None -> 0
+
+let prefetches_useful t = t.prefetch_useful
+let fetch_latency t = t.fetch_latency
+let fmem_hits t = t.fmem_hits
+let fmem_misses t = t.fmem_misses
+let pages_fetched t = t.pages_fetched
+let bytes_fetched t = t.bytes_fetched

@@ -1,0 +1,23 @@
+open Kona_util
+module Fmem = Kona_coherence.Fmem
+
+type t = {
+  fmem : Fmem.t;
+  on_orphan : line_addr:int -> unit;
+  mutable lines_tracked : int;
+  mutable orphans : int;
+}
+
+let create ~fmem ~on_orphan () = { fmem; on_orphan; lines_tracked = 0; orphans = 0 }
+
+let on_writeback t ~addr =
+  let vpage = Units.page_of_addr addr in
+  let line = Units.line_in_page addr in
+  if Fmem.mark_dirty t.fmem ~vpage ~line then t.lines_tracked <- t.lines_tracked + 1
+  else begin
+    t.orphans <- t.orphans + 1;
+    t.on_orphan ~line_addr:addr
+  end
+
+let lines_tracked t = t.lines_tracked
+let orphans t = t.orphans

@@ -1,0 +1,20 @@
+(** The Dirty Data Tracker: consumes cache-line writebacks observed by the
+    VFMem directory and records them, at cache-line granularity, in the
+    owning FMem frame's dirty bitmap — the track-local-data hardware
+    primitive (§4.2).  No page faults, no write protection.
+
+    A writeback can race with an FMem eviction of its page (the line left
+    the CPU after the page left FMem); such orphan lines are handed to the
+    [on_orphan] callback, which writes them through to remote memory
+    directly. *)
+
+type t
+
+val create :
+  fmem:Kona_coherence.Fmem.t -> on_orphan:(line_addr:int -> unit) -> unit -> t
+
+val on_writeback : t -> addr:int -> unit
+(** [addr] is the 64B-aligned VFMem address of a written-back line. *)
+
+val lines_tracked : t -> int
+val orphans : t -> int

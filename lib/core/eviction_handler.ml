@@ -1,0 +1,66 @@
+open Kona_util
+
+type t = {
+  log : Cl_log.t;
+  rm : Resource_manager.t;
+  read_local : addr:int -> len:int -> string;
+  snoop : page:int -> int list;
+  mutable pages_evicted : int;
+  mutable clean_pages : int;
+  mutable lines_evicted : int;
+  mutable snooped_dirty_lines : int;
+}
+
+let create ~log ~rm ~read_local ~snoop () =
+  {
+    log;
+    rm;
+    read_local;
+    snoop;
+    pages_evicted = 0;
+    clean_pages = 0;
+    lines_evicted = 0;
+    snooped_dirty_lines = 0;
+  }
+
+let stage_run t ~run_addr ~lines =
+  match Resource_manager.translate t.rm ~vaddr:run_addr with
+  | None ->
+      (* Every cached page came from a backed slab; an untranslatable line
+         indicates runtime corruption. *)
+      failwith (Printf.sprintf "Eviction_handler: no backing for %#x" run_addr)
+  | Some (node, raddr) ->
+      let data = t.read_local ~addr:run_addr ~len:(lines * Units.cache_line) in
+      Cl_log.append_run t.log ~node ~raddr ~data;
+      t.lines_evicted <- t.lines_evicted + lines
+
+let evict t ~vpage ~dirty =
+  let dirty = Bitmap.copy dirty in
+  (* Snoop: lines of this page still modified inside CPU caches have not
+     been written back yet; recall them and fold into the mask. *)
+  List.iter
+    (fun line_addr ->
+      t.snooped_dirty_lines <- t.snooped_dirty_lines + 1;
+      Bitmap.set dirty (Units.line_in_page line_addr))
+    (t.snoop ~page:vpage);
+  Cl_log.note_bitmap_scan t.log ~lines:Units.lines_per_page;
+  if Bitmap.is_empty dirty then t.clean_pages <- t.clean_pages + 1
+  else begin
+    (* Contiguous dirty lines ship as single run entries (§2.2: dirty
+       cache-line contiguity is paramount for network transfer). *)
+    let page_base = vpage * Units.page_size in
+    List.iter
+      (fun (start, lines) ->
+        stage_run t ~run_addr:(page_base + (start * Units.cache_line)) ~lines)
+      (Bitmap.segments dirty)
+  end;
+  t.pages_evicted <- t.pages_evicted + 1
+
+let write_line_through t ~line_addr =
+  stage_run t ~run_addr:line_addr ~lines:1;
+  Cl_log.flush t.log
+
+let pages_evicted t = t.pages_evicted
+let clean_pages t = t.clean_pages
+let lines_evicted t = t.lines_evicted
+let snooped_dirty_lines t = t.snooped_dirty_lines

@@ -1,0 +1,53 @@
+(** KCacheSim (§5): the simulator behind Fig. 8.
+
+    Replays a workload's access stream through the CPU cache hierarchy plus
+    a fourth, DRAM-cache stage (FMem for Kona, CMem for the baselines) of
+    configurable size / associativity / block size, then computes the
+    average memory access time (AMAT) under each system's latency profile.
+
+    Because every system shares the caching structure and differs only in
+    latencies (exactly the paper's conservative methodology — the software
+    stack is folded into the remote-access latency), one simulation yields
+    the hit counts for all systems at once. *)
+
+type counts = {
+  line_accesses : int;  (** total 64B-line accesses issued by the workload *)
+  l1_hits : int;
+  l2_hits : int;
+  llc_hits : int;
+  dram_hits : int;  (** hits in the DRAM-cache stage *)
+  remote_fetches : int;  (** DRAM-cache misses: remote memory reached *)
+  rss_bytes : int;  (** workload peak footprint (sizes the cache) *)
+  dram_cache_bytes : int;  (** actual configured stage-4 capacity *)
+}
+
+val measure_rss :
+  spec:Kona_workloads.Workloads.spec ->
+  scale:Kona_workloads.Workloads.scale ->
+  seed:int ->
+  int
+(** One uninstrumented run to learn the workload's footprint; pass the
+    result as [?rss] to avoid re-running it per sweep point. *)
+
+val simulate :
+  ?cache_config:Kona_cachesim.Hierarchy.config ->
+  ?block:int ->
+  ?assoc:int ->
+  ?rss:int ->
+  spec:Kona_workloads.Workloads.spec ->
+  scale:Kona_workloads.Workloads.scale ->
+  seed:int ->
+  cache_frac:float ->
+  unit ->
+  counts
+(** [cache_frac] sizes the DRAM cache as a fraction of the workload's
+    measured footprint ("Cache Size (% Local memory)" in Fig. 8);
+    [block] is the stage-4 block size (default 4KB; 64B..32KB in Fig. 8d);
+    [assoc] its associativity (default 4, as FMem).  [cache_frac >= 1]
+    means everything fits: no remote fetches after cold misses. *)
+
+val amat_ns :
+  cost:Cost_model.t -> profile:Cost_model.system_profile -> counts -> float
+(** Average memory access time under a system profile.  Hits at each level
+    pay the cumulative latency down to that level; remote fetches
+    additionally pay the profile's remote latency. *)

@@ -1,0 +1,118 @@
+open Kona_util
+module Access = Kona_trace.Access
+module Heap = Kona_workloads.Heap
+
+type t = {
+  heap : Heap.t;
+  snapshots : (int, string) Hashtbl.t; (* page -> 4KB content at window start *)
+  touched : (int, unit) Hashtbl.t; (* pages touched this window *)
+  write_seen : (int, unit) Hashtbl.t; (* pages written this window (wp fault taken) *)
+  mutable reports : window_report list; (* newest first *)
+  mutable wp_faults_window : int;
+  mutable reprotect_pending : int; (* pages to re-protect at next window = last dirty *)
+}
+
+and window_report = {
+  window : int;
+  dirty_lines : int;
+  dirty_pages : int;
+  wp_faults : int;
+  tlb_invalidations : int;
+}
+
+let create ~heap () =
+  {
+    heap;
+    snapshots = Hashtbl.create 4096;
+    touched = Hashtbl.create 1024;
+    write_seen = Hashtbl.create 1024;
+    reports = [];
+    wp_faults_window = 0;
+    reprotect_pending = 0;
+  }
+
+let page_content t page =
+  Heap.peek_bytes t.heap (page * Units.page_size) Units.page_size
+
+let snapshot_if_needed t page =
+  if not (Hashtbl.mem t.snapshots page) then
+    Hashtbl.replace t.snapshots page (page_content t page)
+
+let sink t event =
+  Access.iter_pages event (fun page ->
+      if not (Hashtbl.mem t.touched page) then begin
+        Hashtbl.replace t.touched page ();
+        snapshot_if_needed t page
+      end;
+      if Access.is_write event && not (Hashtbl.mem t.write_seen page) then begin
+        Hashtbl.replace t.write_seen page ();
+        t.wp_faults_window <- t.wp_faults_window + 1
+      end)
+
+let diff_lines old_content new_content =
+  let dirty = ref 0 in
+  for line = 0 to Units.lines_per_page - 1 do
+    let off = line * Units.cache_line in
+    if String.sub old_content off Units.cache_line <> String.sub new_content off Units.cache_line
+    then incr dirty
+  done;
+  !dirty
+
+let close_window t ~window =
+  let dirty_lines = ref 0 in
+  let dirty_pages = ref 0 in
+  Hashtbl.iter
+    (fun page () ->
+      let current = page_content t page in
+      let old = Hashtbl.find t.snapshots page in
+      let d = diff_lines old current in
+      if d > 0 then begin
+        dirty_lines := !dirty_lines + d;
+        incr dirty_pages
+      end;
+      Hashtbl.replace t.snapshots page current)
+    t.touched;
+  let report =
+    {
+      window;
+      dirty_lines = !dirty_lines;
+      dirty_pages = !dirty_pages;
+      wp_faults = t.wp_faults_window;
+      (* Re-arming write protection invalidates the TLB entry of every page
+         that was writable (faulted) this window. *)
+      tlb_invalidations = t.reprotect_pending;
+    }
+  in
+  t.reprotect_pending <- t.wp_faults_window;
+  t.reports <- report :: t.reports;
+  Hashtbl.reset t.touched;
+  Hashtbl.reset t.write_seen;
+  t.wp_faults_window <- 0
+
+let windows t = List.rev t.reports
+
+let amp_ratio r =
+  if r.dirty_lines = 0 then 0.
+  else
+    float_of_int (r.dirty_pages * Units.page_size)
+    /. float_of_int (r.dirty_lines * Units.cache_line)
+
+let wp_overhead_ns ~cost t =
+  List.fold_left
+    (fun acc r ->
+      acc
+      + (r.wp_faults * cost.Cost_model.minor_fault_ns)
+      + (r.tlb_invalidations * cost.Cost_model.tlb_invalidate_ns))
+    0 (windows t)
+
+let pml_overhead_ns ~cost t =
+  let logged =
+    List.fold_left (fun acc r -> acc + r.wp_faults) 0 (windows t)
+    (* PML logs one entry per newly-dirtied page, the same events that
+       would have faulted under write protection. *)
+  in
+  (logged + 511) / 512 * cost.Cost_model.pml_drain_ns
+
+let speedup_percent ~cost ~app_ns t =
+  let overhead = wp_overhead_ns ~cost t in
+  if app_ns = 0 then 0. else 100. *. float_of_int overhead /. float_of_int app_ns

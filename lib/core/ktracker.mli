@@ -1,0 +1,57 @@
+(** KTracker (§5, Fig. 6): the emulator for cache-line dirty-data tracking.
+
+    The real tool ptrace-attaches to a process, snapshots its mapped pages,
+    and diffs the snapshots each window to find dirty cache-lines; here the
+    same snapshot-diff runs against the instrumented heap's backing store.
+    Like the real tool (and unlike byte-exact tracking), a window that
+    rewrites a byte with the value it already had is {e not} seen as dirty.
+
+    It also models the baseline the paper compares against — 4KB
+    write-protection — by counting, per window, the write-protection faults
+    (first write to each page) and the TLB invalidations needed to re-arm
+    protection, turning them into modeled run times for Fig. 10. *)
+
+type t
+
+val create : heap:Kona_workloads.Heap.t -> unit -> t
+
+val sink : t -> Kona_trace.Access.t -> unit
+(** Observe one access: snapshots a page on its first touch in the current
+    window, and counts write-protect faults (first write per page per
+    window). *)
+
+val close_window : t -> window:int -> unit
+(** Diff touched pages against their snapshots at cache-line granularity;
+    refresh snapshots. *)
+
+type window_report = {
+  window : int;
+  dirty_lines : int;  (** lines whose content changed (snapshot diff) *)
+  dirty_pages : int;  (** pages with at least one changed line *)
+  wp_faults : int;  (** write-protect faults the 4KB baseline would take *)
+  tlb_invalidations : int;  (** invalidations to re-arm protection *)
+}
+
+val windows : t -> window_report list
+(** Closed windows, oldest first. *)
+
+val amp_ratio : window_report -> float
+(** 4KB-tracked dirty bytes over cache-line-tracked dirty bytes: the Fig. 9
+    y-axis.  0 for windows with no dirty data. *)
+
+val wp_overhead_ns : cost:Cost_model.t -> t -> int
+(** Total modeled fault + invalidation time the write-protection baseline
+    spends across the run (zero for coherence-based tracking). *)
+
+val pml_overhead_ns : cost:Cost_model.t -> t -> int
+(** The same run's tracking overhead under Intel Page Modification Logging
+    (§8): no write faults, but the hypervisor drains a 512-entry log of
+    dirty-page GPAs.  Far cheaper than write protection — yet PML stays at
+    page granularity, so it fixes none of the dirty-data amplification
+    Kona's cache-line tracking removes. *)
+
+val speedup_percent : cost:Cost_model.t -> app_ns:int -> t -> float
+(** Fig. 10: speedup of coherence-based tracking over write-protection,
+    given the application's base run time [app_ns]:
+    100 * (T_wp - T_base) / T_base, where T_wp = app_ns + overhead and
+    T_base = app_ns. *)

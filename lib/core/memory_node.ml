@@ -1,0 +1,55 @@
+open Kona_util
+
+type t = {
+  node_id : int;
+  store : Bytes.t;
+  mutable brk : int;
+  mutable lines_received : int;
+  mutable logs_received : int;
+}
+
+let create ~id ~capacity =
+  assert (capacity > 0);
+  { node_id = id; store = Bytes.make capacity '\000'; brk = 0; lines_received = 0;
+    logs_received = 0 }
+
+let id t = t.node_id
+let capacity t = Bytes.length t.store
+let used t = t.brk
+let free_bytes t = capacity t - t.brk
+
+let reserve t ~size =
+  let size = Units.align_up size ~alignment:Units.page_size in
+  if t.brk + size > capacity t then raise Out_of_memory;
+  let addr = t.brk in
+  t.brk <- t.brk + size;
+  addr
+
+let check t addr len =
+  if addr < 0 || addr + len > Bytes.length t.store then
+    invalid_arg
+      (Printf.sprintf "Memory_node %d: access [%#x,+%d) out of range" t.node_id addr len)
+
+let write t ~addr ~data =
+  check t addr (String.length data);
+  Bytes.blit_string data 0 t.store addr (String.length data)
+
+let read t ~addr ~len =
+  check t addr len;
+  Bytes.sub_string t.store addr len
+
+type log_entry = { addr : int; data : string }
+
+let receive_log t entries =
+  t.logs_received <- t.logs_received + 1;
+  List.iter
+    (fun e ->
+      let len = String.length e.data in
+      assert (len > 0 && len mod Units.cache_line = 0);
+      write t ~addr:e.addr ~data:e.data;
+      t.lines_received <- t.lines_received + (len / Units.cache_line))
+    entries
+
+let lines_received t = t.lines_received
+let logs_received t = t.logs_received
+let peek = read

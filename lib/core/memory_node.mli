@@ -1,0 +1,38 @@
+(** A disaggregated memory node: a dumb byte store serving one-sided RDMA
+    reads/writes, plus the one piece of near-data compute Kona needs — the
+    {e cache-line log receiver} thread that unpacks aggregated dirty
+    cache-lines and scatters them to their home addresses (§4.4). *)
+
+type t
+
+val create : id:int -> capacity:int -> t
+val id : t -> int
+val capacity : t -> int
+val used : t -> int
+val free_bytes : t -> int
+
+val reserve : t -> size:int -> int
+(** Carve out a slab-sized region; returns its node-local base offset.
+    Raises [Out_of_memory] if the node is full. *)
+
+(** {2 Data-path operations (invoked by delivered RDMA verbs)} *)
+
+val write : t -> addr:int -> data:string -> unit
+val read : t -> addr:int -> len:int -> string
+
+(** {2 Cache-line log receiver} *)
+
+type log_entry = { addr : int; data : string }
+(** [data] is a run of one or more whole cache-lines (length a positive
+    multiple of 64): the log aggregates contiguous dirty lines into single
+    entries. *)
+
+val receive_log : t -> log_entry list -> unit
+(** Unpack a received CL log: scatter each entry to its address.  The
+    remote thread's work; cheap (a few reads and writes per line). *)
+
+val lines_received : t -> int
+val logs_received : t -> int
+
+val peek : t -> addr:int -> len:int -> string
+(** Uninstrumented inspection for integrity checks. *)

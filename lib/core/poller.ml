@@ -1,0 +1,20 @@
+module Qp = Kona_rdma.Qp
+
+type t = { mutable qps : (string * Qp.t) list; mutable reaped : int }
+
+let create () = { qps = []; reaped = 0 }
+let register t ~name qp = t.qps <- t.qps @ [ (name, qp) ]
+
+let poll t =
+  List.filter_map
+    (fun (name, qp) ->
+      match Qp.poll qp ~max:64 with
+      | [] -> None
+      | completions ->
+          let n = List.length completions in
+          t.reaped <- t.reaped + n;
+          Some (name, n))
+    t.qps
+
+let drain t = List.iter (fun (_, qp) -> Qp.wait_idle qp) t.qps
+let reaped t = t.reaped

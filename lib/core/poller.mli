@@ -1,0 +1,17 @@
+(** The Poller (§4.1): reaps RDMA completions across the runtime's queue
+    pairs so handlers never busy-wait on individual CQs. *)
+
+type t
+
+val create : unit -> t
+val register : t -> name:string -> Kona_rdma.Qp.t -> unit
+
+val poll : t -> (string * int) list
+(** One round over all registered QPs; returns (name, completions reaped)
+    for QPs that had any. *)
+
+val drain : t -> unit
+(** Advance each QP's clock to idle and clear its CQ. *)
+
+val reaped : t -> int
+(** Total completions reaped over the poller's lifetime. *)

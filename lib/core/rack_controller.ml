@@ -1,0 +1,53 @@
+open Kona_util
+
+type t = {
+  slab_size : int;
+  mutable node_list : Memory_node.t list; (* registration order *)
+  mutable next_node : int; (* round-robin cursor *)
+  mutable next_slab_id : int;
+}
+
+let create ?(slab_size = Units.mib 1) () =
+  assert (slab_size > 0 && slab_size mod Units.page_size = 0);
+  { slab_size; node_list = []; next_node = 0; next_slab_id = 0 }
+
+let slab_size t = t.slab_size
+let register_node t node = t.node_list <- t.node_list @ [ node ]
+let nodes t = t.node_list
+
+let node t ~id =
+  match List.find_opt (fun n -> Memory_node.id n = id) t.node_list with
+  | Some n -> n
+  | None -> raise Not_found
+
+let allocate_slab t ~vaddr =
+  let n = List.length t.node_list in
+  if n = 0 then failwith "Rack_controller: no memory nodes registered";
+  let rec try_node attempts =
+    if attempts = n then raise Out_of_memory
+    else begin
+      let candidate = List.nth t.node_list (t.next_node mod n) in
+      t.next_node <- t.next_node + 1;
+      if Memory_node.free_bytes candidate >= t.slab_size then begin
+        let remote_addr = Memory_node.reserve candidate ~size:t.slab_size in
+        let slab =
+          {
+            Slab.id = t.next_slab_id;
+            node = Memory_node.id candidate;
+            vaddr;
+            remote_addr;
+            size = t.slab_size;
+          }
+        in
+        t.next_slab_id <- t.next_slab_id + 1;
+        slab
+      end
+      else try_node (attempts + 1)
+    end
+  in
+  try_node 0
+
+let total_free t =
+  List.fold_left (fun acc n -> acc + Memory_node.free_bytes n) 0 t.node_list
+
+let slabs_allocated t = t.next_slab_id

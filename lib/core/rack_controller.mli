@@ -1,0 +1,27 @@
+(** The rack controller: a (logically centralized, §4.1) allocator that
+    memory nodes register with and from which compute nodes obtain slabs.
+    Off the application's critical path — the resource manager calls it in
+    batches. *)
+
+type t
+
+val create : ?slab_size:int -> unit -> t
+(** Default slab size 1 MiB (the paper uses large slabs; scaled with our
+    workloads). *)
+
+val slab_size : t -> int
+
+val register_node : t -> Memory_node.t -> unit
+
+val nodes : t -> Memory_node.t list
+
+val node : t -> id:int -> Memory_node.t
+(** Raises [Not_found] for unknown ids. *)
+
+val allocate_slab : t -> vaddr:int -> Slab.t
+(** Allocate one slab backing the VFMem range starting at [vaddr],
+    round-robin across registered nodes (skipping full ones).  Raises
+    [Out_of_memory] when no node has room. *)
+
+val total_free : t -> int
+val slabs_allocated : t -> int

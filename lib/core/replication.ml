@@ -1,0 +1,50 @@
+type t = {
+  degree : int;
+  mirrors : (int, Memory_node.t list) Hashtbl.t; (* primary id -> mirrors *)
+}
+
+let create ~degree ~controller =
+  assert (degree >= 0);
+  let mirrors = Hashtbl.create 8 in
+  List.iter
+    (fun primary ->
+      let id = Memory_node.id primary in
+      let copies =
+        List.init degree (fun k ->
+            Memory_node.create
+              ~id:(1000 + (id * 10) + k)
+              ~capacity:(Memory_node.capacity primary))
+      in
+      Hashtbl.replace mirrors id copies)
+    (Rack_controller.nodes controller);
+  { degree; mirrors }
+
+let degree t = t.degree
+
+let targets t ~node =
+  match Hashtbl.find_opt t.mirrors node with Some l -> l | None -> []
+
+let lines_replicated t =
+  Hashtbl.fold
+    (fun _ copies acc ->
+      acc + List.fold_left (fun a m -> a + Memory_node.lines_received m) 0 copies)
+    t.mirrors 0
+
+let divergent_mirrors t ~controller =
+  Hashtbl.fold
+    (fun id copies acc ->
+      match Rack_controller.node controller ~id with
+      | primary ->
+          let used = Memory_node.used primary in
+          let reference =
+            if used = 0 then "" else Memory_node.peek primary ~addr:0 ~len:used
+          in
+          List.fold_left
+            (fun a mirror ->
+              let copy =
+                if used = 0 then "" else Memory_node.peek mirror ~addr:0 ~len:used
+              in
+              if copy <> reference then a + 1 else a)
+            acc copies
+      | exception Not_found -> acc + List.length copies)
+    t.mirrors 0

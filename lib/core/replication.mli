@@ -1,0 +1,29 @@
+(** Disaggregated-memory replication (§4.5, failure mode 3).
+
+    Kona replicates data during eviction: each CL-log write is sent to the
+    primary memory node and to [degree] mirror nodes in the same batch,
+    waiting for all acknowledgments.  Because Kona ships only dirty
+    cache-lines, the network cost of each extra replica is amplified less
+    than under page-granularity eviction — the paper's argument that
+    "write amplification reduction increases with the number of
+    replicas". *)
+
+type t
+
+val create : degree:int -> controller:Rack_controller.t -> t
+(** Build [degree] mirror nodes for every node currently registered with
+    the controller.  Mirrors are dedicated stores (they accept writes at
+    primary-node offsets), not additional allocation targets. *)
+
+val degree : t -> int
+
+val targets : t -> node:int -> Memory_node.t list
+(** The mirrors of [node] (possibly empty; never includes the primary). *)
+
+val lines_replicated : t -> int
+(** Total cache-lines received across all mirrors. *)
+
+val divergent_mirrors : t -> controller:Rack_controller.t -> int
+(** Number of mirrors whose used range differs from their primary —
+    0 means every replica is byte-identical (checked over each node's
+    reserved range). *)

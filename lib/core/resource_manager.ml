@@ -1,0 +1,79 @@
+open Kona_util
+
+type t = {
+  controller : Rack_controller.t;
+  batch : int;
+  rpc : Kona_rdma.Rpc.t option;
+  (* slab-grain translation: VFMem slab index -> slab *)
+  by_slab_index : (int, Slab.t) Hashtbl.t;
+  mutable slab_list : Slab.t list;
+  mutable round_trips : int;
+}
+
+let create ?(batch = 4) ?rpc ~controller () =
+  assert (batch > 0);
+  {
+    controller;
+    batch;
+    rpc;
+    by_slab_index = Hashtbl.create 64;
+    slab_list = [];
+    round_trips = 0;
+  }
+
+let slab_bytes t = Rack_controller.slab_size t.controller
+let slab_index t addr = addr / slab_bytes t
+
+let slab_of t ~vaddr = Hashtbl.find_opt t.by_slab_index (slab_index t vaddr)
+
+let allocate_batch t ~first_index =
+  (* One controller round-trip provisions [batch] consecutive slabs,
+     starting at the first unbacked index >= first_index. *)
+  t.round_trips <- t.round_trips + 1;
+  let serve () =
+    let allocated = ref 0 in
+    let index = ref first_index in
+    while !allocated < t.batch do
+      if not (Hashtbl.mem t.by_slab_index !index) then begin
+        let slab =
+          Rack_controller.allocate_slab t.controller ~vaddr:(!index * slab_bytes t)
+        in
+        Hashtbl.add t.by_slab_index !index slab;
+        t.slab_list <- slab :: t.slab_list;
+        incr allocated
+      end;
+      incr index
+    done
+  in
+  match t.rpc with
+  | None -> serve ()
+  | Some rpc ->
+      (* request: one allocation descriptor; response: [batch] slab records *)
+      Kona_rdma.Rpc.call rpc ~request_bytes:64 ~response_bytes:(t.batch * 64) serve ()
+
+let ensure_backed t ~addr ~len =
+  assert (len > 0);
+  let first = slab_index t addr and last = slab_index t (addr + len - 1) in
+  for index = first to last do
+    if not (Hashtbl.mem t.by_slab_index index) then allocate_batch t ~first_index:index
+  done
+
+let translate t ~vaddr =
+  Option.map
+    (fun slab -> (slab.Slab.node, Slab.remote_of_vaddr slab ~vaddr))
+    (slab_of t ~vaddr)
+
+let slabs t = List.rev t.slab_list
+let controller_round_trips t = t.round_trips
+
+let iter_backed_pages t f =
+  List.iter
+    (fun (slab : Slab.t) ->
+      let pages = slab.Slab.size / Units.page_size in
+      let first_page = slab.Slab.vaddr / Units.page_size in
+      for i = 0 to pages - 1 do
+        f ~vpage:(first_page + i)
+          ~node:slab.Slab.node
+          ~remote_addr:(slab.Slab.remote_addr + (i * Units.page_size))
+      done)
+    (slabs t)

@@ -1,0 +1,31 @@
+(** KLib's resource manager: pre-allocates disaggregated memory from the
+    rack controller in slab batches (off the critical path) and maintains
+    the {e remote translation} hashmap from VFMem pages to (node, remote
+    address) that the FPGA consults on fetch and writeback (§4.4).
+
+    The VFMem address space is identified with the application heap's
+    address space: logically pre-populated, always mapped present. *)
+
+type t
+
+val create :
+  ?batch:int -> ?rpc:Kona_rdma.Rpc.t -> controller:Rack_controller.t -> unit -> t
+(** [batch]: how many slabs to request per controller round-trip
+    (default 4).  When [rpc] is given, each round-trip is priced as a
+    two-sided exchange on that channel (request + controller service +
+    slab-list response). *)
+
+val ensure_backed : t -> addr:int -> len:int -> unit
+(** Guarantee every page of [addr, addr+len) has a backing slab, allocating
+    (in batches) as needed.  AllocLib calls this on each interposed
+    allocation. *)
+
+val translate : t -> vaddr:int -> (int * int) option
+(** [(node, remote_addr)] for a backed VFMem address. *)
+
+val slab_of : t -> vaddr:int -> Slab.t option
+val slabs : t -> Slab.t list
+val controller_round_trips : t -> int
+
+val iter_backed_pages : t -> (vpage:int -> node:int -> remote_addr:int -> unit) -> unit
+(** Every backed page with its remote location (integrity checks). *)

@@ -1,0 +1,233 @@
+open Kona_util
+module Access = Kona_trace.Access
+module Hierarchy = Kona_cachesim.Hierarchy
+module Fmem = Kona_coherence.Fmem
+module Directory = Kona_coherence.Directory
+module Qp = Kona_rdma.Qp
+module Cache = Kona_cachesim.Cache
+
+type config = {
+  cost : Cost_model.t;
+  rdma : Kona_rdma.Cost.t;
+  cache_config : Hierarchy.config;
+  fmem_pages : int;
+  fmem_assoc : int;
+  fmem_policy : Fmem.policy;
+  fetch_block : int;
+  log_capacity : int;
+  replicas : int;
+  mce_threshold_ns : int option;
+  prefetch : bool;
+}
+
+let default_config =
+  {
+    cost = Cost_model.default;
+    rdma = Kona_rdma.Cost.default;
+    cache_config = Hierarchy.default_config;
+    fmem_pages = 1024;
+    fmem_assoc = 4;
+    fmem_policy = Fmem.Lru;
+    fetch_block = Units.page_size;
+    log_capacity = 512;
+    replicas = 0;
+    mce_threshold_ns = None;
+    prefetch = false;
+  }
+
+type t = {
+  config : config;
+  app_clock : Clock.t;
+  bg_clock : Clock.t;
+  hierarchy : Hierarchy.t;
+  fmem : Fmem.t;
+  directory : Directory.t;
+  rm : Resource_manager.t;
+  log : Cl_log.t;
+  replication : Replication.t option;
+  caching : Caching_handler.t;
+  tracker : Dirty_tracker.t;
+  evictor : Eviction_handler.t;
+  fetch_qp : Qp.t;
+  mutable accesses : int;
+}
+
+let create ?(config = default_config) ?nic ~controller ~read_local () =
+  let app_clock = Clock.create () in
+  let bg_clock = Clock.create () in
+  let nic = match nic with Some n -> n | None -> Kona_rdma.Nic.create () in
+  let fetch_qp = Qp.create ~cost:config.rdma ~nic ~clock:app_clock () in
+  let evict_qp = Qp.create ~cost:config.rdma ~nic ~clock:bg_clock () in
+  let rpc = Kona_rdma.Rpc.create ~cost:config.rdma ~clock:app_clock ~nic () in
+  let rm = Resource_manager.create ~rpc ~controller () in
+  let fmem =
+    Fmem.create ~assoc:config.fmem_assoc ~policy:config.fmem_policy
+      ~pages:config.fmem_pages ()
+  in
+  let directory = Directory.create () in
+  let replication =
+    if config.replicas > 0 then Some (Replication.create ~degree:config.replicas ~controller)
+    else None
+  in
+  let extra_targets ~node =
+    match replication with Some r -> Replication.targets r ~node | None -> []
+  in
+  let log =
+    Cl_log.create ~capacity:config.log_capacity ~extra_targets ~qp:evict_qp
+      ~cost:config.rdma
+      ~resolve:(fun ~node -> Rack_controller.node controller ~id:node)
+      ()
+  in
+  (* The hierarchy is created first without hooks, then hooks close over the
+     record; OCaml needs the recursive knot tied by a forward reference. *)
+  let evictor_ref = ref None in
+  let caching_ref = ref None in
+  let tracker_ref = ref None in
+  let hierarchy =
+    Hierarchy.create ~config:config.cache_config
+      ~on_fill:(fun ~addr ~write ->
+        Directory.on_fill directory ~line:(Units.line_of_addr addr) ~write;
+        match !caching_ref with Some c -> Caching_handler.on_fill c ~addr | None -> ())
+      ~on_writeback:(fun ~addr ->
+        Directory.on_writeback directory ~line:(Units.line_of_addr addr);
+        match !tracker_ref with Some d -> Dirty_tracker.on_writeback d ~addr | None -> ())
+      ()
+  in
+  let snoop ~page =
+    let dirty = Hierarchy.flush_page hierarchy ~page in
+    List.iter
+      (fun line_addr ->
+        ignore (Directory.snoop directory ~line:(Units.line_of_addr line_addr)
+                 : [ `Clean | `Dirty ]))
+      dirty;
+    dirty
+  in
+  let evictor = Eviction_handler.create ~log ~rm ~read_local ~snoop () in
+  let tracker =
+    Dirty_tracker.create ~fmem
+      ~on_orphan:(fun ~line_addr -> Eviction_handler.write_line_through evictor ~line_addr)
+      ()
+  in
+  let prefetch_qp =
+    if config.prefetch then Some (Qp.create ~cost:config.rdma ~nic ~clock:bg_clock ())
+    else None
+  in
+  let caching =
+    Caching_handler.create ~cost:config.cost ~fetch_block:config.fetch_block
+      ?mce_threshold_ns:config.mce_threshold_ns ?prefetch_qp ~fmem ~rm ~fetch_qp
+      ~on_victim:(fun ~vpage ~dirty -> Eviction_handler.evict evictor ~vpage ~dirty)
+      ()
+  in
+  evictor_ref := Some evictor;
+  caching_ref := Some caching;
+  tracker_ref := Some tracker;
+  {
+    config;
+    app_clock;
+    bg_clock;
+    hierarchy;
+    fmem;
+    directory;
+    rm;
+    log;
+    replication;
+    caching;
+    tracker;
+    evictor;
+    fetch_qp;
+    accesses = 0;
+  }
+
+let charge_level t level =
+  let c = t.config.cost in
+  let ns =
+    match level with
+    | 1 -> c.Cost_model.l1_ns
+    | 2 -> c.Cost_model.l1_ns +. c.Cost_model.l2_ns
+    | _ -> c.Cost_model.l1_ns +. c.Cost_model.l2_ns +. c.Cost_model.llc_ns
+  in
+  Clock.advance t.app_clock (int_of_float ns)
+
+let sink t event =
+  t.accesses <- t.accesses + 1;
+  let write = Access.is_write event in
+  Access.iter_lines event (fun line ->
+      let level = Hierarchy.access_line t.hierarchy ~addr:(line * Units.cache_line) ~write in
+      charge_level t level)
+
+let drain t =
+  (* Pages needing writeback: FMem residents plus any page holding dirty
+     CPU lines (possible after an FMem eviction raced a cached write). *)
+  let pages = Hashtbl.create 256 in
+  Fmem.iter_resident t.fmem (fun ~vpage ~dirty:_ -> Hashtbl.replace pages vpage ());
+  let note_dirty ~block_addr ~dirty =
+    if dirty then Hashtbl.replace pages (Units.page_of_addr block_addr) ()
+  in
+  Cache.iter_resident (Hierarchy.l1 t.hierarchy) note_dirty;
+  Cache.iter_resident (Hierarchy.l2 t.hierarchy) note_dirty;
+  Cache.iter_resident (Hierarchy.llc t.hierarchy) note_dirty;
+  Hashtbl.iter
+    (fun vpage () ->
+      let dirty =
+        match Fmem.evict t.fmem ~vpage with
+        | Some victim -> victim.Fmem.dirty_lines
+        | None -> Bitmap.create Units.lines_per_page
+      in
+      Eviction_handler.evict t.evictor ~vpage ~dirty)
+    pages;
+  Cl_log.flush t.log
+
+let app_ns t = Clock.now t.app_clock
+let bg_ns t = Clock.now t.bg_clock
+let elapsed_ns t = max (app_ns t) (bg_ns t)
+
+let stats t =
+  let h = t.hierarchy in
+  let level name cache =
+    let s = Cache.stats cache in
+    [
+      (name ^ ".accesses", s.Cache.reads + s.Cache.writes);
+      (name ^ ".misses", s.Cache.read_misses + s.Cache.write_misses);
+    ]
+  in
+  level "l1" (Hierarchy.l1 h)
+  @ level "l2" (Hierarchy.l2 h)
+  @ level "llc" (Hierarchy.llc h)
+  @ [
+      ("accesses", t.accesses);
+      ("fmem.hits", Caching_handler.fmem_hits t.caching);
+      ("fmem.misses", Caching_handler.fmem_misses t.caching);
+      ("fetch.pages", Caching_handler.pages_fetched t.caching);
+      ("fetch.bytes", Caching_handler.bytes_fetched t.caching);
+      ("mce.raised", Caching_handler.mce_raised t.caching);
+      ("prefetch.issued", Caching_handler.prefetches_issued t.caching);
+      ("prefetch.useful", Caching_handler.prefetches_useful t.caching);
+      ( "fetch.p50_ns",
+        (let h = Caching_handler.fetch_latency t.caching in
+         if Kona_util.Histogram.count h = 0 then 0
+         else Kona_util.Histogram.percentile h 50.) );
+      ( "fetch.p99_ns",
+        (let h = Caching_handler.fetch_latency t.caching in
+         if Kona_util.Histogram.count h = 0 then 0
+         else Kona_util.Histogram.percentile h 99.) );
+      ("tracker.lines", Dirty_tracker.lines_tracked t.tracker);
+      ("tracker.orphans", Dirty_tracker.orphans t.tracker);
+      ("evict.pages", Eviction_handler.pages_evicted t.evictor);
+      ("evict.clean_pages", Eviction_handler.clean_pages t.evictor);
+      ("evict.lines", Eviction_handler.lines_evicted t.evictor);
+      ("evict.snooped", Eviction_handler.snooped_dirty_lines t.evictor);
+      ("log.lines", Cl_log.lines_logged t.log);
+      ("log.flushes", Cl_log.flushes t.log);
+      ("rdma.fetch_wire_bytes", Qp.wire_bytes t.fetch_qp);
+      ("directory.fills", Directory.fills t.directory);
+      ("directory.writebacks", Directory.writebacks t.directory);
+      ("slabs", List.length (Resource_manager.slabs t.rm));
+      ("controller.round_trips", Resource_manager.controller_round_trips t.rm);
+    ]
+
+let replication t = t.replication
+let resource_manager t = t.rm
+let fmem t = t.fmem
+let hierarchy t = t.hierarchy
+let cl_log t = t.log
+let directory t = t.directory

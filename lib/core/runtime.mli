@@ -1,0 +1,89 @@
+(** KLib: the Kona application runtime (§4.1).
+
+    Wires the simulated CPU cache hierarchy's fill/writeback streams to the
+    caching handler, dirty data tracker and eviction handler, charging
+    virtual time to two clocks:
+
+    - the {e application clock}: cache-level latencies, FMem accesses, and
+      synchronous remote fetches (no page faults — this is the point);
+    - the {e background clock}: eviction work (bitmap scans, log copies,
+      RDMA writes, acks), off the critical path.
+
+    Both share one NIC, so heavy eviction traffic delays fetches — the
+    contention visible in Fig. 7's multi-threaded runs.
+
+    The application heap remains the single byte store (as in the paper's
+    instrumentation-based emulation, §5); the runtime moves real bytes only
+    outward, into the memory nodes, which lets tests verify the end-to-end
+    invariant: after [drain], remote memory equals the application's
+    heap for every backed page. *)
+
+type config = {
+  cost : Cost_model.t;
+  rdma : Kona_rdma.Cost.t;
+  cache_config : Kona_cachesim.Hierarchy.config;
+  fmem_pages : int;  (** local DRAM cache capacity, in 4KB frames *)
+  fmem_assoc : int;
+  fmem_policy : Kona_coherence.Fmem.policy;
+  fetch_block : int;  (** bytes fetched per FMem miss (multiple of 4KB) *)
+  log_capacity : int;  (** CL-log entries per memory node before auto-flush *)
+  replicas : int;  (** eviction replication degree (§4.5); 0 = off *)
+  mce_threshold_ns : int option;
+      (** raise a machine-check exception when a fetch exceeds this latency
+          (coherence-protocol timeout under network outage, §4.5);
+          [None] = never *)
+  prefetch : bool;
+      (** stream-prefetch sequential remote pages on the background queue
+          pair — the prefetcher-crosses-page-faults advantage (§3) *)
+}
+
+val default_config : config
+(** 1024 FMem frames (4 MiB), 4-way, page-sized fetch, 512-entry log,
+    no replication. *)
+
+type t
+
+val create :
+  ?config:config ->
+  ?nic:Kona_rdma.Nic.t ->
+  controller:Rack_controller.t ->
+  read_local:(addr:int -> len:int -> string) ->
+  unit ->
+  t
+(** [read_local] reads application memory (e.g. [Heap.peek_bytes]); it is
+    the eviction data path.  Pass a shared [nic] to model multiple runtime
+    threads contending for one adapter. *)
+
+val sink : t -> Kona_trace.Access.t -> unit
+(** Feed one application access: runs the cache hierarchy, triggers
+    fetches/tracking/eviction, and advances the clocks. *)
+
+val drain : t -> unit
+(** Write back every remaining dirty cache-line (CPU caches and FMem) and
+    flush the CL log — a final msync.  After this, remote memory is
+    byte-identical to the application's view. *)
+
+val app_ns : t -> int
+(** Application-clock time. *)
+
+val bg_ns : t -> int
+(** Background (eviction) clock time. *)
+
+val elapsed_ns : t -> int
+(** max(app, bg): the run's wall-clock analogue. *)
+
+val stats : t -> (string * int) list
+(** Flat counter dump across all components (fetches, FMem hit/miss,
+    tracked lines, evicted pages/lines, log flushes, RDMA bytes, ...). *)
+
+(** {2 Component access (examples, tests, benches)} *)
+
+val replication : t -> Replication.t option
+(** Present when [config.replicas > 0]; mirrors can then be checked for
+    divergence after [drain]. *)
+
+val resource_manager : t -> Resource_manager.t
+val fmem : t -> Kona_coherence.Fmem.t
+val hierarchy : t -> Kona_cachesim.Hierarchy.t
+val cl_log : t -> Cl_log.t
+val directory : t -> Kona_coherence.Directory.t

@@ -1,0 +1,30 @@
+(** RDMA NIC cost model, calibrated against the paper's testbed (Mellanox
+    ConnectX-5, 100 Gbps RoCE): a 4KB one-sided read/write completes in
+    about 3 us, small verbs in about 2.9 us, and batching/linking amortizes
+    the per-operation software+doorbell overhead (§5.1).  The same model
+    also prices local memcpy into RDMA-registered buffers (the "Copy"
+    share of Fig. 11c) and bitmap scans. *)
+
+type t = {
+  base_ns : float;  (** one-sided verb end-to-end latency floor *)
+  doorbell_ns : float;  (** per-post (per-doorbell) software + MMIO cost *)
+  wqe_ns : float;  (** marginal cost of each linked WQE in a batch *)
+  byte_ns : float;  (** wire transfer per payload byte (line rate) *)
+  header_bytes : int;  (** per-WQE wire overhead (headers/CRC) *)
+  memcpy_base_ns : float;  (** fixed cost of a local copy call *)
+  memcpy_byte_ns : float;  (** per-byte cost of copying into an RDMA buffer *)
+  bitmap_line_ns : float;  (** per-cache-line cost of scanning a dirty bitmap *)
+  ack_ns : float;  (** remote log-receiver acknowledgment latency *)
+}
+
+val default : t
+
+val batch_ns : t -> sizes:int list -> int
+(** Completion time of one posted batch (one doorbell, linked WQEs, shared
+    latency floor, pipelined payloads). *)
+
+val wire_bytes : t -> sizes:int list -> int
+(** Bytes on the wire including per-WQE headers. *)
+
+val memcpy_ns : t -> bytes:int -> int
+val bitmap_scan_ns : t -> lines:int -> int

@@ -1,0 +1,24 @@
+type t = {
+  mutable busy_until : int;
+  mutable outages : (int * int) list; (* (start, end), sorted by start *)
+}
+
+let create () = { busy_until = 0; outages = [] }
+
+let inject_outage t ~at ~duration =
+  assert (duration > 0);
+  t.outages <- List.sort compare ((at, at + duration) :: t.outages)
+
+let rec skip_outages outages time =
+  match outages with
+  | (s, e) :: rest when time >= s -> skip_outages rest (max time e)
+  | _ -> time
+
+let occupy t ~start ~duration =
+  let actual = skip_outages t.outages (max start t.busy_until) in
+  t.busy_until <- actual + duration;
+  actual
+
+let free_at t = t.busy_until
+
+let outage_total t = List.fold_left (fun acc (s, e) -> acc + (e - s)) 0 t.outages

@@ -1,0 +1,95 @@
+open Kona_util
+
+type op = Read | Write
+
+type wqe = { op : op; len : int; signaled : bool; deliver : unit -> unit }
+
+let wqe ?(signaled = false) ?(deliver = fun () -> ()) op ~len =
+  assert (len >= 0);
+  { op; len; signaled; deliver }
+
+type t = {
+  cost : Cost.t;
+  clock : Clock.t;
+  nic : Nic.t;
+  cq : int Queue.t; (* completion times of signaled WQEs *)
+  mutable nic_free_at : int; (* this QP's wire busy until *)
+  mutable last_completion : int;
+  mutable payload_bytes : int;
+  mutable wire_bytes : int;
+  mutable posts : int;
+  mutable verbs : int;
+}
+
+let create ?(cost = Cost.default) ?nic ~clock () =
+  {
+    cost;
+    clock;
+    nic = (match nic with Some n -> n | None -> Nic.create ());
+    cq = Queue.create ();
+    nic_free_at = 0;
+    last_completion = 0;
+    payload_bytes = 0;
+    wire_bytes = 0;
+    posts = 0;
+    verbs = 0;
+  }
+
+let clock t = t.clock
+
+let post t wqes =
+  if wqes <> [] then begin
+    let sizes = List.map (fun w -> w.len) wqes in
+    (* The posting thread pays only the doorbell; the NIC pipeline starts
+       when it is free and the batch occupies it for the remainder. *)
+    Clock.advance t.clock (int_of_float t.cost.Cost.doorbell_ns);
+    (* The port is exclusively occupied only for serialization (WQE
+       processing + bytes on the wire); the propagation/latency floor is
+       pipelined with other QPs' traffic. *)
+    let n = List.length sizes in
+    let wire =
+      int_of_float
+        ((t.cost.Cost.wqe_ns *. float_of_int n)
+        +. (t.cost.Cost.byte_ns *. float_of_int (Cost.wire_bytes t.cost ~sizes)))
+    in
+    let latency = Cost.batch_ns t.cost ~sizes - wire in
+    let start =
+      Nic.occupy t.nic ~start:(max (Clock.now t.clock) t.nic_free_at) ~duration:wire
+    in
+    let finish = start + wire + latency in
+    t.nic_free_at <- start + wire;
+    t.last_completion <- max t.last_completion finish;
+    t.posts <- t.posts + 1;
+    t.verbs <- t.verbs + List.length wqes;
+    t.payload_bytes <- t.payload_bytes + List.fold_left ( + ) 0 sizes;
+    t.wire_bytes <- t.wire_bytes + Cost.wire_bytes t.cost ~sizes;
+    List.iter
+      (fun w ->
+        w.deliver ();
+        if w.signaled then Queue.push finish t.cq)
+      wqes
+  end
+
+let poll t ~max:n =
+  let rec loop acc n =
+    if n = 0 then List.rev acc
+    else
+      match Queue.peek_opt t.cq with
+      | Some finish when finish <= Clock.now t.clock ->
+          ignore (Queue.pop t.cq : int);
+          loop (finish :: acc) (n - 1)
+      | Some _ | None -> List.rev acc
+  in
+  loop [] n
+
+let wait_idle t =
+  Clock.advance_to t.clock t.last_completion;
+  Queue.clear t.cq
+
+let in_flight t =
+  if t.nic_free_at > Clock.now t.clock then Queue.length t.cq else 0
+
+let payload_bytes t = t.payload_bytes
+let wire_bytes t = t.wire_bytes
+let posts t = t.posts
+let verbs t = t.verbs

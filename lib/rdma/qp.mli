@@ -1,0 +1,52 @@
+(** A simulated RDMA queue pair with one-sided verbs.
+
+    Supports the optimizations the paper evaluates for eviction (§5.1):
+    batching + linking (one doorbell for a list of WQEs), unsignaled
+    completions (only the last WQE of a batch raises a CQE), and inline
+    data.  Delivery side-effects (actually moving the bytes) are supplied by
+    the caller as thunks, so the module stays a pure timing/accounting
+    model usable by both the runtime and the microbenchmarks. *)
+
+type op = Read | Write
+
+type wqe = {
+  op : op;
+  len : int;  (** payload bytes *)
+  signaled : bool;
+  deliver : unit -> unit;  (** executed when the verb completes *)
+}
+
+val wqe : ?signaled:bool -> ?deliver:(unit -> unit) -> op -> len:int -> wqe
+(** Defaults: unsignaled, no-op delivery. *)
+
+type t
+
+val create : ?cost:Cost.t -> ?nic:Nic.t -> clock:Kona_util.Clock.t -> unit -> t
+(** [clock] is the posting thread's virtual clock; posting charges doorbell
+    time to it, while wire time elapses asynchronously.  QPs sharing a
+    [nic] contend for wire time. *)
+
+val clock : t -> Kona_util.Clock.t
+
+val post : t -> wqe list -> unit
+(** Post one linked batch (one doorbell).  Executes delivery thunks and
+    enqueues a CQE per signaled WQE, stamped with the batch completion
+    time. *)
+
+val poll : t -> max:int -> int list
+(** Completion times of up to [max] CQEs whose completion time has passed
+    the posting clock (non-blocking poll). *)
+
+val wait_idle : t -> unit
+(** Block (advance the clock) until every posted verb has completed; drains
+    the CQ.  This is how a synchronous caller waits for a fence. *)
+
+val in_flight : t -> int
+(** Posted-but-not-completed verbs (relative to the current clock). *)
+
+(** {2 Accounting} *)
+
+val payload_bytes : t -> int
+val wire_bytes : t -> int
+val posts : t -> int
+val verbs : t -> int

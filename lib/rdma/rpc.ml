@@ -1,0 +1,30 @@
+open Kona_util
+
+type t = {
+  qp : Qp.t;
+  service_ns : int;
+  clock : Clock.t;
+  mutable calls : int;
+  mutable total_ns : int;
+}
+
+let create ?cost ?(service_ns = 1_500) ~clock ~nic () =
+  { qp = Qp.create ?cost ~nic ~clock (); service_ns; clock; calls = 0; total_ns = 0 }
+
+let call t ~request_bytes ~response_bytes f x =
+  assert (request_bytes >= 0 && response_bytes >= 0);
+  let before = Clock.now t.clock in
+  (* Request SEND: the caller blocks for the round trip, so both messages
+     complete on its clock. *)
+  Qp.post t.qp [ Qp.wqe ~signaled:true Qp.Write ~len:request_bytes ];
+  Qp.wait_idle t.qp;
+  Clock.advance t.clock t.service_ns;
+  let result = f x in
+  Qp.post t.qp [ Qp.wqe ~signaled:true Qp.Write ~len:response_bytes ];
+  Qp.wait_idle t.qp;
+  t.calls <- t.calls + 1;
+  t.total_ns <- t.total_ns + (Clock.now t.clock - before);
+  result
+
+let calls t = t.calls
+let total_ns t = t.total_ns

@@ -1,0 +1,30 @@
+(** Two-sided messaging on top of the queue-pair model: the control path.
+
+    Kona's data path is one-sided (reads, writes, the CL log), but control
+    operations — a compute node asking the rack controller for slabs, a
+    memory node registering its capacity — are request/response exchanges
+    (§4.1).  This module prices those exchanges: a call costs a request
+    SEND, the callee's service time, and a response SEND, charged to the
+    caller's clock (control-path operations are synchronous but rare and
+    batched). *)
+
+type t
+
+val create :
+  ?cost:Cost.t ->
+  ?service_ns:int ->
+  clock:Kona_util.Clock.t ->
+  nic:Nic.t ->
+  unit ->
+  t
+(** An RPC channel clocked by the caller.  [service_ns] models the callee's
+    handling time per call (default 1.5 us: a controller allocation or
+    registration handler). *)
+
+val call : t -> request_bytes:int -> response_bytes:int -> ('a -> 'b) -> 'a -> 'b
+(** Execute [f] as the remote handler: charges request wire + service +
+    response wire to the caller's clock and returns [f]'s result. *)
+
+val calls : t -> int
+val total_ns : t -> int
+(** Cumulative time spent in [call] (wire + service). *)

@@ -1,0 +1,63 @@
+open Kona_util
+
+type page_masks = { reads : Bitmap.t; writes : Bitmap.t }
+
+type t = {
+  pages : (int, page_masks) Hashtbl.t; (* current window *)
+  lines_read : Cdf.t;
+  lines_written : Cdf.t;
+  segs_read : Cdf.t;
+  segs_written : Cdf.t;
+}
+
+let create () =
+  {
+    pages = Hashtbl.create 1024;
+    lines_read = Cdf.create ();
+    lines_written = Cdf.create ();
+    segs_read = Cdf.create ();
+    segs_written = Cdf.create ();
+  }
+
+let masks t page =
+  match Hashtbl.find_opt t.pages page with
+  | Some m -> m
+  | None ->
+      let m =
+        { reads = Bitmap.create Units.lines_per_page;
+          writes = Bitmap.create Units.lines_per_page }
+      in
+      Hashtbl.add t.pages page m;
+      m
+
+let sink t event =
+  let mark line =
+    let page = line lsr 6 in
+    let idx = line land (Units.lines_per_page - 1) in
+    let m = masks t page in
+    match event.Access.kind with
+    | Access.Read -> Bitmap.set m.reads idx
+    | Access.Write -> Bitmap.set m.writes idx
+  in
+  Access.iter_lines event mark
+
+let close_window t ~window:_ =
+  Hashtbl.iter
+    (fun _page m ->
+      let record mask lines_cdf segs_cdf =
+        let n = Bitmap.count mask in
+        if n > 0 then begin
+          Cdf.add lines_cdf n;
+          List.iter (fun (_start, len) -> Cdf.add segs_cdf len) (Bitmap.segments mask)
+        end
+      in
+      record m.reads t.lines_read t.segs_read;
+      record m.writes t.lines_written t.segs_written)
+    t.pages;
+  Hashtbl.reset t.pages
+
+let lines_per_page_cdf t ~kind =
+  match kind with Access.Read -> t.lines_read | Access.Write -> t.lines_written
+
+let segment_length_cdf t ~kind =
+  match kind with Access.Read -> t.segs_read | Access.Write -> t.segs_written

@@ -1,0 +1,25 @@
+(** Per-page cache-line footprint analysis (paper §2.2, Figs. 2 and 3).
+
+    Within each window this records, for every touched 4KB page, which of
+    its 64 cache-lines were read and which were written.  Closing a window
+    feeds two families of CDFs:
+
+    - {e spatial locality} (Fig. 2): distribution of pages by number of
+      accessed cache-lines, reads and writes separately;
+    - {e contiguity} (Fig. 3): distribution of maximal runs ("segments") of
+      contiguous accessed cache-lines within a page, by run length. *)
+
+type t
+
+val create : unit -> t
+val sink : t -> Access.sink
+val close_window : t -> window:int -> unit
+
+val lines_per_page_cdf : t -> kind:Access.kind -> Kona_util.Cdf.t
+(** Fig. 2 data: one sample per (window, page) pair that had at least one
+    access of [kind]; the sample is the number of distinct cache-lines of
+    that kind accessed in the page. *)
+
+val segment_length_cdf : t -> kind:Access.kind -> Kona_util.Cdf.t
+(** Fig. 3 data: one sample per maximal contiguous run of accessed
+    cache-lines, the sample being the run length (1..64). *)

@@ -1,0 +1,12 @@
+type t = { mutable now : int }
+
+let create () = { now = 0 }
+let now t = t.now
+
+let advance t ns =
+  assert (ns >= 0);
+  t.now <- t.now + ns
+
+let advance_to t ns = if ns > t.now then t.now <- ns
+let reset t = t.now <- 0
+let pp fmt t = Units.pp_ns fmt t.now

@@ -1,0 +1,63 @@
+(* Classic hashtable + doubly-linked list. *)
+
+type node = { key : int; mutable prev : node option; mutable next : node option }
+
+type t = {
+  table : (int, node) Hashtbl.t;
+  mutable head : node option; (* most recently used *)
+  mutable tail : node option; (* least recently used *)
+}
+
+let create () = { table = Hashtbl.create 256; head = None; tail = None }
+let mem t key = Hashtbl.mem t.table key
+let length t = Hashtbl.length t.table
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let touch t key =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+      unlink t node;
+      push_front t node
+  | None ->
+      let node = { key; prev = None; next = None } in
+      Hashtbl.add t.table key node;
+      push_front t node
+
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table key
+  | None -> ()
+
+let peek_lru t = Option.map (fun n -> n.key) t.tail
+
+let evict_lru t =
+  match t.tail with
+  | None -> None
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table node.key;
+      Some node.key
+
+let to_list t =
+  let rec loop acc = function
+    | None -> acc
+    | Some node -> loop (node.key :: acc) node.prev
+  in
+  loop [] t.tail |> List.rev

@@ -1,0 +1,24 @@
+(** O(1) least-recently-used ordering over integer keys.
+
+    Backs page-eviction policy in the FMem cache and in the Kona-VM baseline:
+    both runtimes share this exact policy so that measured differences come
+    from tracking granularity, not from eviction decisions (§6.1). *)
+
+type t
+
+val create : unit -> t
+val mem : t -> int -> bool
+
+val touch : t -> int -> unit
+(** Insert [key] as most-recently-used, or move it there if present. *)
+
+val remove : t -> int -> unit
+(** No-op if absent. *)
+
+val evict_lru : t -> int option
+(** Remove and return the least-recently-used key. *)
+
+val peek_lru : t -> int option
+val length : t -> int
+val to_list : t -> int list
+(** Keys ordered LRU-first. *)

@@ -1,0 +1,29 @@
+(** Bounded FIFO ring buffer.
+
+    The CL-log eviction path (§4.4 of the paper, "a software log based on a
+    ring buffer design similar to FaRM") and the RDMA completion queues are
+    built on this. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] must be positive. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> bool
+(** [push t x] enqueues [x]; returns [false] (and does nothing) if full. *)
+
+val pop : 'a t -> 'a option
+val peek : 'a t -> 'a option
+
+val pop_n : 'a t -> int -> 'a list
+(** Pop up to [n] elements, oldest first. *)
+
+val iter : 'a t -> ('a -> unit) -> unit
+(** Iterate oldest-to-newest without consuming. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,47 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix64 (Int64.of_int seed) }
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = next t }
+
+let int t bound =
+  assert (bound > 0);
+  let v = Int64.to_int (next t) land max_int in
+  v mod bound
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  bound *. v /. 9007199254740992. (* 2^53 *)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(* Zipf via the "quick and dirty" power-law inversion used by YCSB-style
+   generators: draw u in (0,1] and map through u^(1/(1-theta)) scaling.
+   This keeps the generator stateless w.r.t. n (no harmonic-sum table). *)
+let zipf t ~n ~theta =
+  assert (n > 0 && theta > 0. && theta < 1.);
+  let u = 1. -. float t 1.0 in
+  (* v = u^(1/(1-theta)) has density ~ x^(-theta) on (0,1], so low indices
+     dominate after scaling by n. *)
+  let v = Float.pow u (1. /. (1. -. theta)) in
+  let idx = int_of_float (float_of_int n *. v) in
+  if idx >= n then n - 1 else if idx < 0 then 0 else idx

@@ -1,0 +1,39 @@
+(** Online summary statistics (count / sum / min / max / mean / variance)
+    using Welford's algorithm, plus named counters. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val add_int : t -> int -> unit
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+val variance : t -> float
+val stddev : t -> float
+
+val min : t -> float
+(** [nan] when empty. *)
+
+val max : t -> float
+(** [nan] when empty. *)
+
+val merge : t -> t -> t
+(** Combined statistics of two independent streams. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** A bag of named monotonic counters, used for per-component event
+    accounting (faults taken, lines fetched, bytes written, ...). *)
+module Counters : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> string -> unit
+  val add : t -> string -> int -> unit
+  val get : t -> string -> int
+  val to_list : t -> (string * int) list
+  (** Sorted by name. *)
+
+  val pp : Format.formatter -> t -> unit
+end

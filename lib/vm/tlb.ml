@@ -1,0 +1,73 @@
+(* A TLB is structurally a tiny set-associative cache keyed by page number.
+   Kept self-contained (no kona_cachesim dependency): entries are
+   (tag, stamp) pairs with true LRU per set. *)
+
+type entry = { mutable tag : int; mutable stamp : int }
+
+type t = {
+  entries : entry array; (* nsets * assoc, way-major *)
+  nsets : int;
+  assoc : int;
+  mutable tick : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+  mutable single_invalidations : int;
+  mutable full_flushes : int;
+}
+
+let create ?(entries = 64) ?(assoc = 4) () =
+  if entries <= 0 || assoc <= 0 || entries mod assoc <> 0 then
+    invalid_arg "Tlb.create: entries must be a positive multiple of assoc";
+  {
+    entries = Array.init entries (fun _ -> { tag = -1; stamp = 0 });
+    nsets = entries / assoc;
+    assoc;
+    tick = 0;
+    hit_count = 0;
+    miss_count = 0;
+    single_invalidations = 0;
+    full_flushes = 0;
+  }
+
+let access t ~page =
+  let base = page mod t.nsets * t.assoc in
+  t.tick <- t.tick + 1;
+  let rec find way =
+    if way = t.assoc then None
+    else if t.entries.(base + way).tag = page then Some (base + way)
+    else find (way + 1)
+  in
+  match find 0 with
+  | Some i ->
+      t.entries.(i).stamp <- t.tick;
+      t.hit_count <- t.hit_count + 1;
+      `Hit
+  | None ->
+      t.miss_count <- t.miss_count + 1;
+      let victim = ref base in
+      for way = 1 to t.assoc - 1 do
+        let i = base + way in
+        let v = t.entries.(!victim) and e = t.entries.(i) in
+        if v.tag <> -1 && (e.tag = -1 || e.stamp < v.stamp) then victim := i
+      done;
+      let v = t.entries.(!victim) in
+      v.tag <- page;
+      v.stamp <- t.tick;
+      `Miss
+
+let invalidate_page t ~page =
+  let base = page mod t.nsets * t.assoc in
+  for way = 0 to t.assoc - 1 do
+    let e = t.entries.(base + way) in
+    if e.tag = page then e.tag <- -1
+  done;
+  t.single_invalidations <- t.single_invalidations + 1
+
+let flush_all t =
+  Array.iter (fun e -> e.tag <- -1) t.entries;
+  t.full_flushes <- t.full_flushes + 1
+
+let hits t = t.hit_count
+let misses t = t.miss_count
+let single_invalidations t = t.single_invalidations
+let full_flushes t = t.full_flushes

@@ -1,0 +1,26 @@
+(** Translation look-aside buffer model: a small set-associative cache of
+    page translations with invalidation accounting.
+
+    The cost the paper attributes to virtual-memory remote memory comes
+    largely from here: write-protecting or unmapping a page forces
+    single-page invalidations (and shootdown IPIs on real multicores), and
+    each post-invalidation access pays a page-table walk. *)
+
+type t
+
+val create : ?entries:int -> ?assoc:int -> unit -> t
+(** Default 64 entries, 4-way. *)
+
+val access : t -> page:int -> [ `Hit | `Miss ]
+(** Look up a translation, inserting it on miss (the walk result). *)
+
+val invalidate_page : t -> page:int -> unit
+(** Single-page invlpg; counted. *)
+
+val flush_all : t -> unit
+(** Full flush (counted once; resident entries are dropped). *)
+
+val hits : t -> int
+val misses : t -> int
+val single_invalidations : t -> int
+val full_flushes : t -> int

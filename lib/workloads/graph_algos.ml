@@ -1,0 +1,185 @@
+module Heap_ops = Heap
+
+(* Each algorithm keeps its per-vertex state in a GraphLab-style vertex
+   record (192 or 256 bytes, cache-line aligned): a visit rewrites only the
+   algorithm's mutable fields (~40 bytes at the record head), while the rest
+   of the record (vertex metadata, adjacency index, scheduler state) is
+   read-mostly.  See Graph.alloc_vertex_records. *)
+
+let stride = 192
+
+let pagerank g ~iterations =
+  let n = Graph.vertex_count g in
+  let records = Graph.alloc_vertex_records g ~stride in
+  let h = Graph.heap_of g in
+  let record v = records + (stride * v) in
+  (* field offsets: rank@0, next@8, delta@16, last_update@24, scratch@32 *)
+  let init = 1.0 /. float_of_int n in
+  for v = 0 to n - 1 do
+    Heap_ops.write_f64 h (record v) init;
+    Heap_ops.write_u64 h (record v + 40) (Graph.degree g v) (* cached degree *)
+  done;
+  let damping = 0.85 in
+  let base = (1.0 -. damping) /. float_of_int n in
+  for iter = 1 to iterations do
+    for v = 0 to n - 1 do
+      Heap_ops.write_f64 h (record v + 8) base
+    done;
+    for v = 0 to n - 1 do
+      let d = Heap_ops.read_u64 h (record v + 40) in
+      if d > 0 then begin
+        let contrib = damping *. Heap_ops.read_f64 h (record v) /. float_of_int d in
+        Graph.iter_neighbors g v (fun u ->
+            let cell = record u + 8 in
+            Heap_ops.write_f64 h cell (Heap_ops.read_f64 h cell +. contrib))
+      end
+    done;
+    (* Finalize each vertex: publish the new rank and update scheduler
+       bookkeeping fields, as a GraphLab update function does. *)
+    for v = 0 to n - 1 do
+      let old_rank = Heap_ops.read_f64 h (record v) in
+      let new_rank = Heap_ops.read_f64 h (record v + 8) in
+      Heap_ops.write_f64 h (record v) new_rank;
+      Heap_ops.write_f64 h (record v + 16) (new_rank -. old_rank);
+      Heap_ops.write_u64 h (record v + 24) iter;
+      Heap_ops.write_u64 h (record v + 32) v
+    done
+  done;
+  let sum = ref 0.0 in
+  for v = 0 to n - 1 do
+    sum := !sum +. Heap_ops.read_f64 h (record v)
+  done;
+  !sum
+
+type coloring_result = { colors_used : int; colors_addr : int }
+
+let uncolored = 0xffffff
+
+(* Coloring keeps color@0, saturation@8, visit_time@16, flags@24 per record;
+   the validation helper reads colors at the record stride. *)
+let coloring g =
+  let n = Graph.vertex_count g in
+  let records = Graph.alloc_vertex_records g ~stride in
+  let h = Graph.heap_of g in
+  let record v = records + (stride * v) in
+  for v = 0 to n - 1 do
+    Heap_ops.write_u64 h (record v) uncolored
+  done;
+  let max_color = ref 0 in
+  for v = 0 to n - 1 do
+    let taken = Hashtbl.create 8 in
+    Graph.iter_neighbors g v (fun u ->
+        let c = Heap_ops.read_u64 h (record u) in
+        if c <> uncolored then Hashtbl.replace taken c ());
+    let rec first_free c = if Hashtbl.mem taken c then first_free (c + 1) else c in
+    let c = first_free 0 in
+    if c > !max_color then max_color := c;
+    Heap_ops.write_u64 h (record v) c;
+    Heap_ops.write_u64 h (record v + 8) (Hashtbl.length taken);
+    Heap_ops.write_u64 h (record v + 16) v;
+    Heap_ops.write_u64 h (record v + 24) 1;
+    Heap_ops.write_u64 h (record v + 32) (Graph.degree g v)
+  done;
+  { colors_used = !max_color + 1; colors_addr = records }
+
+type components_result = { component_count : int; comp_addr : int }
+
+(* comp@0, min_seen@8, visit_time@16, visit_count@24 *)
+let connected_components g =
+  let n = Graph.vertex_count g in
+  let records = Graph.alloc_vertex_records g ~stride in
+  let h = Graph.heap_of g in
+  let record v = records + (stride * v) in
+  for v = 0 to n - 1 do
+    Heap_ops.write_u64 h (record v) v
+  done;
+  let changed = ref true in
+  let round = ref 0 in
+  while !changed do
+    changed := false;
+    incr round;
+    for v = 0 to n - 1 do
+      let mine = ref (Heap_ops.read_u64 h (record v)) in
+      Graph.iter_neighbors g v (fun u ->
+          let theirs = Heap_ops.read_u64 h (record u) in
+          if theirs < !mine then begin
+            mine := theirs;
+            changed := true
+          end);
+      Heap_ops.write_u64 h (record v) !mine;
+      Heap_ops.write_u64 h (record v + 8) !mine;
+      Heap_ops.write_u64 h (record v + 16) !round;
+      Heap_ops.write_u64 h
+        (record v + 24)
+        (Heap_ops.read_u64 h (record v + 24) + 1)
+    done
+  done;
+  let distinct = Hashtbl.create 64 in
+  for v = 0 to n - 1 do
+    Hashtbl.replace distinct (Heap_ops.read_u64 h (record v)) ()
+  done;
+  { component_count = Hashtbl.length distinct; comp_addr = records }
+
+(* Label propagation uses a wider record (label histories, per-label score
+   caches): 256 bytes.  label@0, next@8, changes@16, visit_time@24 *)
+let lp_stride = 256
+
+let label_propagation g ~iterations =
+  let n = Graph.vertex_count g in
+  let records = Graph.alloc_vertex_records g ~stride:lp_stride in
+  let h = Graph.heap_of g in
+  let record v = records + (lp_stride * v) in
+  for v = 0 to n - 1 do
+    Heap_ops.write_u64 h (record v) v
+  done;
+  for iter = 1 to iterations do
+    for v = 0 to n - 1 do
+      let freq = Hashtbl.create 8 in
+      Graph.iter_neighbors g v (fun u ->
+          let l = Heap_ops.read_u64 h (record u) in
+          Hashtbl.replace freq l (1 + Option.value ~default:0 (Hashtbl.find_opt freq l)));
+      let own = Heap_ops.read_u64 h (record v) in
+      let best =
+        Hashtbl.fold
+          (fun l c (bl, bc) -> if c > bc || (c = bc && l < bl) then (l, c) else (bl, bc))
+          freq (own, 0)
+      in
+      Heap_ops.write_u64 h (record v + 8) (fst best);
+      Heap_ops.write_u64 h (record v + 24) iter
+    done;
+    for v = 0 to n - 1 do
+      let next = Heap_ops.read_u64 h (record v + 8) in
+      let changes = Heap_ops.read_u64 h (record v + 16) in
+      Heap_ops.write_u64 h (record v + 16)
+        (if next <> Heap_ops.read_u64 h (record v) then changes + 1 else changes);
+      Heap_ops.write_u64 h (record v) next
+    done
+  done;
+  let distinct = Hashtbl.create 64 in
+  for v = 0 to n - 1 do
+    Hashtbl.replace distinct (Heap_ops.read_u64 h (record v)) ()
+  done;
+  Hashtbl.length distinct
+
+module Check = struct
+  let coloring_is_proper g ~colors_addr =
+    let h = Graph.heap_of g in
+    let ok = ref true in
+    for v = 0 to Graph.vertex_count g - 1 do
+      let cv = Heap_ops.peek_u64 h (colors_addr + (stride * v)) in
+      Graph.iter_neighbors_quiet g v (fun u ->
+          if u <> v && Heap_ops.peek_u64 h (colors_addr + (stride * u)) = cv then
+            ok := false)
+    done;
+    !ok
+
+  let components_consistent g ~comp_addr =
+    let h = Graph.heap_of g in
+    let ok = ref true in
+    for v = 0 to Graph.vertex_count g - 1 do
+      let cv = Heap_ops.peek_u64 h (comp_addr + (stride * v)) in
+      Graph.iter_neighbors_quiet g v (fun u ->
+          if Heap_ops.peek_u64 h (comp_addr + (stride * u)) <> cv then ok := false)
+    done;
+    !ok
+end

@@ -1,0 +1,30 @@
+(** The four GraphLab-style analytics of Table 2, each operating entirely on
+    in-arena vertex arrays so every rank/label/color read and write is
+    observable.  Each returns a verifiable result. *)
+
+val pagerank : Graph.t -> iterations:int -> float
+(** Push-style damped PageRank; returns the sum of ranks (1.0 up to
+    dangling-mass redistribution, used as a sanity value). *)
+
+type coloring_result = { colors_used : int; colors_addr : int }
+
+val coloring : Graph.t -> coloring_result
+(** Greedy coloring.  [colors_addr] is the in-arena colors array, exposed so
+    tests can validate properness. *)
+
+type components_result = { component_count : int; comp_addr : int }
+
+val connected_components : Graph.t -> components_result
+(** Min-label propagation to a fixed point. *)
+
+val label_propagation : Graph.t -> iterations:int -> int
+(** Synchronous most-frequent-neighbour-label iterations; returns the number
+    of distinct labels remaining. *)
+
+(** Validation helpers (uninstrumented reads; tests only). *)
+module Check : sig
+  val coloring_is_proper : Graph.t -> colors_addr:int -> bool
+
+  val components_consistent : Graph.t -> comp_addr:int -> bool
+  (** Every edge joins vertices with equal component labels. *)
+end

@@ -1,0 +1,84 @@
+open Kona_util
+
+type regression = { slope : float; intercept : float }
+
+(* Partial-sum record layout: [sx sy sxx sxy n], 5 f64 = 40 bytes. *)
+let record_len = 40
+
+let linear_regression heap ~rng ~points ~chunk =
+  assert (points > 1 && chunk > 0);
+  (* Input: [x0 y0 x1 y1 ...] as f64 pairs.  Metis streams an mmap'd input
+     file, so populating it is not application write traffic: poke. *)
+  let input = Heap.alloc heap (16 * points) in
+  for i = 0 to points - 1 do
+    let x = float_of_int i /. float_of_int points in
+    let noise = Rng.float rng 0.01 -. 0.005 in
+    Heap.poke_f64 heap (input + (16 * i)) x;
+    Heap.poke_f64 heap (input + (16 * i) + 8) ((2.0 *. x) +. 1.0 +. noise)
+  done;
+  let chunks = (points + chunk - 1) / chunk in
+  let partials = Heap.alloc heap (record_len * chunks) in
+  (* Map: stream the input, accumulating into the current chunk's partial
+     record with in-memory read-modify-writes, as Metis map tasks update
+     their intermediate buffers per input element. *)
+  for c = 0 to chunks - 1 do
+    let p = partials + (record_len * c) in
+    Heap.write_f64 heap p 0.;
+    Heap.write_f64 heap (p + 8) 0.;
+    Heap.write_f64 heap (p + 16) 0.;
+    Heap.write_f64 heap (p + 24) 0.;
+    Heap.write_f64 heap (p + 32) 0.;
+    let lo = c * chunk in
+    let hi = min points (lo + chunk) - 1 in
+    for i = lo to hi do
+      let x = Heap.read_f64 heap (input + (16 * i)) in
+      let y = Heap.read_f64 heap (input + (16 * i) + 8) in
+      Heap.write_f64 heap p (Heap.read_f64 heap p +. x);
+      Heap.write_f64 heap (p + 8) (Heap.read_f64 heap (p + 8) +. y);
+      Heap.write_f64 heap (p + 16) (Heap.read_f64 heap (p + 16) +. (x *. x));
+      Heap.write_f64 heap (p + 24) (Heap.read_f64 heap (p + 24) +. (x *. y));
+      Heap.write_f64 heap (p + 32) (Heap.read_f64 heap (p + 32) +. 1.)
+    done
+  done;
+  (* Reduce. *)
+  let sx = ref 0. and sy = ref 0. and sxx = ref 0. and sxy = ref 0. and n = ref 0. in
+  for c = 0 to chunks - 1 do
+    let p = partials + (record_len * c) in
+    sx := !sx +. Heap.read_f64 heap p;
+    sy := !sy +. Heap.read_f64 heap (p + 8);
+    sxx := !sxx +. Heap.read_f64 heap (p + 16);
+    sxy := !sxy +. Heap.read_f64 heap (p + 24);
+    n := !n +. Heap.read_f64 heap (p + 32)
+  done;
+  let denom = (!n *. !sxx) -. (!sx *. !sx) in
+  let slope = ((!n *. !sxy) -. (!sx *. !sy)) /. denom in
+  let intercept = (!sy -. (slope *. !sx)) /. !n in
+  { slope; intercept }
+
+let histogram heap ~rng ~samples ~bins =
+  assert (samples > 0 && bins > 0);
+  (* Input values are skewed (real-world histograms rarely see uniform
+     data); the bin table takes read-modify-write traffic concentrated on
+     the hot head with a long sparse tail. *)
+  let input = Heap.alloc heap (8 * samples) in
+  for i = 0 to samples - 1 do
+    let bin = Rng.zipf rng ~n:bins ~theta:0.75 in
+    (* store the value that falls into [bin]; mmap'd input file => poke *)
+    let v = (float_of_int bin +. Rng.float rng 1.0) /. float_of_int bins in
+    Heap.poke_f64 heap (input + (8 * i)) v
+  done;
+  let table = Heap.alloc heap (8 * bins) in
+  for b = 0 to bins - 1 do
+    Heap.write_u64 heap (table + (8 * b)) 0
+  done;
+  for i = 0 to samples - 1 do
+    let v = Heap.read_f64 heap (input + (8 * i)) in
+    let b = min (bins - 1) (int_of_float (v *. float_of_int bins)) in
+    let cell = table + (8 * b) in
+    Heap.write_u64 heap cell (Heap.read_u64 heap cell + 1)
+  done;
+  let total = ref 0 in
+  for b = 0 to bins - 1 do
+    total := !total + Heap.read_u64 heap (table + (8 * b))
+  done;
+  !total

@@ -1,0 +1,22 @@
+(** Metis-style in-memory map-reduce workloads (paper Table 2: "Linear
+    Regression" and "Histogram").
+
+    Both stream a large in-arena input array through a map phase that emits
+    per-chunk partial results into an output region, then reduce the
+    partials — the streaming, low-reuse access pattern that makes these
+    workloads nearly cache-oblivious in Fig. 8b. *)
+
+type regression = { slope : float; intercept : float }
+
+val linear_regression :
+  Heap.t -> rng:Kona_util.Rng.t -> points:int -> chunk:int -> regression
+(** Generate [points] (x, y) pairs with y = 2x + 1 + noise written
+    sequentially into the arena, then map (per-[chunk] partial sums) and
+    reduce to the least-squares fit. *)
+
+val histogram :
+  Heap.t -> rng:Kona_util.Rng.t -> samples:int -> bins:int -> int
+(** Generate [samples] skewed values in the arena, bucket them into an
+    in-arena [bins]-counter table with per-sample read-modify-writes, and
+    return the total count accumulated across bins (must equal
+    [samples]). *)

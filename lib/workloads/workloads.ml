@@ -1,0 +1,233 @@
+open Kona_util
+
+type scale = Smoke | Full
+
+type spec = {
+  name : string;
+  paper_mem_gb : float;
+  paper_amp_4k : float;
+  paper_amp_2m : float;
+  paper_amp_cl : float;
+  heap_capacity : scale -> int;
+  quantum : scale -> int;
+  run : scale -> heap:Heap.t -> seed:int -> unit;
+}
+
+let expect name cond =
+  if not cond then failwith (Printf.sprintf "workload self-check failed: %s" name)
+
+let pick scale ~smoke ~full = match scale with Smoke -> smoke | Full -> full
+
+(* ---------------- Redis ---------------- *)
+
+let run_redis pattern scale ~heap ~seed =
+  let keys = pick scale ~smoke:2_000 ~full:40_000 in
+  let ops = pick scale ~smoke:10_000 ~full:400_000 in
+  let nbuckets = pick scale ~smoke:4096 ~full:65_536 in
+  let kv = Kv_store.create heap ~nbuckets in
+  let rng = Rng.create ~seed in
+  let r =
+    Kv_store.run_driver kv ~rng ~pattern ~keys ~ops ~value_len:104 ~set_ratio:0.5
+  in
+  expect "redis: all GETs hit after load" (r.Kv_store.hits = r.Kv_store.gets);
+  expect "redis: table populated" (Kv_store.entries kv = keys)
+
+let redis_rand =
+  {
+    name = "Redis-Rand";
+    paper_mem_gb = 4.0;
+    paper_amp_4k = 31.36;
+    paper_amp_2m = 5516.37;
+    paper_amp_cl = 1.48;
+    heap_capacity = (fun s -> pick s ~smoke:(Units.mib 4) ~full:(Units.mib 32));
+    quantum = (fun s -> pick s ~smoke:3_000 ~full:15_000);
+    run = run_redis Kv_store.Rand;
+  }
+
+let redis_seq =
+  {
+    name = "Redis-Seq";
+    paper_mem_gb = 0.13;
+    paper_amp_4k = 2.76;
+    paper_amp_2m = 54.76;
+    paper_amp_cl = 1.08;
+    heap_capacity = (fun s -> pick s ~smoke:(Units.mib 4) ~full:(Units.mib 32));
+    quantum = (fun s -> pick s ~smoke:3_000 ~full:20_000);
+    run = run_redis Kv_store.Seq;
+  }
+
+(* ---------------- Metis map-reduce ---------------- *)
+
+let linear_regression =
+  {
+    name = "Linear Regression";
+    paper_mem_gb = 40.0;
+    paper_amp_4k = 2.31;
+    paper_amp_2m = 244.14;
+    paper_amp_cl = 1.22;
+    heap_capacity = (fun s -> pick s ~smoke:(Units.mib 4) ~full:(Units.mib 48));
+    quantum = (fun s -> pick s ~smoke:8_000 ~full:240_000);
+    run =
+      (fun scale ~heap ~seed ->
+        let points = pick scale ~smoke:20_000 ~full:2_000_000 in
+        let rng = Rng.create ~seed in
+        let r = Mapreduce.linear_regression heap ~rng ~points ~chunk:512 in
+        expect "linreg: slope" (abs_float (r.Mapreduce.slope -. 2.0) < 0.05);
+        expect "linreg: intercept" (abs_float (r.Mapreduce.intercept -. 1.0) < 0.05));
+  }
+
+let histogram =
+  {
+    name = "Histogram";
+    paper_mem_gb = 40.0;
+    paper_amp_4k = 3.61;
+    paper_amp_2m = 1050.73;
+    paper_amp_cl = 1.84;
+    heap_capacity = (fun s -> pick s ~smoke:(Units.mib 4) ~full:(Units.mib 48));
+    quantum = (fun s -> pick s ~smoke:3_000 ~full:60_000);
+    run =
+      (fun scale ~heap ~seed ->
+        let samples = pick scale ~smoke:20_000 ~full:2_000_000 in
+        let bins = pick scale ~smoke:256 ~full:32_768 in
+        let rng = Rng.create ~seed in
+        let total = Mapreduce.histogram heap ~rng ~samples ~bins in
+        expect "histogram: conservation" (total = samples));
+  }
+
+(* ---------------- GraphLab analytics ---------------- *)
+
+let graph_of scale ~heap ~seed =
+  let vertices = pick scale ~smoke:600 ~full:60_000 in
+  let avg_degree = pick scale ~smoke:6 ~full:12 in
+  let rng = Rng.create ~seed in
+  Graph.generate heap ~rng ~vertices ~avg_degree
+
+let page_rank =
+  {
+    name = "Page Rank";
+    paper_mem_gb = 4.2;
+    paper_amp_4k = 4.38;
+    paper_amp_2m = 80.71;
+    paper_amp_cl = 1.47;
+    heap_capacity = (fun s -> pick s ~smoke:(Units.mib 2) ~full:(Units.mib 48));
+    quantum = (fun s -> pick s ~smoke:6_000 ~full:2_600_000);
+    run =
+      (fun scale ~heap ~seed ->
+        let g = graph_of scale ~heap ~seed in
+        let iterations = pick scale ~smoke:3 ~full:6 in
+        let sum = Graph_algos.pagerank g ~iterations in
+        expect "pagerank: mass" (sum > 0.2 && sum < 1.2));
+  }
+
+let graph_coloring =
+  {
+    name = "Graph Coloring";
+    paper_mem_gb = 8.2;
+    paper_amp_4k = 5.57;
+    paper_amp_2m = 90.37;
+    paper_amp_cl = 1.57;
+    heap_capacity = (fun s -> pick s ~smoke:(Units.mib 2) ~full:(Units.mib 48));
+    quantum = (fun s -> pick s ~smoke:6_000 ~full:50_000);
+    run =
+      (fun scale ~heap ~seed ->
+        let g = graph_of scale ~heap ~seed in
+        let r = Graph_algos.coloring g in
+        expect "coloring: proper"
+          (Graph_algos.Check.coloring_is_proper g ~colors_addr:r.Graph_algos.colors_addr));
+  }
+
+let connected_components =
+  {
+    name = "Connected Components";
+    paper_mem_gb = 5.2;
+    paper_amp_4k = 5.67;
+    paper_amp_2m = 82.35;
+    paper_amp_cl = 1.62;
+    heap_capacity = (fun s -> pick s ~smoke:(Units.mib 2) ~full:(Units.mib 48));
+    quantum = (fun s -> pick s ~smoke:6_000 ~full:400_000);
+    run =
+      (fun scale ~heap ~seed ->
+        let g = graph_of scale ~heap ~seed in
+        let r = Graph_algos.connected_components g in
+        expect "concomp: labels consistent"
+          (Graph_algos.Check.components_consistent g ~comp_addr:r.Graph_algos.comp_addr);
+        expect "concomp: count positive" (r.Graph_algos.component_count >= 1));
+  }
+
+let label_propagation =
+  {
+    name = "Label Propagation";
+    paper_mem_gb = 5.6;
+    paper_amp_4k = 8.14;
+    paper_amp_2m = 95.0;
+    paper_amp_cl = 1.85;
+    heap_capacity = (fun s -> pick s ~smoke:(Units.mib 2) ~full:(Units.mib 48));
+    quantum = (fun s -> pick s ~smoke:6_000 ~full:1_100_000);
+    run =
+      (fun scale ~heap ~seed ->
+        let g = graph_of scale ~heap ~seed in
+        let iterations = pick scale ~smoke:3 ~full:5 in
+        let labels = Graph_algos.label_propagation g ~iterations in
+        expect "labelprop: labels in range"
+          (labels >= 1 && labels <= Graph.vertex_count g));
+  }
+
+(* ---------------- VoltDB ---------------- *)
+
+let voltdb =
+  {
+    name = "VoltDB";
+    paper_mem_gb = 11.5;
+    paper_amp_4k = 3.74;
+    paper_amp_2m = 79.55;
+    paper_amp_cl = 1.17;
+    heap_capacity = (fun s -> pick s ~smoke:(Units.mib 4) ~full:(Units.mib 48));
+    quantum = (fun s -> pick s ~smoke:4_000 ~full:120_000);
+    run =
+      (fun scale ~heap ~seed ->
+        let warehouses = pick scale ~smoke:2 ~full:4 in
+        let items = pick scale ~smoke:1_000 ~full:10_000 in
+        let customers = pick scale ~smoke:1_000 ~full:60_000 in
+        let transactions = pick scale ~smoke:2_000 ~full:120_000 in
+        let store =
+          Column_store.create heap ~warehouses ~items ~customers
+            ~max_orders:transactions
+        in
+        let rng = Rng.create ~seed in
+        let stats = Column_store.run_mix store ~rng ~transactions in
+        expect "voltdb: committed orders recorded"
+          (Column_store.order_count store = stats.Column_store.new_orders);
+        expect "voltdb: some of each"
+          (stats.Column_store.new_orders > 0 && stats.Column_store.payments > 0));
+  }
+
+let redis_zipf =
+  {
+    name = "Redis-Zipf";
+    (* Extension: skewed keys sit between the paper's Rand and Seq
+       extremes; no paper reference values. *)
+    paper_mem_gb = 0.;
+    paper_amp_4k = 0.;
+    paper_amp_2m = 0.;
+    paper_amp_cl = 0.;
+    heap_capacity = (fun s -> pick s ~smoke:(Units.mib 4) ~full:(Units.mib 32));
+    quantum = (fun s -> pick s ~smoke:3_000 ~full:15_000);
+    run = run_redis (Kv_store.Zipf 0.8);
+  }
+
+let extensions = [ redis_zipf ]
+
+let all =
+  [
+    redis_rand;
+    redis_seq;
+    linear_regression;
+    histogram;
+    page_rank;
+    graph_coloring;
+    connected_components;
+    label_propagation;
+    voltdb;
+  ]
+
+let find name = List.find (fun s -> s.name = name) (all @ extensions)

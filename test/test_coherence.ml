@@ -1,0 +1,252 @@
+(* Tests for Kona_coherence: the FMem page cache with per-frame dirty
+   bitmaps and the VFMem directory. *)
+
+open Kona_coherence
+module Bitmap = Kona_util.Bitmap
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Fmem *)
+
+let test_fmem_insert_lookup () =
+  let f = Fmem.create ~pages:8 () in
+  check_bool "cold lookup misses" false (Fmem.lookup f ~vpage:3);
+  Alcotest.(check (option reject)) "insert into free frame" None (Fmem.insert f ~vpage:3);
+  check_bool "hit after insert" true (Fmem.lookup f ~vpage:3);
+  check_int "resident" 1 (Fmem.resident f);
+  Alcotest.(check (option reject)) "re-insert is no-op" None (Fmem.insert f ~vpage:3)
+
+let test_fmem_set_eviction () =
+  (* 8 frames, 4-way -> 2 sets; even pages map to set 0. *)
+  let f = Fmem.create ~pages:8 () in
+  List.iter (fun p -> ignore (Fmem.insert f ~vpage:p)) [ 0; 2; 4; 6 ];
+  ignore (Fmem.lookup f ~vpage:0) (* refresh 0 *);
+  (match Fmem.victim_candidate f ~vpage:8 with
+  | Some v -> check_int "LRU candidate" 2 v
+  | None -> Alcotest.fail "set is full: candidate expected");
+  (match Fmem.insert f ~vpage:8 with
+  | Some victim -> check_int "evicted LRU" 2 victim.Fmem.vpage
+  | None -> Alcotest.fail "expected eviction");
+  check_bool "0 kept" true (Fmem.lookup f ~vpage:0);
+  check_bool "2 gone" false (Fmem.lookup f ~vpage:2)
+
+let test_fmem_dirty_bitmap () =
+  let f = Fmem.create ~pages:8 () in
+  ignore (Fmem.insert f ~vpage:5);
+  check_bool "mark resident" true (Fmem.mark_dirty f ~vpage:5 ~line:7);
+  check_bool "mark resident again" true (Fmem.mark_dirty f ~vpage:5 ~line:63);
+  check_bool "mark absent fails" false (Fmem.mark_dirty f ~vpage:9 ~line:0);
+  (match Fmem.dirty_lines f ~vpage:5 with
+  | Some mask ->
+      check_int "two lines" 2 (Bitmap.count mask);
+      check_bool "line 7" true (Bitmap.get mask 7)
+  | None -> Alcotest.fail "resident page must report dirty lines");
+  Fmem.clear_dirty f ~vpage:5;
+  check_int "cleared" 0 (Bitmap.count (Option.get (Fmem.dirty_lines f ~vpage:5)))
+
+let test_fmem_victim_carries_dirt () =
+  let f = Fmem.create ~assoc:1 ~pages:2 () in
+  ignore (Fmem.insert f ~vpage:0);
+  ignore (Fmem.mark_dirty f ~vpage:0 ~line:3);
+  (match Fmem.insert f ~vpage:2 (* same set, assoc 1 *) with
+  | Some victim ->
+      check_int "victim page" 0 victim.Fmem.vpage;
+      check_bool "victim dirty mask" true (Bitmap.get victim.Fmem.dirty_lines 3)
+  | None -> Alcotest.fail "expected victim");
+  (* new tenant's mask starts clean *)
+  check_int "fresh mask" 0 (Bitmap.count (Option.get (Fmem.dirty_lines f ~vpage:2)))
+
+let test_fmem_explicit_evict () =
+  let f = Fmem.create ~pages:8 () in
+  ignore (Fmem.insert f ~vpage:1);
+  ignore (Fmem.mark_dirty f ~vpage:1 ~line:0);
+  (match Fmem.evict f ~vpage:1 with
+  | Some v -> check_bool "dirt carried" true (Bitmap.get v.Fmem.dirty_lines 0)
+  | None -> Alcotest.fail "resident page must evict");
+  Alcotest.(check (option reject)) "absent evict" None (Fmem.evict f ~vpage:1);
+  check_int "empty" 0 (Fmem.resident f)
+
+let prop_fmem_resident_bound =
+  QCheck.Test.make ~name:"fmem residency never exceeds capacity" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 200) (int_bound 1000))
+    (fun pages ->
+      let f = Fmem.create ~pages:16 () in
+      List.iter (fun p -> ignore (Fmem.insert f ~vpage:p)) pages;
+      Fmem.resident f <= 16)
+
+let prop_fmem_insert_hits =
+  QCheck.Test.make ~name:"lookup hits right after insert" ~count:200
+    QCheck.(int_bound 10_000)
+    (fun p ->
+      let f = Fmem.create ~pages:16 () in
+      ignore (Fmem.insert f ~vpage:p);
+      Fmem.lookup f ~vpage:p)
+
+(* ------------------------------------------------------------------ *)
+(* Fmem policies *)
+
+let test_fmem_fifo_policy () =
+  (* FIFO ignores touches: the oldest insertion leaves first. *)
+  let f = Fmem.create ~assoc:2 ~policy:Fmem.Fifo ~pages:2 () in
+  ignore (Fmem.insert f ~vpage:0);
+  ignore (Fmem.insert f ~vpage:2);
+  ignore (Fmem.lookup f ~vpage:0) (* would save 0 under LRU *);
+  (match Fmem.insert f ~vpage:4 with
+  | Some v -> check_int "FIFO evicts first-inserted despite touch" 0 v.Fmem.vpage
+  | None -> Alcotest.fail "expected eviction");
+  (* Same sequence under LRU keeps 0. *)
+  let f = Fmem.create ~assoc:2 ~policy:Fmem.Lru ~pages:2 () in
+  ignore (Fmem.insert f ~vpage:0);
+  ignore (Fmem.insert f ~vpage:2);
+  ignore (Fmem.lookup f ~vpage:0);
+  match Fmem.insert f ~vpage:4 with
+  | Some v -> check_int "LRU evicts least-recently-used" 2 v.Fmem.vpage
+  | None -> Alcotest.fail "expected eviction"
+
+let test_fmem_random_policy_valid () =
+  let f = Fmem.create ~assoc:4 ~policy:(Fmem.Random 3) ~pages:4 () in
+  List.iter (fun p -> ignore (Fmem.insert f ~vpage:p)) [ 0; 1; 2; 3 ];
+  match Fmem.insert f ~vpage:4 with
+  | Some v -> check_bool "victim was resident" true (v.Fmem.vpage >= 0 && v.Fmem.vpage < 4)
+  | None -> Alcotest.fail "full set must evict"
+
+(* ------------------------------------------------------------------ *)
+(* Protocol (MESI) *)
+
+let st = Alcotest.of_pp Protocol.pp
+
+let test_protocol_read_write_evict () =
+  (* I --read--> E (fill), E --write--> M silently, M --evict--> writeback. *)
+  let s, a = Protocol.on_processor Protocol.Invalid Protocol.Read in
+  Alcotest.check st "read fill -> E" Protocol.Exclusive s;
+  check_bool "fill visible" true (Protocol.home_observes a);
+  let s, a = Protocol.on_processor s Protocol.Write in
+  Alcotest.check st "silent upgrade -> M" Protocol.Modified s;
+  check_bool "upgrade invisible (the crux of SS4.4)" false (Protocol.home_observes a);
+  let s, a = Protocol.on_processor s Protocol.Evict in
+  Alcotest.check st "evict -> I" Protocol.Invalid s;
+  check_bool "writeback visible" true (Protocol.home_observes a);
+  check_bool "writeback is the data action" true (a = Protocol.Writeback)
+
+let test_protocol_silent_clean_drop () =
+  let s, _ = Protocol.on_processor Protocol.Invalid Protocol.Read in
+  let s, _ = Protocol.on_bus s Protocol.Bus_read in
+  Alcotest.check st "E downgrades to S on bus read" Protocol.Shared s;
+  let s, a = Protocol.on_processor s Protocol.Evict in
+  Alcotest.check st "clean drop -> I" Protocol.Invalid s;
+  check_bool "clean drop silent (directory over-approximates)" false
+    (Protocol.home_observes a)
+
+let test_protocol_snoop_supplies_data () =
+  let s, _ = Protocol.on_processor Protocol.Invalid Protocol.Write in
+  Alcotest.check st "write miss -> M" Protocol.Modified s;
+  let s, a = Protocol.on_bus s Protocol.Bus_read_for_ownership in
+  Alcotest.check st "rfo snoop -> I" Protocol.Invalid s;
+  check_bool "snoop carries data" true (a = Protocol.Supply_data)
+
+let prop_protocol_dirty_never_escapes_silently =
+  (* Drive a line through arbitrary event sequences: whenever the state
+     leaves Modified, the transition's action must be home-visible —
+     modified data can never vanish without the agent seeing it. *)
+  let event_gen =
+    QCheck.Gen.oneofl
+      [
+        `P Protocol.Read; `P Protocol.Write; `P Protocol.Evict;
+        `B Protocol.Bus_read; `B Protocol.Bus_read_for_ownership;
+        `B Protocol.Bus_invalidate;
+      ]
+  in
+  QCheck.Test.make ~name:"modified data never leaves silently" ~count:300
+    (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 1 40) event_gen))
+    (fun events ->
+      let state = ref Protocol.Invalid in
+      List.for_all
+        (fun event ->
+          let was_dirty = Protocol.is_dirty !state in
+          let next, action =
+            match event with
+            | `P e -> Protocol.on_processor !state e
+            | `B e -> Protocol.on_bus !state e
+          in
+          state := next;
+          (not (was_dirty && not (Protocol.is_dirty next)))
+          || Protocol.home_observes action)
+        events)
+
+(* ------------------------------------------------------------------ *)
+(* Directory *)
+
+let state_t = Alcotest.of_pp (fun fmt -> function
+  | Directory.Invalid -> Format.pp_print_string fmt "I"
+  | Directory.Shared -> Format.pp_print_string fmt "S"
+  | Directory.Modified -> Format.pp_print_string fmt "M")
+
+let test_directory_transitions () =
+  let d = Directory.create () in
+  Alcotest.check state_t "initial" Directory.Invalid (Directory.state d ~line:1);
+  Directory.on_fill d ~line:1 ~write:false;
+  Alcotest.check state_t "read fill -> S" Directory.Shared (Directory.state d ~line:1);
+  Directory.on_fill d ~line:1 ~write:true;
+  Alcotest.check state_t "write fill -> M" Directory.Modified (Directory.state d ~line:1);
+  Directory.on_fill d ~line:1 ~write:false;
+  Alcotest.check state_t "read refill keeps M" Directory.Modified
+    (Directory.state d ~line:1);
+  Directory.on_writeback d ~line:1;
+  Alcotest.check state_t "writeback -> I" Directory.Invalid (Directory.state d ~line:1)
+
+let test_directory_snoop () =
+  let d = Directory.create () in
+  Directory.on_fill d ~line:2 ~write:true;
+  (match Directory.snoop d ~line:2 with
+  | `Dirty -> ()
+  | `Clean -> Alcotest.fail "modified line must snoop dirty");
+  Alcotest.check state_t "invalid after snoop" Directory.Invalid (Directory.state d ~line:2);
+  Directory.on_fill d ~line:3 ~write:false;
+  (match Directory.snoop d ~line:3 with
+  | `Clean -> ()
+  | `Dirty -> Alcotest.fail "shared line snoops clean")
+
+let test_directory_counters () =
+  let d = Directory.create () in
+  Directory.on_fill d ~line:1 ~write:false;
+  Directory.on_fill d ~line:2 ~write:true;
+  Directory.on_writeback d ~line:2;
+  check_int "fills" 2 (Directory.fills d);
+  check_int "writebacks" 1 (Directory.writebacks d);
+  check_int "granted" 1 (Directory.granted_lines d)
+
+let qsuite name props = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) props)
+
+let () =
+  Alcotest.run "kona_coherence"
+    [
+      ( "fmem",
+        [
+          Alcotest.test_case "insert/lookup" `Quick test_fmem_insert_lookup;
+          Alcotest.test_case "set-associative eviction" `Quick test_fmem_set_eviction;
+          Alcotest.test_case "dirty bitmap" `Quick test_fmem_dirty_bitmap;
+          Alcotest.test_case "victim carries dirt" `Quick test_fmem_victim_carries_dirt;
+          Alcotest.test_case "explicit evict" `Quick test_fmem_explicit_evict;
+        ] );
+      qsuite "fmem-props" [ prop_fmem_resident_bound; prop_fmem_insert_hits ];
+      ( "fmem-policies",
+        [
+          Alcotest.test_case "fifo vs lru" `Quick test_fmem_fifo_policy;
+          Alcotest.test_case "random picks resident" `Quick test_fmem_random_policy_valid;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "read/write/evict" `Quick test_protocol_read_write_evict;
+          Alcotest.test_case "silent clean drop" `Quick test_protocol_silent_clean_drop;
+          Alcotest.test_case "snoop supplies data" `Quick test_protocol_snoop_supplies_data;
+        ] );
+      qsuite "protocol-props" [ prop_protocol_dirty_never_escapes_silently ];
+      ( "directory",
+        [
+          Alcotest.test_case "transitions" `Quick test_directory_transitions;
+          Alcotest.test_case "snoop" `Quick test_directory_snoop;
+          Alcotest.test_case "counters" `Quick test_directory_counters;
+        ] );
+    ]

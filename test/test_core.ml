@@ -1,0 +1,782 @@
+(* Tests for the Kona core library: slabs, controller, resource manager,
+   CL-log, the assembled runtime (including the end-to-end data-integrity
+   invariant), KCacheSim and KTracker. *)
+
+open Kona
+module Access = Kona_trace.Access
+module Bitmap = Kona_util.Bitmap
+module Clock = Kona_util.Clock
+module Units = Kona_util.Units
+module Heap = Kona_workloads.Heap
+module Workloads = Kona_workloads.Workloads
+module Qp = Kona_rdma.Qp
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Slab / controller / resource manager *)
+
+let test_slab_translation () =
+  let slab = { Slab.id = 0; node = 2; vaddr = 0x100000; remote_addr = 0x4000; size = 0x1000 } in
+  check_bool "contains" true (Slab.contains slab ~addr:0x100fff);
+  check_bool "excludes" false (Slab.contains slab ~addr:0x101000);
+  check_int "translate" 0x4010 (Slab.remote_of_vaddr slab ~vaddr:0x100010);
+  check_bool "outside raises" true
+    (try
+       ignore (Slab.remote_of_vaddr slab ~vaddr:0);
+       false
+     with Invalid_argument _ -> true)
+
+let controller_with_nodes ?(slab_size = Units.kib 64) ?(nodes = 2) ?(capacity = Units.mib 1) () =
+  let c = Rack_controller.create ~slab_size () in
+  for i = 0 to nodes - 1 do
+    Rack_controller.register_node c (Memory_node.create ~id:i ~capacity)
+  done;
+  c
+
+let test_controller_round_robin () =
+  let c = controller_with_nodes () in
+  let s1 = Rack_controller.allocate_slab c ~vaddr:0 in
+  let s2 = Rack_controller.allocate_slab c ~vaddr:65536 in
+  let s3 = Rack_controller.allocate_slab c ~vaddr:131072 in
+  check_int "node 0 first" 0 s1.Slab.node;
+  check_int "node 1 next" 1 s2.Slab.node;
+  check_int "wraps" 0 s3.Slab.node;
+  check_int "slabs allocated" 3 (Rack_controller.slabs_allocated c)
+
+let test_controller_skips_full_nodes () =
+  let c = Rack_controller.create ~slab_size:(Units.kib 64) () in
+  Rack_controller.register_node c (Memory_node.create ~id:0 ~capacity:(Units.kib 64));
+  Rack_controller.register_node c (Memory_node.create ~id:1 ~capacity:(Units.mib 1));
+  ignore (Rack_controller.allocate_slab c ~vaddr:0) (* fills node 0 *);
+  let s = Rack_controller.allocate_slab c ~vaddr:65536 in
+  check_int "skips exhausted node" 1 s.Slab.node;
+  let s = Rack_controller.allocate_slab c ~vaddr:131072 in
+  check_int "keeps using node 1" 1 s.Slab.node
+
+let test_controller_oom () =
+  let c = controller_with_nodes ~nodes:1 ~capacity:(Units.kib 64) () in
+  ignore (Rack_controller.allocate_slab c ~vaddr:0);
+  check_bool "oom" true
+    (try
+       ignore (Rack_controller.allocate_slab c ~vaddr:65536);
+       false
+     with Out_of_memory -> true)
+
+let test_resource_manager_batching () =
+  let c = controller_with_nodes () in
+  let rm = Resource_manager.create ~batch:4 ~controller:c () in
+  Resource_manager.ensure_backed rm ~addr:0 ~len:8;
+  check_int "one round trip provisions a batch" 1
+    (Resource_manager.controller_round_trips rm);
+  check_int "batch slabs" 4 (List.length (Resource_manager.slabs rm));
+  (* Addresses within the batch need no further round trips. *)
+  Resource_manager.ensure_backed rm ~addr:(3 * Units.kib 64) ~len:8;
+  check_int "still one round trip" 1 (Resource_manager.controller_round_trips rm);
+  match Resource_manager.translate rm ~vaddr:100 with
+  | Some (_node, raddr) -> check_int "offset preserved" 100 (raddr mod Units.kib 64)
+  | None -> Alcotest.fail "backed address must translate"
+
+let test_resource_manager_spanning () =
+  let c = controller_with_nodes () in
+  let rm = Resource_manager.create ~batch:1 ~controller:c () in
+  (* A range spanning two slabs backs both. *)
+  Resource_manager.ensure_backed rm ~addr:(Units.kib 64 - 8) ~len:16;
+  check_bool "first slab" true (Resource_manager.translate rm ~vaddr:0 <> None);
+  check_bool "second slab" true (Resource_manager.translate rm ~vaddr:(Units.kib 64) <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Memory node + CL log *)
+
+let test_memory_node_log_receiver () =
+  let node = Memory_node.create ~id:0 ~capacity:(Units.kib 64) in
+  let line = String.make 64 'a' in
+  Memory_node.receive_log node
+    [ { Memory_node.addr = 128; data = line }; { Memory_node.addr = 4096; data = line } ];
+  Alcotest.(check string) "scattered" line (Memory_node.peek node ~addr:128 ~len:64);
+  check_int "lines received" 2 (Memory_node.lines_received node);
+  check_int "logs received" 1 (Memory_node.logs_received node)
+
+let test_cl_log_roundtrip () =
+  let node = Memory_node.create ~id:0 ~capacity:(Units.kib 64) in
+  let clock = Clock.create () in
+  let qp = Qp.create ~clock () in
+  let log = Cl_log.create ~capacity:8 ~qp ~cost:Kona_rdma.Cost.default
+      ~resolve:(fun ~node:_ -> node) () in
+  let line c = String.make 64 c in
+  Cl_log.append_run log ~node:0 ~raddr:0 ~data:(line 'x');
+  Cl_log.append_run log ~node:0 ~raddr:64 ~data:(line 'y');
+  check_int "staged, not yet shipped" 0 (Memory_node.lines_received node);
+  Cl_log.flush log;
+  check_int "both delivered" 2 (Memory_node.lines_received node);
+  Alcotest.(check string) "content x" (line 'x') (Memory_node.peek node ~addr:0 ~len:64);
+  Alcotest.(check string) "content y" (line 'y') (Memory_node.peek node ~addr:64 ~len:64);
+  check_int "lines logged" 2 (Cl_log.lines_logged log);
+  check_bool "time charged" true (Clock.now clock > 0);
+  let phases = List.map fst (Cl_log.breakdown_ns log) in
+  Alcotest.(check (list string)) "phases" [ "bitmap"; "copy"; "rdma"; "ack" ] phases
+
+let test_cl_log_autoflush () =
+  let node = Memory_node.create ~id:0 ~capacity:(Units.kib 64) in
+  let qp = Qp.create ~clock:(Clock.create ()) () in
+  let log = Cl_log.create ~capacity:2 ~qp ~cost:Kona_rdma.Cost.default
+      ~resolve:(fun ~node:_ -> node) () in
+  let line = String.make 64 'z' in
+  Cl_log.append_run log ~node:0 ~raddr:0 ~data:line;
+  Cl_log.append_run log ~node:0 ~raddr:64 ~data:line;
+  check_int "autoflush at capacity" 2 (Memory_node.lines_received node);
+  check_bool "short line rejected" true
+    (try
+       Cl_log.append_run log ~node:0 ~raddr:0 ~data:"short";
+       false
+     with Invalid_argument _ -> true);
+  (* A multi-line run counts as its number of lines. *)
+  Cl_log.append_run log ~node:0 ~raddr:128 ~data:(String.make 256 'r');
+  check_int "run of 4 lines autoflushes" 6 (Memory_node.lines_received node);
+  Alcotest.(check string) "run content intact" (String.make 256 'r')
+    (Memory_node.peek node ~addr:128 ~len:256)
+
+let test_cl_log_empty_flush_and_split () =
+  let n0 = Memory_node.create ~id:0 ~capacity:(Units.kib 64) in
+  let n1 = Memory_node.create ~id:1 ~capacity:(Units.kib 64) in
+  let qp = Qp.create ~clock:(Clock.create ()) () in
+  let log =
+    Cl_log.create ~capacity:64 ~qp ~cost:Kona_rdma.Cost.default
+      ~resolve:(fun ~node -> if node = 0 then n0 else n1)
+      ()
+  in
+  Cl_log.flush log;
+  check_int "empty flush ships nothing" 0 (Cl_log.flushes log);
+  let line = String.make 64 'm' in
+  Cl_log.append_run log ~node:0 ~raddr:0 ~data:line;
+  Cl_log.append_run log ~node:1 ~raddr:64 ~data:line;
+  Cl_log.append_run log ~node:0 ~raddr:128 ~data:line;
+  Cl_log.flush log;
+  check_int "per-node logs" 2 (Cl_log.flushes log);
+  check_int "node 0 got 2 lines" 2 (Memory_node.lines_received n0);
+  check_int "node 1 got 1 line" 1 (Memory_node.lines_received n1)
+
+let test_dirty_tracker_orphan_path () =
+  (* A writeback for a page that is not FMem-resident (the race of §4.4)
+     must be written through immediately, not lost. *)
+  let node = Memory_node.create ~id:0 ~capacity:(Units.mib 1) in
+  let controller = Rack_controller.create ~slab_size:(Units.kib 64) () in
+  Rack_controller.register_node controller node;
+  let rm = Resource_manager.create ~controller () in
+  Resource_manager.ensure_backed rm ~addr:0 ~len:(Units.kib 64);
+  let qp = Qp.create ~clock:(Clock.create ()) () in
+  let log = Cl_log.create ~qp ~cost:Kona_rdma.Cost.default
+      ~resolve:(fun ~node:_ -> node) () in
+  let evictor =
+    Eviction_handler.create ~log ~rm
+      ~read_local:(fun ~addr:_ ~len -> String.make len 'o')
+      ~snoop:(fun ~page:_ -> [])
+      ()
+  in
+  let fmem = Kona_coherence.Fmem.create ~pages:4 () in
+  let tracker =
+    Dirty_tracker.create ~fmem
+      ~on_orphan:(fun ~line_addr -> Eviction_handler.write_line_through evictor ~line_addr)
+      ()
+  in
+  (* page 3 is not resident in fmem: this writeback is an orphan *)
+  Dirty_tracker.on_writeback tracker ~addr:(3 * Units.page_size);
+  check_int "orphan counted" 1 (Dirty_tracker.orphans tracker);
+  check_int "orphan shipped immediately" 1 (Memory_node.lines_received node);
+  Alcotest.(check string) "orphan data landed" (String.make 64 'o')
+    (Memory_node.peek node ~addr:(3 * Units.page_size) ~len:64)
+
+let test_memory_node_validation () =
+  let node = Memory_node.create ~id:0 ~capacity:(Units.kib 8) in
+  let a = Memory_node.reserve node ~size:100 in
+  check_int "reservation page-aligned" 0 (a mod Units.page_size);
+  check_int "used rounded up" Units.page_size (Memory_node.used node);
+  ignore (Memory_node.reserve node ~size:Units.page_size);
+  check_bool "oom" true
+    (try
+       ignore (Memory_node.reserve node ~size:1);
+       false
+     with Out_of_memory -> true);
+  check_bool "oob write rejected" true
+    (try
+       Memory_node.write node ~addr:(Units.kib 8) ~data:"x";
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime: end-to-end *)
+
+let make_runtime ?(fmem_pages = 64) ?(capacity = Units.mib 4) () =
+  let controller = Rack_controller.create ~slab_size:(Units.kib 256) () in
+  Rack_controller.register_node controller
+    (Memory_node.create ~id:0 ~capacity:(Units.mib 8));
+  Rack_controller.register_node controller
+    (Memory_node.create ~id:1 ~capacity:(Units.mib 8));
+  let heap_ref = ref None in
+  let read_local ~addr ~len = Heap.peek_bytes (Option.get !heap_ref) addr len in
+  let config = { Runtime.default_config with fmem_pages } in
+  let runtime = Runtime.create ~config ~controller ~read_local () in
+  let heap = Heap.create ~capacity ~sink:(Runtime.sink runtime) () in
+  heap_ref := Some heap;
+  (runtime, heap, controller)
+
+let check_integrity runtime heap controller =
+  (* After drain, every backed page within the arena matches the heap. *)
+  let rm = Runtime.resource_manager runtime in
+  let mismatches = ref 0 in
+  let pages = ref 0 in
+  Resource_manager.iter_backed_pages rm (fun ~vpage ~node ~remote_addr ->
+      let base = vpage * Units.page_size in
+      if base + Units.page_size <= Heap.capacity heap then begin
+        incr pages;
+        let local = Heap.peek_bytes heap base Units.page_size in
+        let remote =
+          Memory_node.peek (Rack_controller.node controller ~id:node) ~addr:remote_addr
+            ~len:Units.page_size
+        in
+        if local <> remote then incr mismatches
+      end);
+  check_bool "some pages backed" true (!pages > 0);
+  check_int "remote memory identical to heap" 0 !mismatches
+
+let test_runtime_basic_flow () =
+  let runtime, heap, controller = make_runtime () in
+  let a = Heap.alloc heap (Units.kib 8) in
+  Heap.write_u64 heap a 42;
+  Heap.write_u64 heap (a + 4096) 43;
+  check_int "reads back through runtime" 42 (Heap.read_u64 heap a);
+  Runtime.drain runtime;
+  check_integrity runtime heap controller;
+  let stats = Runtime.stats runtime in
+  check_bool "fetched pages" true (List.assoc "fetch.pages" stats > 0);
+  check_bool "tracked or evicted lines" true (List.assoc "log.lines" stats > 0)
+
+let test_runtime_integrity_under_pressure () =
+  (* Tiny FMem (16 pages) forces heavy eviction; data must survive. *)
+  let runtime, heap, controller = make_runtime ~fmem_pages:16 () in
+  let rng = Kona_util.Rng.create ~seed:7 in
+  let base = Heap.alloc heap (Units.kib 512) in
+  for _ = 1 to 20_000 do
+    let offset = Kona_util.Rng.int rng (Units.kib 512 - 8) in
+    Heap.write_u64 heap (base + offset) (Kona_util.Rng.int rng 1_000_000)
+  done;
+  Runtime.drain runtime;
+  check_integrity runtime heap controller;
+  let stats = Runtime.stats runtime in
+  check_bool "evictions happened" true (List.assoc "evict.pages" stats > 50)
+
+let test_runtime_workload_integrity () =
+  (* Full workload (Redis-Rand smoke) under eviction pressure. *)
+  let spec = Workloads.redis_rand in
+  let controller = Rack_controller.create ~slab_size:(Units.kib 256) () in
+  Rack_controller.register_node controller
+    (Memory_node.create ~id:0 ~capacity:(Units.mib 16));
+  let heap_ref = ref None in
+  let read_local ~addr ~len = Heap.peek_bytes (Option.get !heap_ref) addr len in
+  let config = { Runtime.default_config with fmem_pages = 128 } in
+  let runtime = Runtime.create ~config ~controller ~read_local () in
+  let heap =
+    Heap.create ~capacity:(spec.Workloads.heap_capacity Workloads.Smoke)
+      ~sink:(Runtime.sink runtime) ()
+  in
+  heap_ref := Some heap;
+  spec.Workloads.run Workloads.Smoke ~heap ~seed:3;
+  Runtime.drain runtime;
+  check_integrity runtime heap controller;
+  (* Cache-line eviction must ship far fewer bytes than page-grain would:
+     evicted lines vs evicted pages * 64 lines. *)
+  let stats = Runtime.stats runtime in
+  let lines = List.assoc "evict.lines" stats in
+  let pages = List.assoc "evict.pages" stats in
+  check_bool "line granularity saves traffic" true (lines < pages * Units.lines_per_page)
+
+let test_runtime_clean_pages_silent () =
+  let runtime, heap, _controller = make_runtime ~fmem_pages:16 () in
+  let base = Heap.alloc heap (Units.kib 512) in
+  (* Touch many pages read-only; they must evict silently. *)
+  for p = 0 to 127 do
+    ignore (Heap.read_u64 heap (base + (p * Units.page_size)))
+  done;
+  Runtime.drain runtime;
+  let stats = Runtime.stats runtime in
+  check_bool "clean pages seen" true (List.assoc "evict.clean_pages" stats > 0);
+  check_int "nothing written over the wire for reads" 0 (List.assoc "log.lines" stats)
+
+let test_runtime_clocks_advance () =
+  let runtime, heap, _ = make_runtime () in
+  let a = Heap.alloc heap 4096 in
+  Heap.write_u64 heap a 1;
+  check_bool "app clock advanced" true (Runtime.app_ns runtime > 0);
+  Runtime.drain runtime;
+  check_bool "bg clock advanced on eviction" true (Runtime.bg_ns runtime > 0);
+  check_bool "elapsed = max" true
+    (Runtime.elapsed_ns runtime = max (Runtime.app_ns runtime) (Runtime.bg_ns runtime))
+
+let prop_runtime_integrity_random_ops =
+  (* Any interleaving of reads/writes over a small region, driven through
+     the full runtime with a tiny cache, drains to byte-identical remote
+     memory. *)
+  QCheck.Test.make ~name:"runtime integrity under random op sequences" ~count:25
+    QCheck.(list_of_size Gen.(20 -- 200) (pair (int_bound (Units.kib 128 - 9)) bool))
+    (fun ops ->
+      let runtime, heap, controller = make_runtime ~fmem_pages:8 () in
+      let base = Heap.alloc heap (Units.kib 128) in
+      List.iteri
+        (fun i (off, write) ->
+          if write then Heap.write_u64 heap (base + off) i
+          else ignore (Heap.read_u64 heap (base + off)))
+        ops;
+      Runtime.drain runtime;
+      let rm = Runtime.resource_manager runtime in
+      let ok = ref true in
+      Resource_manager.iter_backed_pages rm (fun ~vpage ~node ~remote_addr ->
+          let page_base = vpage * Units.page_size in
+          if page_base + Units.page_size <= Heap.capacity heap then begin
+            let local = Heap.peek_bytes heap page_base Units.page_size in
+            let remote =
+              Memory_node.peek (Rack_controller.node controller ~id:node)
+                ~addr:remote_addr ~len:Units.page_size
+            in
+            if local <> remote then ok := false
+          end);
+      !ok)
+
+let test_runtime_multi_node_distribution () =
+  (* Small slabs across two nodes: eviction logs must split per node and
+     both nodes must receive their share. *)
+  let controller = Rack_controller.create ~slab_size:(Units.kib 64) () in
+  let n0 = Memory_node.create ~id:0 ~capacity:(Units.mib 8) in
+  let n1 = Memory_node.create ~id:1 ~capacity:(Units.mib 8) in
+  Rack_controller.register_node controller n0;
+  Rack_controller.register_node controller n1;
+  let heap_ref = ref None in
+  let read_local ~addr ~len = Heap.peek_bytes (Option.get !heap_ref) addr len in
+  let config = { Runtime.default_config with fmem_pages = 16 } in
+  let runtime = Runtime.create ~config ~controller ~read_local () in
+  let heap = Heap.create ~capacity:(Units.mib 4) ~sink:(Runtime.sink runtime) () in
+  heap_ref := Some heap;
+  let base = Heap.alloc heap (Units.mib 1) in
+  for p = 0 to (Units.mib 1 / Units.page_size) - 1 do
+    Heap.write_u64 heap (base + (p * Units.page_size)) p
+  done;
+  Runtime.drain runtime;
+  check_bool "node 0 received lines" true (Memory_node.lines_received n0 > 0);
+  check_bool "node 1 received lines" true (Memory_node.lines_received n1 > 0);
+  check_integrity runtime heap controller
+
+(* ------------------------------------------------------------------ *)
+(* Replication *)
+
+let test_replication_mirrors_identical () =
+  let controller = Rack_controller.create ~slab_size:(Units.kib 256) () in
+  Rack_controller.register_node controller
+    (Memory_node.create ~id:0 ~capacity:(Units.mib 8));
+  Rack_controller.register_node controller
+    (Memory_node.create ~id:1 ~capacity:(Units.mib 8));
+  let heap_ref = ref None in
+  let read_local ~addr ~len = Heap.peek_bytes (Option.get !heap_ref) addr len in
+  let config = { Runtime.default_config with fmem_pages = 16; replicas = 2 } in
+  let runtime = Runtime.create ~config ~controller ~read_local () in
+  let heap = Heap.create ~capacity:(Units.mib 4) ~sink:(Runtime.sink runtime) () in
+  heap_ref := Some heap;
+  let base = Heap.alloc heap (Units.kib 256) in
+  let rng = Kona_util.Rng.create ~seed:11 in
+  for _ = 1 to 5_000 do
+    Heap.write_u64 heap (base + (Kona_util.Rng.int rng (Units.kib 256 - 8))) 7
+  done;
+  Runtime.drain runtime;
+  check_integrity runtime heap controller;
+  match Runtime.replication runtime with
+  | None -> Alcotest.fail "replication must be active"
+  | Some r ->
+      check_int "degree" 2 (Replication.degree r);
+      check_int "no divergent mirrors" 0 (Replication.divergent_mirrors r ~controller);
+      let lines = List.assoc "log.lines" (Runtime.stats runtime) in
+      check_int "each line on both mirrors" (2 * lines) (Replication.lines_replicated r)
+
+let test_replication_targets () =
+  let controller = Rack_controller.create () in
+  Rack_controller.register_node controller
+    (Memory_node.create ~id:3 ~capacity:(Units.mib 1));
+  let r = Replication.create ~degree:2 ~controller in
+  check_int "two mirrors for node 3" 2 (List.length (Replication.targets r ~node:3));
+  check_int "no mirrors for unknown node" 0 (List.length (Replication.targets r ~node:9))
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection: outages and MCEs *)
+
+let test_outage_delays_traffic () =
+  let nic = Kona_rdma.Nic.create () in
+  Kona_rdma.Nic.inject_outage nic ~at:0 ~duration:1_000_000;
+  let clock = Clock.create () in
+  let qp = Qp.create ~nic ~clock () in
+  Qp.post qp [ Qp.wqe ~signaled:true Qp.Write ~len:64 ];
+  Qp.wait_idle qp;
+  check_bool "completion after outage lifts" true (Clock.now clock > 1_000_000)
+
+let make_runtime_with_nic ?(config = Runtime.default_config) nic =
+  let controller = Rack_controller.create ~slab_size:(Units.kib 256) () in
+  Rack_controller.register_node controller
+    (Memory_node.create ~id:0 ~capacity:(Units.mib 8));
+  let heap_ref = ref None in
+  let read_local ~addr ~len = Heap.peek_bytes (Option.get !heap_ref) addr len in
+  let runtime = Runtime.create ~config ~nic ~controller ~read_local () in
+  let heap = Heap.create ~capacity:(Units.mib 4) ~sink:(Runtime.sink runtime) () in
+  heap_ref := Some heap;
+  (runtime, heap, controller)
+
+let test_mce_on_outage () =
+  let nic = Kona_rdma.Nic.create () in
+  (* Land the outage mid-run, on the demand-fetch path (the first microsecond
+     is control-path slab allocation). *)
+  Kona_rdma.Nic.inject_outage nic ~at:(Units.us 50) ~duration:(Units.ms 2);
+  let config =
+    { Runtime.default_config with fmem_pages = 16; mce_threshold_ns = Some (Units.us 100) }
+  in
+  let runtime, heap, controller = make_runtime_with_nic ~config nic in
+  let base = Heap.alloc heap (Units.kib 128) in
+  for p = 0 to 31 do
+    Heap.write_u64 heap (base + (p * Units.page_size)) p
+  done;
+  Runtime.drain runtime;
+  let stats = Runtime.stats runtime in
+  check_bool "mce raised during outage" true (List.assoc "mce.raised" stats >= 1);
+  check_bool "but not on every fetch" true
+    (List.assoc "mce.raised" stats < List.assoc "fetch.pages" stats);
+  (* The application recovered and data is intact. *)
+  check_integrity runtime heap controller
+
+let test_no_mce_without_outage () =
+  let nic = Kona_rdma.Nic.create () in
+  let config =
+    { Runtime.default_config with fmem_pages = 16; mce_threshold_ns = Some (Units.us 100) }
+  in
+  let runtime, heap, _ = make_runtime_with_nic ~config nic in
+  let base = Heap.alloc heap (Units.kib 64) in
+  for p = 0 to 15 do
+    Heap.write_u64 heap (base + (p * Units.page_size)) p
+  done;
+  check_int "no mce on healthy network" 0
+    (List.assoc "mce.raised" (Runtime.stats runtime))
+
+(* ------------------------------------------------------------------ *)
+(* Prefetcher *)
+
+let test_prefetcher_stream_detection () =
+  let requested = ref [] in
+  let p = Prefetcher.create ~depth:2 ~on_prefetch:(fun ~vpage -> requested := vpage :: !requested) () in
+  Prefetcher.observe_miss p ~vpage:10;
+  Alcotest.(check (list int)) "first miss registers a stream" [] !requested;
+  Prefetcher.observe_miss p ~vpage:11;
+  Alcotest.(check (list int)) "second sequential miss prefetches ahead" [ 13; 12 ] !requested;
+  Prefetcher.observe_miss p ~vpage:12;
+  (* 13 already requested: only 14 is new. *)
+  Alcotest.(check (list int)) "no duplicate requests" [ 14; 13; 12 ] !requested;
+  check_int "issued" 3 (Prefetcher.issued p)
+
+let test_prefetcher_random_misses_quiet () =
+  let requested = ref 0 in
+  let p = Prefetcher.create ~on_prefetch:(fun ~vpage:_ -> incr requested) () in
+  let rng = Kona_util.Rng.create ~seed:5 in
+  for _ = 1 to 200 do
+    Prefetcher.observe_miss p ~vpage:(Kona_util.Rng.int rng 1_000_000)
+  done;
+  check_bool "random stream triggers (almost) nothing" true (!requested < 10)
+
+let test_prefetcher_stride_policy () =
+  let requested = ref [] in
+  let p =
+    Prefetcher.create ~policy:Prefetcher.Majority_stride ~depth:2
+      ~on_prefetch:(fun ~vpage -> requested := vpage :: !requested)
+      ()
+  in
+  (* A stride-3 scan: after the history window fills, prefetches run
+     3 and 6 pages ahead. *)
+  for i = 0 to 11 do
+    Prefetcher.observe_miss p ~vpage:(100 + (3 * i))
+  done;
+  check_bool "stride detected" true (Prefetcher.issued p > 0);
+  check_bool "requests are stride-aligned ahead" true
+    (List.for_all (fun v -> (v - 100) mod 3 = 0) !requested);
+  (* Next_page policy never catches a stride-3 scan. *)
+  let quiet = ref 0 in
+  let np = Prefetcher.create ~on_prefetch:(fun ~vpage:_ -> incr quiet) () in
+  for i = 0 to 11 do
+    Prefetcher.observe_miss np ~vpage:(100 + (3 * i))
+  done;
+  check_int "next-page blind to strides" 0 !quiet
+
+let test_ktracker_pml_model () =
+  let heap = Heap.create ~capacity:(Units.mib 1) ~sink:Access.Tap.ignore () in
+  let tracker = Ktracker.create ~heap () in
+  Heap.set_sink heap (Ktracker.sink tracker);
+  let a = Heap.alloc heap (Units.mib 0 + Units.kib 512) in
+  (* Dirty 100 pages: well under one PML buffer. *)
+  for page = 0 to 99 do
+    Heap.write_u64 heap (a + (page * Units.page_size)) page
+  done;
+  Ktracker.close_window tracker ~window:0;
+  let cost = Cost_model.default in
+  check_int "one PML drain" cost.Cost_model.pml_drain_ns
+    (Ktracker.pml_overhead_ns ~cost tracker);
+  check_bool "PML far cheaper than write protection" true
+    (10 * Ktracker.pml_overhead_ns ~cost tracker < Ktracker.wp_overhead_ns ~cost tracker)
+
+let test_runtime_prefetch_integrity () =
+  let nic = Kona_rdma.Nic.create () in
+  let config = { Runtime.default_config with fmem_pages = 32; prefetch = true } in
+  let runtime, heap, controller = make_runtime_with_nic ~config nic in
+  let base = Heap.alloc heap (Units.kib 512) in
+  (* Sequential write sweep: prefetches fire, evictions happen, data must
+     survive. *)
+  for p = 0 to 127 do
+    Heap.write_u64 heap (base + (p * Units.page_size)) (p * 3)
+  done;
+  Runtime.drain runtime;
+  check_integrity runtime heap controller;
+  let stats = Runtime.stats runtime in
+  check_bool "prefetches issued" true (List.assoc "prefetch.issued" stats > 10);
+  check_bool "some useful" true (List.assoc "prefetch.useful" stats > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Alloc_lib *)
+
+let test_alloc_lib () =
+  let c = controller_with_nodes () in
+  let rm = Resource_manager.create ~controller:c () in
+  let a = Alloc_lib.create ~rm () in
+  let p = Alloc_lib.malloc a 100 in
+  check_bool "backed" true (Resource_manager.translate rm ~vaddr:p <> None);
+  let q = Alloc_lib.malloc a ~align:64 100 in
+  check_int "aligned" 0 (q mod 64);
+  Alloc_lib.free a ~addr:p ~len:100;
+  check_int "exact-size reuse" p (Alloc_lib.malloc a 100);
+  check_bool "live accounting" true (Alloc_lib.live_bytes a <= Alloc_lib.allocated_bytes a)
+
+(* ------------------------------------------------------------------ *)
+(* KCacheSim *)
+
+let test_kcachesim_amat_ordering () =
+  let counts =
+    Kcachesim.simulate ~spec:Workloads.redis_rand ~scale:Workloads.Smoke ~seed:11
+      ~cache_frac:0.25 ()
+  in
+  let cost = Cost_model.default in
+  let kona = Kcachesim.amat_ns ~cost ~profile:(Cost_model.kona cost) counts in
+  let kona_main = Kcachesim.amat_ns ~cost ~profile:(Cost_model.kona_main cost) counts in
+  let legoos = Kcachesim.amat_ns ~cost ~profile:(Cost_model.legoos cost) counts in
+  let infiniswap = Kcachesim.amat_ns ~cost ~profile:(Cost_model.infiniswap cost) counts in
+  check_bool "counts conserve accesses" true
+    (counts.Kcachesim.l1_hits + counts.Kcachesim.l2_hits + counts.Kcachesim.llc_hits
+     + counts.Kcachesim.dram_hits + counts.Kcachesim.remote_fetches
+    = counts.Kcachesim.line_accesses);
+  check_bool "infiniswap worst" true (infiniswap > legoos);
+  check_bool "legoos worse than kona" true (legoos > kona);
+  check_bool "kona-main best" true (kona > kona_main)
+
+let test_kcachesim_cache_size_effect () =
+  (* Shrink the CPU caches so the DRAM-cache stage sees real traffic at
+     Smoke scale (at Full scale the footprint dwarfs the LLC naturally). *)
+  let cache_config =
+    {
+      Kona_cachesim.Hierarchy.l1 = { Kona_cachesim.Hierarchy.size = Units.kib 4; assoc = 2 };
+      l2 = { Kona_cachesim.Hierarchy.size = Units.kib 8; assoc = 2 };
+      llc = { Kona_cachesim.Hierarchy.size = Units.kib 16; assoc = 4 };
+    }
+  in
+  let at frac =
+    Kcachesim.simulate ~cache_config ~spec:Workloads.redis_rand ~scale:Workloads.Smoke
+      ~seed:11 ~cache_frac:frac ()
+  in
+  let small = at 0.1 and big = at 1.0 in
+  check_bool "bigger cache, fewer remote fetches" true
+    (big.Kcachesim.remote_fetches < small.Kcachesim.remote_fetches);
+  let cost = Cost_model.default in
+  let profile = Cost_model.legoos cost in
+  check_bool "bigger cache, lower AMAT" true
+    (Kcachesim.amat_ns ~cost ~profile big < Kcachesim.amat_ns ~cost ~profile small)
+
+let test_kcachesim_block_size_tradeoff () =
+  (* Fig. 8d's mechanism: at a fixed cache size, tiny blocks miss spatial
+     locality (more remote fetches); block size can't exceed the benefit. *)
+  let cache_config =
+    {
+      Kona_cachesim.Hierarchy.l1 = { Kona_cachesim.Hierarchy.size = Units.kib 4; assoc = 2 };
+      l2 = { Kona_cachesim.Hierarchy.size = Units.kib 8; assoc = 2 };
+      llc = { Kona_cachesim.Hierarchy.size = Units.kib 16; assoc = 4 };
+    }
+  in
+  let at block =
+    Kcachesim.simulate ~cache_config ~block ~spec:Workloads.redis_rand
+      ~scale:Workloads.Smoke ~seed:11 ~cache_frac:0.5 ()
+  in
+  let tiny = at 64 and page = at 4096 in
+  check_bool "64B blocks fetch far more often" true
+    (tiny.Kcachesim.remote_fetches > 2 * page.Kcachesim.remote_fetches);
+  check_bool "bad block size rejected" true
+    (try
+       ignore (at 100);
+       false
+     with Invalid_argument _ -> true)
+
+let test_runtime_fetch_latency_stats () =
+  let runtime, heap, _ = make_runtime () in
+  let a = Heap.alloc heap (Units.kib 64) in
+  for p = 0 to 15 do
+    Heap.write_u64 heap (a + (p * Units.page_size)) p
+  done;
+  let stats = Runtime.stats runtime in
+  let p50 = List.assoc "fetch.p50_ns" stats and p99 = List.assoc "fetch.p99_ns" stats in
+  check_bool "p50 in RDMA range" true (p50 > 1_000 && p50 < 100_000);
+  check_bool "p99 >= p50" true (p99 >= p50)
+
+(* ------------------------------------------------------------------ *)
+(* KTracker *)
+
+let test_ktracker_diff () =
+  let heap = Heap.create ~capacity:(Units.mib 1) ~sink:Access.Tap.ignore () in
+  let tracker = Ktracker.create ~heap () in
+  Heap.set_sink heap (Ktracker.sink tracker);
+  let a = Heap.alloc heap (Units.kib 16) in
+  Heap.write_u64 heap a 1;
+  Heap.write_u64 heap (a + 64) 2;
+  Heap.write_u64 heap (a + 8192) 3;
+  Ktracker.close_window tracker ~window:0;
+  (match Ktracker.windows tracker with
+  | [ w ] ->
+      check_int "dirty lines" 3 w.Ktracker.dirty_lines;
+      check_int "dirty pages" 2 w.Ktracker.dirty_pages;
+      check_int "wp faults" 2 w.Ktracker.wp_faults;
+      check_int "no invalidations in first window" 0 w.Ktracker.tlb_invalidations;
+      Alcotest.(check (float 1e-9)) "amp ratio = pages*4096 / lines*64"
+        (2. *. 4096. /. (3. *. 64.))
+        (Ktracker.amp_ratio w)
+  | _ -> Alcotest.fail "expected one window");
+  (* Second window: silent rewrite (same value) is NOT dirty to a
+     snapshot-diff tracker, but still takes a wp fault. *)
+  Heap.write_u64 heap a 1;
+  Ktracker.close_window tracker ~window:1;
+  match Ktracker.windows tracker with
+  | [ _; w ] ->
+      check_int "silent write not dirty" 0 w.Ktracker.dirty_lines;
+      check_int "wp fault still taken" 1 w.Ktracker.wp_faults;
+      check_int "re-protection invalidations" 2 w.Ktracker.tlb_invalidations
+  | _ -> Alcotest.fail "expected two windows"
+
+let test_ktracker_speedup_model () =
+  let heap = Heap.create ~capacity:(Units.mib 1) ~sink:Access.Tap.ignore () in
+  let tracker = Ktracker.create ~heap () in
+  Heap.set_sink heap (Ktracker.sink tracker);
+  let a = Heap.alloc heap (Units.kib 64) in
+  for p = 0 to 15 do
+    Heap.write_u64 heap (a + (p * Units.page_size)) p
+  done;
+  Ktracker.close_window tracker ~window:0;
+  let cost = Cost_model.default in
+  let overhead = Ktracker.wp_overhead_ns ~cost tracker in
+  check_int "16 faults worth" (16 * cost.Cost_model.minor_fault_ns) overhead;
+  let speedup = Ktracker.speedup_percent ~cost ~app_ns:overhead tracker in
+  Alcotest.(check (float 1e-6)) "100% when overhead = app time" 100. speedup
+
+(* ------------------------------------------------------------------ *)
+(* Cost model / poller *)
+
+let test_cost_model_profiles () =
+  let cost = Cost_model.default in
+  let p_kona = Cost_model.kona cost in
+  let p_legoos = Cost_model.legoos cost in
+  let p_inf = Cost_model.infiniswap cost in
+  check_bool "kona remote ~ rdma" true (p_kona.Cost_model.remote_ns < 4_000.);
+  check_bool "legoos 10us" true (p_legoos.Cost_model.remote_ns = 10_000.);
+  check_bool "infiniswap 40us" true (p_inf.Cost_model.remote_ns = 40_000.);
+  check_bool "fmem slower than cmem" true
+    (p_kona.Cost_model.dram_cache_ns > (Cost_model.kona_main cost).Cost_model.dram_cache_ns)
+
+let test_poller () =
+  let clock = Clock.create () in
+  let qp = Qp.create ~clock () in
+  let poller = Poller.create () in
+  Poller.register poller ~name:"evict" qp;
+  Qp.post qp [ Qp.wqe ~signaled:true Qp.Write ~len:64 ];
+  Alcotest.(check (list (pair string int))) "nothing ready" [] (Poller.poll poller);
+  Clock.advance clock 1_000_000;
+  Alcotest.(check (list (pair string int))) "reaped" [ ("evict", 1) ] (Poller.poll poller);
+  check_int "total reaped" 1 (Poller.reaped poller)
+
+let () =
+  Alcotest.run "kona_core"
+    [
+      ("slab", [ Alcotest.test_case "translation" `Quick test_slab_translation ]);
+      ( "controller",
+        [
+          Alcotest.test_case "round robin" `Quick test_controller_round_robin;
+          Alcotest.test_case "skips full nodes" `Quick test_controller_skips_full_nodes;
+          Alcotest.test_case "oom" `Quick test_controller_oom;
+        ] );
+      ( "resource_manager",
+        [
+          Alcotest.test_case "batching" `Quick test_resource_manager_batching;
+          Alcotest.test_case "spanning ranges" `Quick test_resource_manager_spanning;
+        ] );
+      ( "cl_log",
+        [
+          Alcotest.test_case "log receiver" `Quick test_memory_node_log_receiver;
+          Alcotest.test_case "roundtrip" `Quick test_cl_log_roundtrip;
+          Alcotest.test_case "autoflush" `Quick test_cl_log_autoflush;
+          Alcotest.test_case "empty flush + node split" `Quick
+            test_cl_log_empty_flush_and_split;
+          Alcotest.test_case "orphan write-through" `Quick test_dirty_tracker_orphan_path;
+          Alcotest.test_case "memory node validation" `Quick test_memory_node_validation;
+        ] );
+      ( "runtime-props",
+        [ QCheck_alcotest.to_alcotest ~long:false prop_runtime_integrity_random_ops ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "basic flow" `Quick test_runtime_basic_flow;
+          Alcotest.test_case "integrity under pressure" `Quick
+            test_runtime_integrity_under_pressure;
+          Alcotest.test_case "workload integrity (Redis-Rand)" `Quick
+            test_runtime_workload_integrity;
+          Alcotest.test_case "clean pages silent" `Quick test_runtime_clean_pages_silent;
+          Alcotest.test_case "multi-node distribution" `Quick
+            test_runtime_multi_node_distribution;
+          Alcotest.test_case "clocks" `Quick test_runtime_clocks_advance;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "mirrors identical" `Quick test_replication_mirrors_identical;
+          Alcotest.test_case "targets" `Quick test_replication_targets;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "outage delays traffic" `Quick test_outage_delays_traffic;
+          Alcotest.test_case "mce on outage" `Quick test_mce_on_outage;
+          Alcotest.test_case "no mce without outage" `Quick test_no_mce_without_outage;
+        ] );
+      ( "prefetcher",
+        [
+          Alcotest.test_case "stream detection" `Quick test_prefetcher_stream_detection;
+          Alcotest.test_case "random misses quiet" `Quick test_prefetcher_random_misses_quiet;
+          Alcotest.test_case "runtime prefetch integrity" `Quick
+            test_runtime_prefetch_integrity;
+          Alcotest.test_case "majority-stride policy" `Quick test_prefetcher_stride_policy;
+        ] );
+      ("pml", [ Alcotest.test_case "drain model" `Quick test_ktracker_pml_model ]);
+      ("alloc_lib", [ Alcotest.test_case "malloc/free" `Quick test_alloc_lib ]);
+      ( "kcachesim",
+        [
+          Alcotest.test_case "amat ordering" `Quick test_kcachesim_amat_ordering;
+          Alcotest.test_case "cache size effect" `Quick test_kcachesim_cache_size_effect;
+          Alcotest.test_case "block size tradeoff" `Quick test_kcachesim_block_size_tradeoff;
+          Alcotest.test_case "fetch latency stats" `Quick test_runtime_fetch_latency_stats;
+        ] );
+      ( "ktracker",
+        [
+          Alcotest.test_case "snapshot diff" `Quick test_ktracker_diff;
+          Alcotest.test_case "speedup model" `Quick test_ktracker_speedup_model;
+        ] );
+      ( "cost_model",
+        [ Alcotest.test_case "profiles" `Quick test_cost_model_profiles ] );
+      ("poller", [ Alcotest.test_case "poll" `Quick test_poller ]);
+    ]

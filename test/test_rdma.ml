@@ -1,0 +1,168 @@
+(* Tests for Kona_rdma: the cost model's calibration properties and the QP
+   batching/completion/contention semantics. *)
+
+open Kona_rdma
+module Clock = Kona_util.Clock
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Cost *)
+
+let test_cost_calibration () =
+  (* Paper §2.1: a 4KB RDMA operation is ~3us; small ops are close below. *)
+  let c = Cost.default in
+  let t4k = Cost.batch_ns c ~sizes:[ 4096 ] in
+  check_bool "4KB op ~ 3us" true (t4k > 2_700 && t4k < 3_400);
+  let t64 = Cost.batch_ns c ~sizes:[ 64 ] in
+  check_bool "64B op ~ 2.9us" true (t64 > 2_500 && t64 < 3_100);
+  check_bool "4KB slower than 64B" true (t4k > t64)
+
+let test_cost_batching_amortizes () =
+  let c = Cost.default in
+  let batched = Cost.batch_ns c ~sizes:(List.init 16 (fun _ -> 64)) in
+  let separate = 16 * Cost.batch_ns c ~sizes:[ 64 ] in
+  check_bool "one linked batch beats 16 posts" true (batched * 3 < separate);
+  check_int "empty batch is free" 0 (Cost.batch_ns c ~sizes:[])
+
+let test_cost_wire_bytes () =
+  let c = Cost.default in
+  check_int "headers counted per WQE"
+    ((2 * c.Cost.header_bytes) + 128)
+    (Cost.wire_bytes c ~sizes:[ 64; 64 ])
+
+let test_cost_memcpy_and_bitmap () =
+  let c = Cost.default in
+  check_bool "memcpy grows with size" true
+    (Cost.memcpy_ns c ~bytes:4096 > Cost.memcpy_ns c ~bytes:64);
+  check_bool "bitmap scan linear-ish" true
+    (Cost.bitmap_scan_ns c ~lines:64 >= 4 * Cost.bitmap_scan_ns c ~lines:16)
+
+let prop_cost_monotone =
+  QCheck.Test.make ~name:"batch time monotone in payload" ~count:200
+    QCheck.(pair (int_bound 100_000) (int_bound 100_000))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      Cost.batch_ns Cost.default ~sizes:[ lo ] <= Cost.batch_ns Cost.default ~sizes:[ hi ])
+
+(* ------------------------------------------------------------------ *)
+(* Qp *)
+
+let test_qp_delivery_and_completion () =
+  let clock = Clock.create () in
+  let qp = Qp.create ~clock () in
+  let delivered = ref false in
+  Qp.post qp
+    [ Qp.wqe ~signaled:true ~deliver:(fun () -> delivered := true) Qp.Write ~len:4096 ];
+  check_bool "delivered" true !delivered;
+  Alcotest.(check (list int)) "not complete yet (wire time pending)" []
+    (Qp.poll qp ~max:8);
+  Qp.wait_idle qp;
+  check_bool "clock advanced past wire time" true (Clock.now clock > 2_500);
+  check_int "verbs" 1 (Qp.verbs qp);
+  check_int "posts" 1 (Qp.posts qp)
+
+let test_qp_poll_after_time () =
+  let clock = Clock.create () in
+  let qp = Qp.create ~clock () in
+  Qp.post qp [ Qp.wqe ~signaled:true Qp.Write ~len:64 ];
+  Clock.advance clock 1_000_000;
+  check_int "one completion" 1 (List.length (Qp.poll qp ~max:8));
+  check_int "cq drained" 0 (List.length (Qp.poll qp ~max:8))
+
+let test_qp_unsignaled () =
+  let clock = Clock.create () in
+  let qp = Qp.create ~clock () in
+  Qp.post qp [ Qp.wqe Qp.Write ~len:64; Qp.wqe ~signaled:true Qp.Write ~len:64 ];
+  Clock.advance clock 1_000_000;
+  check_int "only last signaled" 1 (List.length (Qp.poll qp ~max:8))
+
+let test_qp_accounting () =
+  let clock = Clock.create () in
+  let qp = Qp.create ~clock () in
+  Qp.post qp [ Qp.wqe Qp.Write ~len:100; Qp.wqe Qp.Read ~len:50 ];
+  check_int "payload" 150 (Qp.payload_bytes qp);
+  check_int "wire includes headers" (150 + (2 * Cost.default.Cost.header_bytes))
+    (Qp.wire_bytes qp)
+
+let test_nic_contention () =
+  (* Two QPs on one NIC: the second post waits for the wire. *)
+  let nic = Nic.create () in
+  let c1 = Clock.create () and c2 = Clock.create () in
+  let qp1 = Qp.create ~nic ~clock:c1 () in
+  let qp2 = Qp.create ~nic ~clock:c2 () in
+  Qp.post qp1 [ Qp.wqe ~signaled:true Qp.Write ~len:1_000_000 ];
+  Qp.post qp2 [ Qp.wqe ~signaled:true Qp.Write ~len:64 ];
+  Qp.wait_idle qp2;
+  let solo =
+    let c = Clock.create () in
+    let qp = Qp.create ~clock:c () in
+    Qp.post qp [ Qp.wqe ~signaled:true Qp.Write ~len:64 ];
+    Qp.wait_idle qp;
+    Clock.now c
+  in
+  check_bool "contended op slower than solo" true (Clock.now c2 > 2 * solo)
+
+let prop_qp_completions_conserved =
+  QCheck.Test.make ~name:"every signaled wqe completes exactly once" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 30) bool)
+    (fun signals ->
+      let clock = Clock.create () in
+      let qp = Qp.create ~clock () in
+      List.iter (fun s -> Qp.post qp [ Qp.wqe ~signaled:s Qp.Write ~len:64 ]) signals;
+      Clock.advance clock 1_000_000_000;
+      let expected = List.length (List.filter Fun.id signals) in
+      List.length (Qp.poll qp ~max:1000) = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Rpc *)
+
+let test_rpc_round_trip () =
+  let clock = Clock.create () in
+  let nic = Nic.create () in
+  let rpc = Rpc.create ~service_ns:2_000 ~clock ~nic () in
+  let result = Rpc.call rpc ~request_bytes:64 ~response_bytes:256 (fun x -> x * 2) 21 in
+  check_int "handler result" 42 result;
+  check_int "calls" 1 (Rpc.calls rpc);
+  (* two small sends + 2us service: > 7us, < 15us *)
+  check_bool "round trip priced" true (Clock.now clock > 7_000 && Clock.now clock < 15_000);
+  check_int "total accounted" (Clock.now clock) (Rpc.total_ns rpc)
+
+let test_rpc_outage_blocks_control_path () =
+  let clock = Clock.create () in
+  let nic = Nic.create () in
+  Nic.inject_outage nic ~at:0 ~duration:1_000_000;
+  let rpc = Rpc.create ~clock ~nic () in
+  ignore (Rpc.call rpc ~request_bytes:8 ~response_bytes:8 Fun.id ());
+  check_bool "control path waits out the outage" true (Clock.now clock > 1_000_000)
+
+let qsuite name props = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) props)
+
+let () =
+  Alcotest.run "kona_rdma"
+    [
+      ( "cost",
+        [
+          Alcotest.test_case "calibration" `Quick test_cost_calibration;
+          Alcotest.test_case "batching amortizes" `Quick test_cost_batching_amortizes;
+          Alcotest.test_case "wire bytes" `Quick test_cost_wire_bytes;
+          Alcotest.test_case "memcpy/bitmap" `Quick test_cost_memcpy_and_bitmap;
+        ] );
+      qsuite "cost-props" [ prop_cost_monotone ];
+      ( "qp",
+        [
+          Alcotest.test_case "delivery + completion" `Quick test_qp_delivery_and_completion;
+          Alcotest.test_case "poll after time" `Quick test_qp_poll_after_time;
+          Alcotest.test_case "unsignaled" `Quick test_qp_unsignaled;
+          Alcotest.test_case "accounting" `Quick test_qp_accounting;
+          Alcotest.test_case "nic contention" `Quick test_nic_contention;
+        ] );
+      qsuite "qp-props" [ prop_qp_completions_conserved ];
+      ( "rpc",
+        [
+          Alcotest.test_case "round trip" `Quick test_rpc_round_trip;
+          Alcotest.test_case "outage blocks control path" `Quick
+            test_rpc_outage_blocks_control_path;
+        ] );
+    ]

@@ -1,0 +1,123 @@
+(* Tests for Kona_vm: page-table fault semantics and the TLB model. *)
+
+open Kona_vm
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fault = Alcotest.of_pp (fun fmt k ->
+    Format.pp_print_string fmt
+      (match k with
+      | `None -> "none"
+      | `Not_present -> "not-present"
+      | `Protection -> "protection"))
+
+(* ------------------------------------------------------------------ *)
+(* Page_table *)
+
+let test_pt_lifecycle () =
+  let pt = Page_table.create () in
+  Alcotest.check fault "unmapped read" `Not_present
+    (Page_table.fault_kind pt ~page:5 ~write:false);
+  Page_table.map pt ~page:5 ~protection:Page_table.Read_only;
+  Alcotest.check fault "read ok" `None (Page_table.fault_kind pt ~page:5 ~write:false);
+  Alcotest.check fault "write protected" `Protection
+    (Page_table.fault_kind pt ~page:5 ~write:true);
+  Page_table.make_writable pt ~page:5;
+  Alcotest.check fault "write ok" `None (Page_table.fault_kind pt ~page:5 ~write:true);
+  Page_table.unmap pt ~page:5;
+  Alcotest.check fault "unmapped again" `Not_present
+    (Page_table.fault_kind pt ~page:5 ~write:true)
+
+let test_pt_flags () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~page:1 ~protection:Page_table.Read_write;
+  let pte = Option.get (Page_table.lookup pt ~page:1) in
+  check_bool "fresh not accessed" false pte.Page_table.accessed;
+  ignore (Page_table.fault_kind pt ~page:1 ~write:false);
+  check_bool "accessed after read" true pte.Page_table.accessed;
+  check_bool "not dirty after read" false pte.Page_table.dirty;
+  ignore (Page_table.fault_kind pt ~page:1 ~write:true);
+  check_bool "dirty after write" true pte.Page_table.dirty
+
+let test_pt_write_protect_again () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~page:2 ~protection:Page_table.Read_write;
+  ignore (Page_table.fault_kind pt ~page:2 ~write:true);
+  Page_table.write_protect pt ~page:2;
+  Alcotest.check fault "re-protected" `Protection
+    (Page_table.fault_kind pt ~page:2 ~write:true);
+  check_int "counts" 1 (Page_table.mapped_count pt);
+  check_int "present" 1 (Page_table.present_count pt)
+
+let test_pt_faults_dont_set_flags () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~page:3 ~protection:Page_table.Read_only;
+  ignore (Page_table.fault_kind pt ~page:3 ~write:true);
+  let pte = Option.get (Page_table.lookup pt ~page:3) in
+  check_bool "faulting write does not dirty" false pte.Page_table.dirty
+
+(* ------------------------------------------------------------------ *)
+(* Tlb *)
+
+let hit_t = Alcotest.of_pp (fun fmt -> function
+  | `Hit -> Format.pp_print_string fmt "hit"
+  | `Miss -> Format.pp_print_string fmt "miss")
+
+let test_tlb_basic () =
+  let tlb = Tlb.create ~entries:8 ~assoc:2 () in
+  Alcotest.check hit_t "cold miss" `Miss (Tlb.access tlb ~page:1);
+  Alcotest.check hit_t "warm hit" `Hit (Tlb.access tlb ~page:1);
+  check_int "hits" 1 (Tlb.hits tlb);
+  check_int "misses" 1 (Tlb.misses tlb)
+
+let test_tlb_lru_within_set () =
+  (* 8 entries 2-way -> 4 sets; pages 0, 4, 8 share set 0. *)
+  let tlb = Tlb.create ~entries:8 ~assoc:2 () in
+  ignore (Tlb.access tlb ~page:0);
+  ignore (Tlb.access tlb ~page:4);
+  ignore (Tlb.access tlb ~page:0);
+  ignore (Tlb.access tlb ~page:8) (* evicts 4 *);
+  Alcotest.check hit_t "0 still cached" `Hit (Tlb.access tlb ~page:0);
+  Alcotest.check hit_t "4 evicted" `Miss (Tlb.access tlb ~page:4)
+
+let test_tlb_invalidations () =
+  let tlb = Tlb.create () in
+  ignore (Tlb.access tlb ~page:7);
+  Tlb.invalidate_page tlb ~page:7;
+  Alcotest.check hit_t "invalidated" `Miss (Tlb.access tlb ~page:7);
+  check_int "single invalidations" 1 (Tlb.single_invalidations tlb);
+  ignore (Tlb.access tlb ~page:9);
+  Tlb.flush_all tlb;
+  Alcotest.check hit_t "flushed" `Miss (Tlb.access tlb ~page:9);
+  check_int "full flushes" 1 (Tlb.full_flushes tlb)
+
+let prop_tlb_hit_after_access =
+  QCheck.Test.make ~name:"tlb access then access hits" ~count:200
+    QCheck.(int_bound 100_000)
+    (fun page ->
+      let tlb = Tlb.create () in
+      ignore (Tlb.access tlb ~page);
+      Tlb.access tlb ~page = `Hit)
+
+let qsuite name props = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) props)
+
+let () =
+  Alcotest.run "kona_vm"
+    [
+      ( "page_table",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_pt_lifecycle;
+          Alcotest.test_case "accessed/dirty flags" `Quick test_pt_flags;
+          Alcotest.test_case "re-protection" `Quick test_pt_write_protect_again;
+          Alcotest.test_case "faults leave flags clean" `Quick
+            test_pt_faults_dont_set_flags;
+        ] );
+      ( "tlb",
+        [
+          Alcotest.test_case "basic" `Quick test_tlb_basic;
+          Alcotest.test_case "LRU within set" `Quick test_tlb_lru_within_set;
+          Alcotest.test_case "invalidations" `Quick test_tlb_invalidations;
+        ] );
+      qsuite "tlb-props" [ prop_tlb_hit_after_access ];
+    ]
