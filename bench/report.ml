@@ -1,4 +1,38 @@
+module Json = Kona_telemetry.Json
+
+(* One optional JSON-lines artifact per bench process: every printed table
+   row is mirrored there, so the console report and the machine-readable
+   record cannot drift apart. *)
+let json_out : out_channel option ref = ref None
+let current_section = ref ""
+
+let json_line fields =
+  match !json_out with
+  | None -> ()
+  | Some oc ->
+      let fields =
+        if !current_section = "" then fields
+        else ("section", Json.String !current_section) :: fields
+      in
+      output_string oc (Json.to_string (Json.Obj fields));
+      output_char oc '\n'
+
+let open_json ~path ?(meta = []) () =
+  (match !json_out with Some oc -> close_out_noerr oc | None -> ());
+  let oc = open_out path in
+  json_out := Some oc;
+  current_section := "";
+  json_line (("schema", Json.String "kona.bench.v1") :: meta)
+
+let close_json () =
+  match !json_out with
+  | None -> ()
+  | Some oc ->
+      close_out oc;
+      json_out := None
+
 let section title =
+  current_section := title;
   let line = String.make (String.length title + 8) '=' in
   Format.printf "@.%s@.=== %s ===@.%s@." line title line
 
@@ -21,7 +55,15 @@ let table ~header rows =
   Format.printf "  %s@."
     (String.concat "  " (List.map (fun w -> String.make w '-') widths));
   List.iter print_row rows;
-  Format.printf "@."
+  Format.printf "@.";
+  let rec fields hs cs =
+    match (hs, cs) with
+    | h :: hs, c :: cs -> (h, Json.String c) :: fields hs cs
+    | _ -> []
+  in
+  List.iter
+    (fun row -> json_line (("kind", Json.String "row") :: fields header row))
+    rows
 
 let f1 v = Printf.sprintf "%.1f" v
 let f2 v = Printf.sprintf "%.2f" v

@@ -1,14 +1,30 @@
 (** Console reporting helpers shared by all benchmark modules: fixed-width
-    tables, section banners, and paper-vs-measured annotations. *)
+    tables, section banners, and paper-vs-measured annotations.
+
+    When a JSON-lines artifact is open ([open_json]), every printed table
+    row is also appended to it as one object tagged with the current
+    section, so the machine-readable record mirrors the console report. *)
+
+val open_json :
+  path:string -> ?meta:(string * Kona_telemetry.Json.t) list -> unit -> unit
+(** Start the artifact; writes a header line [{"schema":"kona.bench.v1",
+    ...meta}].  Without an open artifact [json_line] is a no-op. *)
+
+val close_json : unit -> unit
+
+val json_line : (string * Kona_telemetry.Json.t) list -> unit
+(** Append one object (plus a ["section"] field when inside a section). *)
 
 val section : string -> unit
-(** Banner with the experiment id and title. *)
+(** Banner with the experiment id and title; also tags subsequent
+    [json_line]s. *)
 
 val note : ('a, Format.formatter, unit) format -> 'a
 (** One explanatory line. *)
 
 val table : header:string list -> string list list -> unit
-(** Column widths derived from contents; first row underlined. *)
+(** Column widths derived from contents; first row underlined.  Each data
+    row is mirrored to the JSON artifact keyed by the header cells. *)
 
 val f1 : float -> string
 val f2 : float -> string

@@ -2,9 +2,12 @@
 
      konactl workloads                 list the Table 2 workloads
      konactl amp [-w NAME] [--full]    measure dirty-data amplification
-     konactl run -w NAME [--system kona|kona-vm] [--fmem-pages N] [--full]
-                                       execute a workload on a runtime and
-                                       report time, traffic and integrity *)
+     konactl run -w NAME [--system kona,kona-vm] [--fmem-pages N] [--full]
+                 [--metrics-json PATH] [--trace PATH]
+                                       execute a workload on one or more
+                                       runtimes and report time, traffic
+                                       and integrity
+     konactl stats -w NAME [...]       same runs, telemetry table output *)
 
 open Kona
 module Workloads = Kona_workloads.Workloads
@@ -13,8 +16,12 @@ module Units = Kona_util.Units
 module Amp = Kona_trace.Amplification
 module Window = Kona_trace.Window
 module Vm_runtime = Kona_baselines.Vm_runtime
+module Hub = Kona_telemetry.Hub
+module Json = Kona_telemetry.Json
+module Snapshot = Kona_telemetry.Snapshot
 
 let scale_of full = if full then Workloads.Full else Workloads.Smoke
+let scale_name full = if full then "full" else "smoke"
 
 (* ------------------------------------------------------------------ *)
 
@@ -38,7 +45,7 @@ let specs_of = function
           Fmt.epr "unknown workload %S (try 'konactl workloads')@." name;
           exit 1)
 
-let cmd_amp workload full =
+let cmd_amp workload seed full =
   let scale = scale_of full in
   List.iter
     (fun (spec : Workloads.spec) ->
@@ -51,7 +58,7 @@ let cmd_amp workload full =
         Heap.create ~capacity:(spec.Workloads.heap_capacity scale)
           ~sink:(Window.sink w) ()
       in
-      spec.Workloads.run scale ~heap ~seed:42;
+      spec.Workloads.run scale ~heap ~seed;
       Window.flush w;
       let a = Amp.aggregate ~drop_last:true amp in
       Fmt.pr "%-22s windows=%4d written=%9d  4K=%6.2f  2M=%8.2f  CL=%5.2f@."
@@ -64,23 +71,32 @@ let cmd_amp workload full =
 
 (* ------------------------------------------------------------------ *)
 
-let cmd_run workload system fmem_pages replicas prefetch full =
-  let scale = scale_of full in
-  let spec =
-    match specs_of (Some workload) with [ s ] -> s | _ -> assert false
-  in
+type run_result = {
+  rr_system : string;
+  rr_hub : Hub.t;
+  rr_elapsed : int;
+  rr_stats : (string * int) list;
+  rr_footprint : int;
+  rr_mismatches : int;
+}
+
+(* Execute [spec] on one runtime with a fresh rack and its own telemetry
+   hub; verifies remote-memory integrity after the final drain. *)
+let run_one ~(spec : Workloads.spec) ~scale ~seed ~fmem_pages ~replicas
+    ~prefetch system =
   let controller = Rack_controller.create ~slab_size:(Units.mib 1) () in
   Rack_controller.register_node controller
     (Memory_node.create ~id:0 ~capacity:(Units.mib 128));
   Rack_controller.register_node controller
     (Memory_node.create ~id:1 ~capacity:(Units.mib 128));
+  let hub = Hub.create () in
   let heap_ref = ref None in
   let read_local ~addr ~len = Heap.peek_bytes (Option.get !heap_ref) addr len in
   let sink, elapsed, drain, stats, rm =
     match system with
     | "kona" ->
         let config = { Runtime.default_config with fmem_pages; replicas; prefetch } in
-        let rt = Runtime.create ~config ~controller ~read_local () in
+        let rt = Runtime.create ~config ~hub ~controller ~read_local () in
         ( Runtime.sink rt,
           (fun () -> Runtime.elapsed_ns rt),
           (fun () -> Runtime.drain rt),
@@ -95,7 +111,7 @@ let cmd_run workload system fmem_pages replicas prefetch full =
           | _ -> Vm_runtime.kona_vm_profile cost Kona_rdma.Cost.default
         in
         let config = { Vm_runtime.default_config with cache_pages = fmem_pages } in
-        let vm = Vm_runtime.create ~config ~profile ~controller ~read_local () in
+        let vm = Vm_runtime.create ~config ~hub ~profile ~controller ~read_local () in
         ( Vm_runtime.sink vm,
           (fun () -> Vm_runtime.elapsed_ns vm),
           (fun () -> Vm_runtime.drain vm),
@@ -109,12 +125,8 @@ let cmd_run workload system fmem_pages replicas prefetch full =
     Heap.create ~capacity:(spec.Workloads.heap_capacity scale) ~sink ()
   in
   heap_ref := Some heap;
-  spec.Workloads.run scale ~heap ~seed:42;
+  spec.Workloads.run scale ~heap ~seed;
   drain ();
-  Fmt.pr "%s on %s: %a virtual time, footprint %a@." spec.Workloads.name system
-    Units.pp_ns (elapsed ()) Units.pp_bytes (Heap.used heap);
-  List.iter (fun (k, v) -> Fmt.pr "  %-26s %d@." k v) (stats ());
-  (* integrity *)
   let mismatches = ref 0 in
   Resource_manager.iter_backed_pages rm (fun ~vpage ~node ~remote_addr ->
       let base = vpage * Units.page_size in
@@ -129,21 +141,132 @@ let cmd_run workload system fmem_pages replicas prefetch full =
         in
         if local <> remote then incr mismatches
       end);
-  Fmt.pr "integrity: %s@."
-    (if !mismatches = 0 then "remote memory matches the heap"
-     else Printf.sprintf "%d PAGES DIVERGED" !mismatches);
-  if !mismatches > 0 then 1 else 0
+  {
+    rr_system = system;
+    rr_hub = hub;
+    rr_elapsed = elapsed ();
+    rr_stats = stats ();
+    rr_footprint = Heap.used heap;
+    rr_mismatches = !mismatches;
+  }
+
+let systems_of s =
+  match
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+  with
+  | [] ->
+      Fmt.epr "no system given (kona | kona-vm | legoos | infiniswap)@.";
+      exit 1
+  | l -> l
+
+(* "trace.jsonl" -> "trace.kona-vm.jsonl" when several systems share one
+   --trace path. *)
+let per_system_path path sys ~single =
+  if single then path
+  else
+    match String.rindex_opt path '.' with
+    | Some i when i > 0 ->
+        String.sub path 0 i ^ "." ^ sys
+        ^ String.sub path i (String.length path - i)
+    | _ -> path ^ "." ^ sys
+
+let export_results ~(spec : Workloads.spec) ~full ~seed ~metrics_json ~trace
+    results =
+  (match metrics_json with
+  | None -> ()
+  | Some path ->
+      let docs =
+        List.map
+          (fun r ->
+            Snapshot.document (Hub.snapshot r.rr_hub)
+              ~meta:
+                [
+                  ("system", Json.String r.rr_system);
+                  ("workload", Json.String spec.Workloads.name);
+                  ("scale", Json.String (scale_name full));
+                  ("seed", Json.Int seed);
+                  ("elapsed_ns", Json.Int r.rr_elapsed);
+                ])
+          results
+      in
+      let doc =
+        Json.Obj
+          [
+            ("schema", Json.String "kona.telemetry.v1");
+            ("workload", Json.String spec.Workloads.name);
+            ("systems", Json.List docs);
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (Json.to_string doc);
+      output_char oc '\n';
+      close_out oc;
+      Fmt.pr "metrics: wrote %s@." path);
+  match trace with
+  | None -> ()
+  | Some path ->
+      let single = List.length results = 1 in
+      List.iter
+        (fun r ->
+          let p = per_system_path path r.rr_system ~single in
+          let n = Hub.write_trace ~path:p r.rr_hub in
+          Fmt.pr "trace: wrote %d events to %s@." n p)
+        results
+
+let cmd_run workload systems fmem_pages replicas prefetch seed metrics_json
+    trace full =
+  let scale = scale_of full in
+  let spec =
+    match specs_of (Some workload) with [ s ] -> s | _ -> assert false
+  in
+  let results =
+    List.map
+      (run_one ~spec ~scale ~seed ~fmem_pages ~replicas ~prefetch)
+      (systems_of systems)
+  in
+  List.iter
+    (fun r ->
+      Fmt.pr "%s on %s: %a virtual time, footprint %a@." spec.Workloads.name
+        r.rr_system Units.pp_ns r.rr_elapsed Units.pp_bytes r.rr_footprint;
+      List.iter (fun (k, v) -> Fmt.pr "  %-26s %d@." k v) r.rr_stats;
+      Fmt.pr "integrity: %s@."
+        (if r.rr_mismatches = 0 then "remote memory matches the heap"
+         else Printf.sprintf "%d PAGES DIVERGED" r.rr_mismatches))
+    results;
+  export_results ~spec ~full ~seed ~metrics_json ~trace results;
+  if List.exists (fun r -> r.rr_mismatches > 0) results then 1 else 0
+
+let cmd_stats workload systems fmem_pages replicas prefetch seed metrics_json
+    trace full =
+  let scale = scale_of full in
+  let spec =
+    match specs_of (Some workload) with [ s ] -> s | _ -> assert false
+  in
+  let results =
+    List.map
+      (run_one ~spec ~scale ~seed ~fmem_pages ~replicas ~prefetch)
+      (systems_of systems)
+  in
+  List.iter
+    (fun r ->
+      Fmt.pr "== %s on %s (%s, seed %d): %a ==@." spec.Workloads.name
+        r.rr_system (scale_name full) seed Units.pp_ns r.rr_elapsed;
+      Fmt.pr "%a@." Snapshot.pp_table (Hub.snapshot r.rr_hub))
+    results;
+  export_results ~spec ~full ~seed ~metrics_json ~trace results;
+  if List.exists (fun r -> r.rr_mismatches > 0) results then 1 else 0
 
 (* ------------------------------------------------------------------ *)
 
-let cmd_record workload out full =
+let cmd_record workload out seed full =
   let scale = scale_of full in
   let spec = match specs_of (Some workload) with [ s ] -> s | _ -> assert false in
   let sink, close = Kona_trace.Trace_file.writer ~path:out in
   let heap =
     Heap.create ~capacity:(spec.Workloads.heap_capacity scale) ~sink ()
   in
-  spec.Workloads.run scale ~heap ~seed:42;
+  spec.Workloads.run scale ~heap ~seed;
   let events = close () in
   Fmt.pr "recorded %d events from %s to %s@." events spec.Workloads.name out;
   0
@@ -186,8 +309,10 @@ let full = Arg.(value & flag & info [ "full" ] ~doc:"bench-sized run (default: s
 
 let system =
   Arg.(
-    value & opt string "kona"
-    & info [ "system" ] ~doc:"kona | kona-vm | legoos | infiniswap")
+    value
+    & opt string "kona,kona-vm"
+    & info [ "system" ]
+        ~doc:"comma-separated subset of kona | kona-vm | legoos | infiniswap")
 
 let fmem_pages =
   Arg.(value & opt int 1024 & info [ "fmem-pages" ] ~doc:"local cache frames")
@@ -197,6 +322,25 @@ let replicas =
 
 let prefetch =
   Arg.(value & flag & info [ "prefetch" ] ~doc:"enable stream prefetching (kona only)")
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"workload RNG seed")
+
+let metrics_json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"PATH"
+        ~doc:"export the telemetry snapshot of every system run as one JSON document")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"PATH"
+        ~doc:
+          "export the event-trace ring as JSON lines (per-system suffix added \
+           when several systems run)")
 
 let out_path =
   Arg.(required & opt (some string) None & info [ "o"; "out" ] ~doc:"output trace file")
@@ -212,13 +356,21 @@ let cmds =
     Cmd.v (Cmd.info "workloads" ~doc:"list Table 2 workloads")
       Term.(const cmd_workloads $ const ());
     Cmd.v (Cmd.info "record" ~doc:"record a workload's access trace to a file")
-      Term.(const cmd_record $ workload_req $ out_path $ full);
+      Term.(const cmd_record $ workload_req $ out_path $ seed $ full);
     Cmd.v (Cmd.info "replay" ~doc:"replay a trace file through the analyses")
       Term.(const cmd_replay $ in_path $ quantum);
     Cmd.v (Cmd.info "amp" ~doc:"dirty-data amplification (Table 2)")
-      Term.(const cmd_amp $ workload_opt $ full);
-    Cmd.v (Cmd.info "run" ~doc:"run a workload on a remote-memory runtime")
-      Term.(const cmd_run $ workload_req $ system $ fmem_pages $ replicas $ prefetch $ full);
+      Term.(const cmd_amp $ workload_opt $ seed $ full);
+    Cmd.v (Cmd.info "run" ~doc:"run a workload on remote-memory runtimes")
+      Term.(
+        const cmd_run $ workload_req $ system $ fmem_pages $ replicas $ prefetch
+        $ seed $ metrics_json $ trace_out $ full);
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:"run a workload and print the full telemetry table per system")
+      Term.(
+        const cmd_stats $ workload_req $ system $ fmem_pages $ replicas
+        $ prefetch $ seed $ metrics_json $ trace_out $ full);
   ]
 
 let () =

@@ -4,7 +4,11 @@ module Hierarchy = Kona_cachesim.Hierarchy
 module Fmem = Kona_coherence.Fmem
 module Page_table = Kona_vm.Page_table
 module Tlb = Kona_vm.Tlb
+module Nic = Kona_rdma.Nic
 module Qp = Kona_rdma.Qp
+module Hub = Kona_telemetry.Hub
+module Registry = Kona_telemetry.Registry
+module Tracer = Kona_telemetry.Tracer
 module Cost_model = Kona.Cost_model
 module Resource_manager = Kona.Resource_manager
 module Rack_controller = Kona.Rack_controller
@@ -72,9 +76,13 @@ type t = {
   tlb : Tlb.t;
   rm : Resource_manager.t;
   controller : Rack_controller.t;
+  nic : Nic.t;
   evict_qp : Qp.t;
+  tracer : Tracer.t option;
+  fetch_latency : Histogram.t;
   read_local : addr:int -> len:int -> string;
   mutable accesses : int;
+  mutable page_hits : int;
   mutable remote_faults : int;
   mutable wp_faults : int;
   mutable pages_evicted : int;
@@ -82,38 +90,106 @@ type t = {
   mutable shootdowns : int;
 }
 
-let create ?(config = default_config) ?nic ~profile ~controller ~read_local () =
+(* Same namespace as {!Kona.Runtime.register_metrics} where the concepts
+   coincide ([fetch.latency_ns], [fmem.hits]/[fmem.misses],
+   [nic.wire_bytes], ...), so one pipeline compares the two systems; the
+   fault machinery publishes under [vm.*]. *)
+let register_metrics t reg =
+  let c ?labels name f = Registry.counter_fn reg ?labels name f in
+  let g ?labels name f = Registry.gauge_fn reg ?labels name f in
+  c "runtime.accesses" (fun () -> t.accesses);
+  g "clock.app_ns" (fun () -> Clock.now t.app_clock);
+  g "clock.bg_ns" (fun () -> Clock.now t.bg_clock);
+  Registry.histogram_ref reg "fetch.latency_ns" t.fetch_latency;
+  c "fetch.pages" (fun () -> t.remote_faults);
+  c "fetch.bytes" (fun () -> t.remote_faults * t.config.page_bytes);
+  c "fmem.hits" (fun () -> t.page_hits);
+  c "fmem.misses" (fun () -> t.remote_faults);
+  g "fmem.resident" (fun () -> Fmem.resident t.page_cache);
+  c "fmem.evictions" (fun () -> Fmem.evictions t.page_cache);
+  c "vm.remote_faults" (fun () -> t.remote_faults);
+  c "vm.wp_faults" (fun () -> t.wp_faults);
+  c "vm.shootdowns" (fun () -> t.shootdowns);
+  c "vm.tlb_misses" (fun () -> Tlb.misses t.tlb);
+  c "evict.pages" (fun () -> t.pages_evicted);
+  c "wb.pages" (fun () -> t.dirty_pages_written);
+  c "wb.bytes" (fun () -> t.dirty_pages_written * t.config.page_bytes);
+  List.iter
+    (fun (lvl, cache) ->
+      let labels = [ ("level", lvl) ] in
+      c ~labels "cache.accesses" (fun () ->
+          let s = Kona_cachesim.Cache.stats cache in
+          s.Kona_cachesim.Cache.reads + s.Kona_cachesim.Cache.writes);
+      c ~labels "cache.misses" (fun () ->
+          let s = Kona_cachesim.Cache.stats cache in
+          s.Kona_cachesim.Cache.read_misses + s.Kona_cachesim.Cache.write_misses))
+    [
+      ("l1", Hierarchy.l1 t.hierarchy);
+      ("l2", Hierarchy.l2 t.hierarchy);
+      ("llc", Hierarchy.llc t.hierarchy);
+    ];
+  let labels = [ ("qp", "evict") ] in
+  c ~labels "qp.wire_bytes" (fun () -> Qp.wire_bytes t.evict_qp);
+  c ~labels "qp.payload_bytes" (fun () -> Qp.payload_bytes t.evict_qp);
+  c ~labels "qp.posts" (fun () -> Qp.posts t.evict_qp);
+  c ~labels "qp.verbs" (fun () -> Qp.verbs t.evict_qp);
+  c "nic.ops" (fun () -> Nic.ops t.nic);
+  c "nic.busy_ns" (fun () -> Nic.busy_ns t.nic);
+  c "nic.stall_ns" (fun () -> Nic.stall_ns t.nic);
+  (* Evictions go out on the QP; fetched pages also cross the NIC, but the
+     fault path folds their wire time into the profile latency, so their
+     bytes are accounted from the fault count. *)
+  c "nic.wire_bytes" (fun () ->
+      Qp.wire_bytes t.evict_qp + (t.remote_faults * t.config.page_bytes));
+  g "rm.slabs" (fun () -> List.length (Resource_manager.slabs t.rm));
+  c "rm.controller_round_trips" (fun () ->
+      Resource_manager.controller_round_trips t.rm)
+
+let create ?(config = default_config) ?nic ?hub ~profile ~controller ~read_local () =
   if config.page_bytes < Units.page_size || config.page_bytes mod Units.page_size <> 0
   then invalid_arg "Vm_runtime: page_bytes must be a positive multiple of 4096";
   let app_clock = Clock.create () in
   let bg_clock = Clock.create () in
+  let tracer = Option.map Hub.tracer hub in
+  (match tracer with
+  | Some tr ->
+      Tracer.set_clock tr (fun () -> (Clock.now app_clock, Clock.now bg_clock))
+  | None -> ());
   let nic = match nic with Some n -> n | None -> Kona_rdma.Nic.create () in
-  {
-    config;
-    profile;
-    app_clock;
-    bg_clock;
-    hierarchy =
-      Hierarchy.create ~config:config.cache_config
-        ~on_fill:(fun ~addr:_ ~write:_ -> ())
-        ();
-    page_cache = Fmem.create ~assoc:config.cache_assoc ~pages:config.cache_pages ();
-    pt = Page_table.create ();
-    tlb = Tlb.create ();
-    rm =
-      Resource_manager.create
-        ~rpc:(Kona_rdma.Rpc.create ~cost:config.rdma ~clock:app_clock ~nic ())
-        ~controller ();
-    controller;
-    evict_qp = Qp.create ~cost:config.rdma ~nic ~clock:bg_clock ();
-    read_local;
-    accesses = 0;
-    remote_faults = 0;
-    wp_faults = 0;
-    pages_evicted = 0;
-    dirty_pages_written = 0;
-    shootdowns = 0;
-  }
+  let t =
+    {
+      config;
+      profile;
+      app_clock;
+      bg_clock;
+      hierarchy =
+        Hierarchy.create ~config:config.cache_config
+          ~on_fill:(fun ~addr:_ ~write:_ -> ())
+          ();
+      page_cache = Fmem.create ~assoc:config.cache_assoc ~pages:config.cache_pages ();
+      pt = Page_table.create ();
+      tlb = Tlb.create ();
+      rm =
+        Resource_manager.create
+          ~rpc:(Kona_rdma.Rpc.create ~cost:config.rdma ~clock:app_clock ~nic ())
+          ~controller ();
+      controller;
+      nic;
+      evict_qp = Qp.create ~cost:config.rdma ~nic ~clock:bg_clock ();
+      tracer;
+      fetch_latency = Histogram.create ();
+      read_local;
+      accesses = 0;
+      page_hits = 0;
+      remote_faults = 0;
+      wp_faults = 0;
+      pages_evicted = 0;
+      dirty_pages_written = 0;
+      shootdowns = 0;
+    }
+  in
+  (match hub with Some h -> register_metrics t (Hub.registry h) | None -> ());
+  t
 
 let charge_app t ns = Clock.advance t.app_clock ns
 let charge_bg t ns = Clock.advance t.bg_clock ns
@@ -140,6 +216,7 @@ let writeback_page t ~vpage =
 
 let evict_victim t ~vpage =
   t.pages_evicted <- t.pages_evicted + 1;
+  let bg_before = Clock.now t.bg_clock in
   let dirty =
     match Page_table.lookup t.pt ~page:vpage with
     | Some pte -> pte.Page_table.dirty || not t.config.write_protect
@@ -155,10 +232,17 @@ let evict_victim t ~vpage =
   Tlb.invalidate_page t.tlb ~page:vpage;
   t.shootdowns <- t.shootdowns + 1;
   charge_app t t.config.cost.Cost_model.tlb_invalidate_ns;
-  ignore (Fmem.evict t.page_cache ~vpage : Fmem.victim option)
+  ignore (Fmem.evict t.page_cache ~vpage : Fmem.victim option);
+  match t.tracer with
+  | Some tr ->
+      Tracer.span tr "evict.page"
+        ~dur_ns:(Clock.now t.bg_clock - bg_before)
+        ~args:[ ("vpage", vpage); ("dirty", if dirty then 1 else 0) ]
+  | None -> ()
 
 let fetch_page t ~vpage =
   t.remote_faults <- t.remote_faults + 1;
+  let app_before = Clock.now t.app_clock in
   (* The fault's latency floor is the profile's; bigger pages additionally
      pay their extra wire time relative to a 4KB transfer. *)
   charge_app t t.profile.remote_fetch_ns;
@@ -177,14 +261,25 @@ let fetch_page t ~vpage =
   let protection =
     if t.config.write_protect then Page_table.Read_only else Page_table.Read_write
   in
-  Page_table.map t.pt ~page:vpage ~protection
+  Page_table.map t.pt ~page:vpage ~protection;
+  let wait_ns = Clock.now t.app_clock - app_before in
+  Histogram.add t.fetch_latency wait_ns;
+  match t.tracer with
+  | Some tr -> Tracer.span tr "fetch.page" ~dur_ns:wait_ns ~args:[ ("vpage", vpage) ]
+  | None -> ()
+
+let note_wp_fault t ~page =
+  t.wp_faults <- t.wp_faults + 1;
+  match t.tracer with
+  | Some tr -> Tracer.instant tr "vm.wp_fault" ~args:[ ("vpage", page) ]
+  | None -> ()
 
 let page_access t ~page ~write =
   (match Tlb.access t.tlb ~page with
   | `Hit -> ()
   | `Miss -> charge_app t t.config.cost.Cost_model.tlb_walk_ns);
   match Page_table.fault_kind t.pt ~page ~write with
-  | `None -> ()
+  | `None -> t.page_hits <- t.page_hits + 1
   | `Not_present -> (
       fetch_page t ~vpage:page;
       (* The triggering access retries: a write now takes the second,
@@ -192,13 +287,14 @@ let page_access t ~page ~write =
       match Page_table.fault_kind t.pt ~page ~write with
       | `None -> ()
       | `Protection ->
-          t.wp_faults <- t.wp_faults + 1;
+          note_wp_fault t ~page;
           charge_app t t.config.cost.Cost_model.minor_fault_ns;
           Page_table.make_writable t.pt ~page;
           ignore (Page_table.fault_kind t.pt ~page ~write : [ `None | `Not_present | `Protection ])
       | `Not_present -> assert false)
   | `Protection ->
-      t.wp_faults <- t.wp_faults + 1;
+      t.page_hits <- t.page_hits + 1;
+      note_wp_fault t ~page;
       charge_app t t.config.cost.Cost_model.minor_fault_ns;
       Page_table.make_writable t.pt ~page;
       ignore (Page_table.fault_kind t.pt ~page ~write : [ `None | `Not_present | `Protection ])
@@ -253,6 +349,7 @@ let stats t =
     ("tlb_misses", Tlb.misses t.tlb);
     ("evict_wire_bytes", Qp.wire_bytes t.evict_qp);
     ("resident_pages", Fmem.resident t.page_cache);
+    ("page_hits", t.page_hits);
   ]
 
 let page_table t = t.pt

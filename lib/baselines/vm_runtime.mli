@@ -50,11 +50,18 @@ type t
 val create :
   ?config:config ->
   ?nic:Kona_rdma.Nic.t ->
+  ?hub:Kona_telemetry.Hub.t ->
   profile:profile ->
   controller:Kona.Rack_controller.t ->
   read_local:(addr:int -> len:int -> string) ->
   unit ->
   t
+(** [hub] attaches telemetry through the same pipeline as Kona's runtime:
+    the shared metric names ([fetch.latency_ns], [fmem.hits]/[fmem.misses],
+    [nic.wire_bytes], [cache.*{level=...}], ...) are registered alongside
+    the fault-specific [vm.*] counters, and the tracer receives
+    [fetch.page]/[evict.page] spans and [vm.wp_fault] instants.  One hub per
+    runtime instance. *)
 
 val sink : t -> Kona_trace.Access.t -> unit
 val drain : t -> unit

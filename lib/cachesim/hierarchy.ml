@@ -18,6 +18,7 @@ type t = {
   on_fill : addr:int -> write:bool -> unit;
   on_writeback : addr:int -> unit;
   mutable memory_accesses : int;
+  mutable writebacks : int;
 }
 
 let create ?(config = default_config) ?(on_fill = fun ~addr:_ ~write:_ -> ())
@@ -31,6 +32,7 @@ let create ?(config = default_config) ?(on_fill = fun ~addr:_ ~write:_ -> ())
     on_fill;
     on_writeback;
     memory_accesses = 0;
+    writebacks = 0;
   }
 
 (* Evicting a victim from [level]: upper levels may hold the line (inclusion
@@ -54,7 +56,10 @@ let handle_llc_victim t = function
   | None -> ()
   | Some victim ->
       let victim = back_invalidate [ t.l2; t.l1 ] victim in
-      if victim.Cache.dirty then t.on_writeback ~addr:victim.Cache.block_addr
+      if victim.Cache.dirty then begin
+        t.writebacks <- t.writebacks + 1;
+        t.on_writeback ~addr:victim.Cache.block_addr
+      end
 
 let access_line t ~addr ~write =
   match Cache.access t.l1 ~addr ~write with
@@ -112,3 +117,4 @@ let l1 t = t.l1
 let l2 t = t.l2
 let llc t = t.llc
 let memory_accesses t = t.memory_accesses
+let writebacks t = t.writebacks

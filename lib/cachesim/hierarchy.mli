@@ -56,3 +56,6 @@ val llc : t -> Cache.t
 
 val memory_accesses : t -> int
 (** Number of line fills from memory (= LLC misses). *)
+
+val writebacks : t -> int
+(** Dirty LLC victims pushed to memory (each also invoked [on_writeback]). *)

@@ -54,3 +54,22 @@ val victim_candidate : t -> vpage:int -> int option
 
 val iter_resident : t -> (vpage:int -> dirty:int -> unit) -> unit
 (** [dirty] is the number of dirty lines in the frame. *)
+
+(** {2 Telemetry counters}
+
+    Probe-level accounting, kept per set so organization skew (hot sets
+    thrashing while others idle) is observable.  A "probe" is any [lookup];
+    note the runtime probes more than once per demand access, so these are
+    deliberately distinct from the caching handler's demand hit/miss
+    counters. *)
+
+val nsets : t -> int
+
+val probe_hits : t -> int
+val probe_misses : t -> int
+
+val evictions : t -> int
+(** Frames displaced by [insert] plus forced [evict]s. *)
+
+val set_counters : t -> set:int -> int * int * int
+(** [(hits, misses, evictions)] for one set. *)

@@ -1,6 +1,7 @@
 open Kona_util
 module Fmem = Kona_coherence.Fmem
 module Qp = Kona_rdma.Qp
+module Tracer = Kona_telemetry.Tracer
 
 type t = {
   cost : Cost_model.t;
@@ -10,6 +11,7 @@ type t = {
   rm : Resource_manager.t;
   fetch_qp : Qp.t;
   prefetch_qp : Qp.t option;
+  tracer : Tracer.t option;
   mutable prefetcher : Prefetcher.t option;
   prefetched : (int, unit) Hashtbl.t; (* prefetched, not yet demanded *)
   on_victim : vpage:int -> dirty:Bitmap.t -> unit;
@@ -22,8 +24,8 @@ type t = {
   fetch_latency : Histogram.t;
 }
 
-let create ~cost ?(fetch_block = Units.page_size) ?mce_threshold_ns ?prefetch_qp ~fmem
-    ~rm ~fetch_qp ~on_victim () =
+let create ~cost ?(fetch_block = Units.page_size) ?mce_threshold_ns ?prefetch_qp ?tracer
+    ~fmem ~rm ~fetch_qp ~on_victim () =
   if fetch_block < Units.page_size || fetch_block mod Units.page_size <> 0 then
     invalid_arg "Caching_handler: fetch_block must be a positive multiple of the page size";
   let t =
@@ -35,6 +37,7 @@ let create ~cost ?(fetch_block = Units.page_size) ?mce_threshold_ns ?prefetch_qp
       rm;
       fetch_qp;
       prefetch_qp;
+      tracer;
       prefetcher = None;
       prefetched = Hashtbl.create 64;
       on_victim;
@@ -79,12 +82,21 @@ let fetch_page t ~vpage =
   let wqe = Qp.wqe ~signaled:true Qp.Read ~len:Units.page_size in
   Qp.post t.fetch_qp [ wqe ];
   Qp.wait_idle t.fetch_qp;
-  Histogram.add t.fetch_latency (Clock.now (app_clock t) - before);
+  let wait_ns = Clock.now (app_clock t) - before in
+  Histogram.add t.fetch_latency wait_ns;
+  (match t.tracer with
+  | Some tr -> Tracer.span tr "fetch.page" ~dur_ns:wait_ns ~args:[ ("vpage", vpage) ]
+  | None -> ());
   (match t.mce_threshold_ns with
-  | Some threshold when Clock.now (app_clock t) - before > threshold ->
+  | Some threshold when wait_ns > threshold ->
       (* The coherence protocol timed out waiting for the response: the CPU
          raises a machine check; recovery re-arms the line request. *)
       t.mce_raised <- t.mce_raised + 1;
+      (match t.tracer with
+      | Some tr ->
+          Tracer.instant tr "fetch.mce"
+            ~args:[ ("vpage", vpage); ("wait_ns", wait_ns) ]
+      | None -> ());
       Clock.advance (app_clock t) t.cost.Cost_model.mce_recovery_ns
   | Some _ | None -> ());
   t.pages_fetched <- t.pages_fetched + 1;

@@ -24,6 +24,7 @@ val create :
   ?fetch_block:int ->
   ?mce_threshold_ns:int ->
   ?prefetch_qp:Kona_rdma.Qp.t ->
+  ?tracer:Kona_telemetry.Tracer.t ->
   fmem:Kona_coherence.Fmem.t ->
   rm:Resource_manager.t ->
   fetch_qp:Kona_rdma.Qp.t ->
@@ -38,7 +39,10 @@ val create :
     {!Prefetcher}): sequential demand misses trigger asynchronous fetches
     on that queue pair (a background clock — the application does not
     wait), which is only possible because Kona's fetches are cache misses
-    rather than serializing page faults. *)
+    rather than serializing page faults.
+
+    [tracer] receives a [fetch.page] span per demand fetch and a
+    [fetch.mce] instant per machine-check raised. *)
 
 val on_fill : t -> addr:int -> unit
 (** Handle one LLC-miss line request for VFMem address [addr]. *)

@@ -1,6 +1,7 @@
 open Kona_util
 module Qp = Kona_rdma.Qp
 module Cost = Kona_rdma.Cost
+module Tracer = Kona_telemetry.Tracer
 
 let header_bytes = 8
 let entry_bytes = header_bytes + Units.cache_line
@@ -11,9 +12,13 @@ type t = {
   cost : Cost.t;
   resolve : node:int -> Memory_node.t;
   extra_targets : node:int -> Memory_node.t list;
+  tracer : Tracer.t option;
   buffers : (int, Memory_node.log_entry list ref) Hashtbl.t; (* node -> staged, newest first *)
   staged : (int, int) Hashtbl.t; (* node -> count *)
   mutable lines_logged : int;
+  mutable appends : int;
+  mutable payload_bytes : int;
+  mutable wire_bytes : int;
   mutable flushes : int;
   mutable bitmap_ns : int;
   mutable copy_ns : int;
@@ -21,7 +26,8 @@ type t = {
   mutable ack_ns : int;
 }
 
-let create ?(capacity = 512) ?(extra_targets = fun ~node:_ -> []) ~qp ~cost ~resolve () =
+let create ?(capacity = 512) ?(extra_targets = fun ~node:_ -> []) ?tracer ~qp ~cost
+    ~resolve () =
   assert (capacity > 0);
   {
     capacity;
@@ -29,9 +35,13 @@ let create ?(capacity = 512) ?(extra_targets = fun ~node:_ -> []) ~qp ~cost ~res
     cost;
     resolve;
     extra_targets;
+    tracer;
     buffers = Hashtbl.create 4;
     staged = Hashtbl.create 4;
     lines_logged = 0;
+    appends = 0;
+    payload_bytes = 0;
+    wire_bytes = 0;
     flushes = 0;
     bitmap_ns = 0;
     copy_ns = 0;
@@ -82,6 +92,7 @@ let flush_node t node =
           targets
       in
       Qp.post t.qp wqes;
+      t.wire_bytes <- t.wire_bytes + (wire * List.length targets);
       t.rdma_ns <-
         t.rdma_ns
         + (List.length targets
@@ -90,7 +101,18 @@ let flush_node t node =
               +. (t.cost.Cost.byte_ns *. float_of_int (wire + t.cost.Cost.header_bytes))));
       (* Replica acks are awaited in parallel: one ack latency per flush. *)
       t.ack_ns <- t.ack_ns + int_of_float t.cost.Cost.ack_ns;
-      t.flushes <- t.flushes + 1
+      t.flushes <- t.flushes + 1;
+      match t.tracer with
+      | Some tr ->
+          Tracer.instant tr "cllog.flush_node"
+            ~args:
+              [
+                ("node", node);
+                ("entries", List.length entries);
+                ("wire_bytes", wire);
+                ("replicas", List.length targets - 1);
+              ]
+      | None -> ()
 
 let append_run t ~node ~raddr ~data =
   let len = String.length data in
@@ -109,6 +131,8 @@ let append_run t ~node ~raddr ~data =
   entries_ref := { Memory_node.addr = raddr; data } :: !entries_ref;
   Hashtbl.replace t.staged node (staged_count t node + lines);
   t.lines_logged <- t.lines_logged + lines;
+  t.appends <- t.appends + 1;
+  t.payload_bytes <- t.payload_bytes + len;
   if staged_count t node >= t.capacity then flush_node t node
 
 let flush t =
@@ -119,10 +143,22 @@ let flush t =
   let before = Clock.now (clock t) in
   Qp.wait_idle t.qp;
   t.rdma_ns <- t.rdma_ns + (Clock.now (clock t) - before);
-  if t.flushes > 0 then Clock.advance (clock t) (int_of_float t.cost.Cost.ack_ns)
+  if t.flushes > 0 then Clock.advance (clock t) (int_of_float t.cost.Cost.ack_ns);
+  match t.tracer with
+  | Some tr ->
+      Tracer.span tr "cllog.fence" ~dur_ns:(Clock.now (clock t) - before)
+        ~args:[ ("flushes", t.flushes) ]
+  | None -> ()
 
 let lines_logged t = t.lines_logged
 let flushes t = t.flushes
+let appends t = t.appends
+let payload_bytes t = t.payload_bytes
+let wire_bytes t = t.wire_bytes
+
+(* Bytes shipped beyond the application payload: entry headers, wire
+   framing, replica copies — the log's own amplification. *)
+let overhead_bytes t = Stdlib.max 0 (t.wire_bytes - t.payload_bytes)
 
 let breakdown_ns t =
   [ ("bitmap", t.bitmap_ns); ("copy", t.copy_ns); ("rdma", t.rdma_ns); ("ack", t.ack_ns) ]

@@ -23,6 +23,7 @@ val entry_bytes : int
 val create :
   ?capacity:int ->
   ?extra_targets:(node:int -> Memory_node.t list) ->
+  ?tracer:Kona_telemetry.Tracer.t ->
   qp:Kona_rdma.Qp.t ->
   cost:Kona_rdma.Cost.t ->
   resolve:(node:int -> Memory_node.t) ->
@@ -32,7 +33,11 @@ val create :
     [resolve] maps node ids to their (simulated) hosts; [extra_targets]
     supplies replica mirrors — each flush is posted to the primary and all
     mirrors in one linked batch, and the (parallel) acknowledgments are
-    awaited together (§4.5). *)
+    awaited together (§4.5).  [tracer] receives a [cllog.flush_node] event
+    per shipped batch and a [cllog.fence] span per synchronous flush. *)
+
+val clock : t -> Kona_util.Clock.t
+(** The background (eviction-path) clock the log charges to. *)
 
 val append_run : t -> node:int -> raddr:int -> data:string -> unit
 (** Stage one run of contiguous dirty cache-lines ([data] length must be a
@@ -53,6 +58,20 @@ val flush : t -> unit
 
 val lines_logged : t -> int
 val flushes : t -> int
+
+val appends : t -> int
+(** Runs staged via [append_run]. *)
+
+val payload_bytes : t -> int
+(** Application cache-line bytes staged into the log. *)
+
+val wire_bytes : t -> int
+(** Bytes shipped over RDMA for flushed batches, headers and replica copies
+    included. *)
+
+val overhead_bytes : t -> int
+(** [wire_bytes - payload_bytes] floored at zero while a batch is staged:
+    the log's own dirty-data amplification in bytes. *)
 
 val breakdown_ns : t -> (string * int) list
 (** [("bitmap", ns); ("copy", ns); ("rdma", ns); ("ack", ns)] — Fig. 11c.

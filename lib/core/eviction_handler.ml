@@ -1,22 +1,25 @@
 open Kona_util
+module Tracer = Kona_telemetry.Tracer
 
 type t = {
   log : Cl_log.t;
   rm : Resource_manager.t;
   read_local : addr:int -> len:int -> string;
   snoop : page:int -> int list;
+  tracer : Tracer.t option;
   mutable pages_evicted : int;
   mutable clean_pages : int;
   mutable lines_evicted : int;
   mutable snooped_dirty_lines : int;
 }
 
-let create ~log ~rm ~read_local ~snoop () =
+let create ?tracer ~log ~rm ~read_local ~snoop () =
   {
     log;
     rm;
     read_local;
     snoop;
+    tracer;
     pages_evicted = 0;
     clean_pages = 0;
     lines_evicted = 0;
@@ -35,6 +38,7 @@ let stage_run t ~run_addr ~lines =
       t.lines_evicted <- t.lines_evicted + lines
 
 let evict t ~vpage ~dirty =
+  let began = Clock.now (Cl_log.clock t.log) in
   let dirty = Bitmap.copy dirty in
   (* Snoop: lines of this page still modified inside CPU caches have not
      been written back yet; recall them and fold into the mask. *)
@@ -44,7 +48,8 @@ let evict t ~vpage ~dirty =
       Bitmap.set dirty (Units.line_in_page line_addr))
     (t.snoop ~page:vpage);
   Cl_log.note_bitmap_scan t.log ~lines:Units.lines_per_page;
-  if Bitmap.is_empty dirty then t.clean_pages <- t.clean_pages + 1
+  let dirty_count = Bitmap.count dirty in
+  if dirty_count = 0 then t.clean_pages <- t.clean_pages + 1
   else begin
     (* Contiguous dirty lines ship as single run entries (§2.2: dirty
        cache-line contiguity is paramount for network transfer). *)
@@ -54,11 +59,20 @@ let evict t ~vpage ~dirty =
         stage_run t ~run_addr:(page_base + (start * Units.cache_line)) ~lines)
       (Bitmap.segments dirty)
   end;
-  t.pages_evicted <- t.pages_evicted + 1
+  t.pages_evicted <- t.pages_evicted + 1;
+  match t.tracer with
+  | Some tr ->
+      Tracer.span tr "evict.page"
+        ~dur_ns:(Clock.now (Cl_log.clock t.log) - began)
+        ~args:[ ("vpage", vpage); ("dirty_lines", dirty_count) ]
+  | None -> ()
 
 let write_line_through t ~line_addr =
   stage_run t ~run_addr:line_addr ~lines:1;
-  Cl_log.flush t.log
+  Cl_log.flush t.log;
+  match t.tracer with
+  | Some tr -> Tracer.instant tr "evict.orphan_write_through" ~args:[ ("addr", line_addr) ]
+  | None -> ()
 
 let pages_evicted t = t.pages_evicted
 let clean_pages t = t.clean_pages

@@ -10,6 +10,7 @@
 type t
 
 val create :
+  ?tracer:Kona_telemetry.Tracer.t ->
   log:Cl_log.t ->
   rm:Resource_manager.t ->
   read_local:(addr:int -> len:int -> string) ->
@@ -18,7 +19,9 @@ val create :
   t
 (** [read_local] reads the application's memory (the data to ship);
     [snoop] flushes one page out of the CPU hierarchy and returns the
-    addresses of lines that were dirty there. *)
+    addresses of lines that were dirty there.  [tracer] receives an
+    [evict.page] span per victim (duration on the background clock) and an
+    instant per orphan write-through. *)
 
 val evict : t -> vpage:int -> dirty:Kona_util.Bitmap.t -> unit
 (** Process one victim. *)

@@ -3,8 +3,12 @@ module Access = Kona_trace.Access
 module Hierarchy = Kona_cachesim.Hierarchy
 module Fmem = Kona_coherence.Fmem
 module Directory = Kona_coherence.Directory
+module Nic = Kona_rdma.Nic
 module Qp = Kona_rdma.Qp
 module Cache = Kona_cachesim.Cache
+module Hub = Kona_telemetry.Hub
+module Registry = Kona_telemetry.Registry
+module Tracer = Kona_telemetry.Tracer
 
 type config = {
   cost : Cost_model.t;
@@ -48,13 +52,126 @@ type t = {
   caching : Caching_handler.t;
   tracker : Dirty_tracker.t;
   evictor : Eviction_handler.t;
+  nic : Nic.t;
   fetch_qp : Qp.t;
+  evict_qp : Qp.t;
+  prefetch_qp : Qp.t option;
+  hub : Hub.t option;
   mutable accesses : int;
 }
 
-let create ?(config = default_config) ?nic ~controller ~read_local () =
+(* Publish the whole runtime namespace into [reg].  Everything is pull-style
+   ([counter_fn]/[gauge_fn] over existing component tallies) except the fetch
+   latency distribution, which is the caching handler's own histogram
+   registered by reference — components stay telemetry-free. *)
+let register_metrics t reg =
+  let c ?labels name f = Registry.counter_fn reg ?labels name f in
+  let g ?labels name f = Registry.gauge_fn reg ?labels name f in
+  (* Application / clocks *)
+  c "runtime.accesses" (fun () -> t.accesses);
+  g "clock.app_ns" (fun () -> Clock.now t.app_clock);
+  g "clock.bg_ns" (fun () -> Clock.now t.bg_clock);
+  (* Demand-fetch path *)
+  Registry.histogram_ref reg "fetch.latency_ns"
+    (Caching_handler.fetch_latency t.caching);
+  c "fetch.pages" (fun () -> Caching_handler.pages_fetched t.caching);
+  c "fetch.bytes" (fun () -> Caching_handler.bytes_fetched t.caching);
+  c "fetch.mce_raised" (fun () -> Caching_handler.mce_raised t.caching);
+  c "prefetch.issued" (fun () -> Caching_handler.prefetches_issued t.caching);
+  c "prefetch.useful" (fun () -> Caching_handler.prefetches_useful t.caching);
+  (* FMem: demand-level hit/miss plus probe-level and per-set skew *)
+  c "fmem.hits" (fun () -> Caching_handler.fmem_hits t.caching);
+  c "fmem.misses" (fun () -> Caching_handler.fmem_misses t.caching);
+  g "fmem.resident" (fun () -> Fmem.resident t.fmem);
+  c "fmem.evictions" (fun () -> Fmem.evictions t.fmem);
+  c "fmem.probe.hits" (fun () -> Fmem.probe_hits t.fmem);
+  c "fmem.probe.misses" (fun () -> Fmem.probe_misses t.fmem);
+  g "fmem.set.max_misses" (fun () ->
+      let worst = ref 0 in
+      for s = 0 to Fmem.nsets t.fmem - 1 do
+        let _, misses, _ = Fmem.set_counters t.fmem ~set:s in
+        if misses > !worst then worst := misses
+      done;
+      !worst);
+  (* CPU cache hierarchy *)
+  List.iter
+    (fun (lvl, cache) ->
+      let labels = [ ("level", lvl) ] in
+      c ~labels "cache.accesses" (fun () ->
+          let s = Cache.stats cache in
+          s.Cache.reads + s.Cache.writes);
+      c ~labels "cache.misses" (fun () ->
+          let s = Cache.stats cache in
+          s.Cache.read_misses + s.Cache.write_misses))
+    [
+      ("l1", Hierarchy.l1 t.hierarchy);
+      ("l2", Hierarchy.l2 t.hierarchy);
+      ("llc", Hierarchy.llc t.hierarchy);
+    ];
+  c "hierarchy.memory_accesses" (fun () -> Hierarchy.memory_accesses t.hierarchy);
+  c "hierarchy.writebacks" (fun () -> Hierarchy.writebacks t.hierarchy);
+  c "directory.fills" (fun () -> Directory.fills t.directory);
+  c "directory.writebacks" (fun () -> Directory.writebacks t.directory);
+  (* Dirty tracking and eviction *)
+  g "tracker.lines" (fun () -> Dirty_tracker.lines_tracked t.tracker);
+  c "tracker.orphans" (fun () -> Dirty_tracker.orphans t.tracker);
+  c "evict.pages" (fun () -> Eviction_handler.pages_evicted t.evictor);
+  c "evict.clean_pages" (fun () -> Eviction_handler.clean_pages t.evictor);
+  c "evict.lines" (fun () -> Eviction_handler.lines_evicted t.evictor);
+  c "evict.snooped_lines" (fun () -> Eviction_handler.snooped_dirty_lines t.evictor);
+  (* CL log: volume, amplification, per-phase time (Fig. 11) *)
+  c "cllog.lines" (fun () -> Cl_log.lines_logged t.log);
+  c "cllog.appends" (fun () -> Cl_log.appends t.log);
+  c "cllog.flushes" (fun () -> Cl_log.flushes t.log);
+  c "cllog.payload_bytes" (fun () -> Cl_log.payload_bytes t.log);
+  c "cllog.wire_bytes" (fun () -> Cl_log.wire_bytes t.log);
+  c "cllog.amp_bytes" (fun () -> Cl_log.overhead_bytes t.log);
+  List.iter
+    (fun phase ->
+      c ~labels:[ ("phase", phase) ] "cllog.phase_ns" (fun () ->
+          match List.assoc_opt phase (Cl_log.breakdown_ns t.log) with
+          | Some ns -> ns
+          | None -> 0))
+    [ "bitmap"; "copy"; "rdma"; "ack" ];
+  (* RDMA: per-QP accounting plus the shared NIC port *)
+  let qps =
+    [ ("fetch", Some t.fetch_qp); ("evict", Some t.evict_qp);
+      ("prefetch", t.prefetch_qp) ]
+  in
+  List.iter
+    (fun (name, qp) ->
+      match qp with
+      | None -> ()
+      | Some qp ->
+          let labels = [ ("qp", name) ] in
+          c ~labels "qp.wire_bytes" (fun () -> Qp.wire_bytes qp);
+          c ~labels "qp.payload_bytes" (fun () -> Qp.payload_bytes qp);
+          c ~labels "qp.posts" (fun () -> Qp.posts qp);
+          c ~labels "qp.verbs" (fun () -> Qp.verbs qp);
+          c ~labels "qp.signaled" (fun () -> Qp.signaled qp);
+          c ~labels "qp.completed" (fun () -> Qp.completed qp))
+    qps;
+  c "nic.ops" (fun () -> Nic.ops t.nic);
+  c "nic.busy_ns" (fun () -> Nic.busy_ns t.nic);
+  c "nic.stall_ns" (fun () -> Nic.stall_ns t.nic);
+  c "nic.wire_bytes" (fun () ->
+      List.fold_left
+        (fun acc (_, qp) ->
+          match qp with None -> acc | Some qp -> acc + Qp.wire_bytes qp)
+        0 qps);
+  (* Resource manager / control plane *)
+  g "rm.slabs" (fun () -> List.length (Resource_manager.slabs t.rm));
+  c "rm.controller_round_trips" (fun () ->
+      Resource_manager.controller_round_trips t.rm)
+
+let create ?(config = default_config) ?nic ?hub ~controller ~read_local () =
   let app_clock = Clock.create () in
   let bg_clock = Clock.create () in
+  let tracer = Option.map Hub.tracer hub in
+  (match tracer with
+  | Some tr ->
+      Tracer.set_clock tr (fun () -> (Clock.now app_clock, Clock.now bg_clock))
+  | None -> ());
   let nic = match nic with Some n -> n | None -> Kona_rdma.Nic.create () in
   let fetch_qp = Qp.create ~cost:config.rdma ~nic ~clock:app_clock () in
   let evict_qp = Qp.create ~cost:config.rdma ~nic ~clock:bg_clock () in
@@ -73,7 +190,7 @@ let create ?(config = default_config) ?nic ~controller ~read_local () =
     match replication with Some r -> Replication.targets r ~node | None -> []
   in
   let log =
-    Cl_log.create ~capacity:config.log_capacity ~extra_targets ~qp:evict_qp
+    Cl_log.create ~capacity:config.log_capacity ~extra_targets ?tracer ~qp:evict_qp
       ~cost:config.rdma
       ~resolve:(fun ~node -> Rack_controller.node controller ~id:node)
       ()
@@ -102,7 +219,7 @@ let create ?(config = default_config) ?nic ~controller ~read_local () =
       dirty;
     dirty
   in
-  let evictor = Eviction_handler.create ~log ~rm ~read_local ~snoop () in
+  let evictor = Eviction_handler.create ?tracer ~log ~rm ~read_local ~snoop () in
   let tracker =
     Dirty_tracker.create ~fmem
       ~on_orphan:(fun ~line_addr -> Eviction_handler.write_line_through evictor ~line_addr)
@@ -114,29 +231,37 @@ let create ?(config = default_config) ?nic ~controller ~read_local () =
   in
   let caching =
     Caching_handler.create ~cost:config.cost ~fetch_block:config.fetch_block
-      ?mce_threshold_ns:config.mce_threshold_ns ?prefetch_qp ~fmem ~rm ~fetch_qp
+      ?mce_threshold_ns:config.mce_threshold_ns ?prefetch_qp ?tracer ~fmem ~rm ~fetch_qp
       ~on_victim:(fun ~vpage ~dirty -> Eviction_handler.evict evictor ~vpage ~dirty)
       ()
   in
   evictor_ref := Some evictor;
   caching_ref := Some caching;
   tracker_ref := Some tracker;
-  {
-    config;
-    app_clock;
-    bg_clock;
-    hierarchy;
-    fmem;
-    directory;
-    rm;
-    log;
-    replication;
-    caching;
-    tracker;
-    evictor;
-    fetch_qp;
-    accesses = 0;
-  }
+  let t =
+    {
+      config;
+      app_clock;
+      bg_clock;
+      hierarchy;
+      fmem;
+      directory;
+      rm;
+      log;
+      replication;
+      caching;
+      tracker;
+      evictor;
+      nic;
+      fetch_qp;
+      evict_qp;
+      prefetch_qp;
+      hub;
+      accesses = 0;
+    }
+  in
+  (match hub with Some h -> register_metrics t (Hub.registry h) | None -> ());
+  t
 
 let charge_level t level =
   let c = t.config.cost in
@@ -226,6 +351,7 @@ let stats t =
     ]
 
 let replication t = t.replication
+let hub t = t.hub
 let resource_manager t = t.rm
 let fmem t = t.fmem
 let hierarchy t = t.hierarchy

@@ -46,13 +46,21 @@ type t
 val create :
   ?config:config ->
   ?nic:Kona_rdma.Nic.t ->
+  ?hub:Kona_telemetry.Hub.t ->
   controller:Rack_controller.t ->
   read_local:(addr:int -> len:int -> string) ->
   unit ->
   t
 (** [read_local] reads application memory (e.g. [Heap.peek_bytes]); it is
     the eviction data path.  Pass a shared [nic] to model multiple runtime
-    threads contending for one adapter. *)
+    threads contending for one adapter.
+
+    [hub] attaches telemetry: the runtime installs its virtual clocks on the
+    hub's tracer, hands the tracer to the fetch/eviction/log components, and
+    registers the full metric namespace ([fetch.*], [fmem.*], [cllog.*],
+    [qp.*{qp=...}], [cache.*{level=...}], [nic.*], ...) in the hub's
+    registry.  Use one hub per runtime instance — registering two runtimes
+    in one registry raises on the duplicate names. *)
 
 val sink : t -> Kona_trace.Access.t -> unit
 (** Feed one application access: runs the cache hierarchy, triggers
@@ -81,6 +89,9 @@ val stats : t -> (string * int) list
 val replication : t -> Replication.t option
 (** Present when [config.replicas > 0]; mirrors can then be checked for
     divergence after [drain]. *)
+
+val hub : t -> Kona_telemetry.Hub.t option
+(** The telemetry hub passed at [create], if any. *)
 
 val resource_manager : t -> Resource_manager.t
 val fmem : t -> Kona_coherence.Fmem.t

@@ -25,3 +25,15 @@ val free_at : t -> int
 val inject_outage : t -> at:int -> duration:int -> unit
 val outage_total : t -> int
 (** Total injected outage time (diagnostics). *)
+
+(** {2 Telemetry counters} *)
+
+val ops : t -> int
+(** Wire occupations granted. *)
+
+val busy_ns : t -> int
+(** Total serialization time the port spent occupied. *)
+
+val stall_ns : t -> int
+(** Total time occupations waited behind earlier traffic or outages — the
+    port-contention cost that erodes multi-QP speedup (Fig. 7). *)

@@ -19,6 +19,8 @@ type t = {
   mutable wire_bytes : int;
   mutable posts : int;
   mutable verbs : int;
+  mutable signaled : int;
+  mutable completed : int;
 }
 
 let create ?(cost = Cost.default) ?nic ~clock () =
@@ -33,6 +35,8 @@ let create ?(cost = Cost.default) ?nic ~clock () =
     wire_bytes = 0;
     posts = 0;
     verbs = 0;
+    signaled = 0;
+    completed = 0;
   }
 
 let clock t = t.clock
@@ -66,7 +70,10 @@ let post t wqes =
     List.iter
       (fun w ->
         w.deliver ();
-        if w.signaled then Queue.push finish t.cq)
+        if w.signaled then begin
+          t.signaled <- t.signaled + 1;
+          Queue.push finish t.cq
+        end)
       wqes
   end
 
@@ -77,6 +84,7 @@ let poll t ~max:n =
       match Queue.peek_opt t.cq with
       | Some finish when finish <= Clock.now t.clock ->
           ignore (Queue.pop t.cq : int);
+          t.completed <- t.completed + 1;
           loop (finish :: acc) (n - 1)
       | Some _ | None -> List.rev acc
   in
@@ -84,6 +92,7 @@ let poll t ~max:n =
 
 let wait_idle t =
   Clock.advance_to t.clock t.last_completion;
+  t.completed <- t.completed + Queue.length t.cq;
   Queue.clear t.cq
 
 let in_flight t =
@@ -93,3 +102,6 @@ let payload_bytes t = t.payload_bytes
 let wire_bytes t = t.wire_bytes
 let posts t = t.posts
 let verbs t = t.verbs
+let signaled t = t.signaled
+let completed t = t.completed
+let outstanding t = Queue.length t.cq

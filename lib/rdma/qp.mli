@@ -50,3 +50,13 @@ val payload_bytes : t -> int
 val wire_bytes : t -> int
 val posts : t -> int
 val verbs : t -> int
+
+val signaled : t -> int
+(** Signaled WQEs posted (CQEs ever enqueued). *)
+
+val completed : t -> int
+(** CQEs drained by [poll] or [wait_idle]; [signaled - completed -
+    outstanding = 0] always holds. *)
+
+val outstanding : t -> int
+(** CQEs enqueued but not yet drained. *)

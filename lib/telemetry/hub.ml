@@ -1,0 +1,14 @@
+type t = { registry : Registry.t; tracer : Tracer.t }
+
+let create ?trace_capacity ?sample () =
+  {
+    registry = Registry.create ();
+    tracer = Tracer.create ?capacity:trace_capacity ?sample ();
+  }
+
+let registry t = t.registry
+let tracer t = t.tracer
+let snapshot t = Registry.snapshot t.registry
+
+let write_metrics_json ~path ?meta t = Snapshot.write_json ~path ?meta (snapshot t)
+let write_trace ~path t = Tracer.write_jsonl ~path t.tracer

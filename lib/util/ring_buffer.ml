@@ -22,6 +22,18 @@ let push t x =
     true
   end
 
+let force_push t x =
+  if is_full t then begin
+    let displaced = t.slots.(t.head) in
+    t.slots.(t.head) <- Some x;
+    t.head <- (t.head + 1) mod capacity t;
+    displaced
+  end
+  else begin
+    ignore (push t x : bool);
+    None
+  end
+
 let pop t =
   if t.len = 0 then None
   else begin

@@ -17,6 +17,11 @@ val is_full : 'a t -> bool
 val push : 'a t -> 'a -> bool
 (** [push t x] enqueues [x]; returns [false] (and does nothing) if full. *)
 
+val force_push : 'a t -> 'a -> 'a option
+(** [force_push t x] enqueues [x], displacing (and returning) the oldest
+    element when full — the newest element is never lost.  Used by the
+    telemetry tracer's keep-latest ring. *)
+
 val pop : 'a t -> 'a option
 val peek : 'a t -> 'a option
 

@@ -8,6 +8,7 @@ type t = {
 }
 
 let create () = { n = 0; sum = 0.; mean = 0.; m2 = 0.; min = nan; max = nan }
+let copy t = { t with n = t.n }
 
 let add t x =
   t.n <- t.n + 1;

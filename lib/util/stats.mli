@@ -4,6 +4,10 @@
 type t
 
 val create : unit -> t
+
+val copy : t -> t
+(** Independent copy; mutating either side leaves the other unchanged. *)
+
 val add : t -> float -> unit
 val add_int : t -> int -> unit
 val count : t -> int

@@ -230,4 +230,19 @@ let all =
     voltdb;
   ]
 
-let find name = List.find (fun s -> s.name = name) (all @ extensions)
+(* Shell-friendly aliases for the Table 2 row labels. *)
+let aliases =
+  [ ("kv-uniform", "Redis-Rand"); ("kv-seq", "Redis-Seq"); ("kv-zipf", "Redis-Zipf") ]
+
+let slug name =
+  String.map (fun c -> if c = ' ' then '-' else Char.lowercase_ascii c) name
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  let canonical = List.assoc_opt lower aliases in
+  List.find
+    (fun s ->
+      s.name = name
+      || (match canonical with Some c -> s.name = c | None -> false)
+      || slug s.name = lower)
+    (all @ extensions)

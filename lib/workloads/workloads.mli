@@ -37,8 +37,10 @@ val extensions : spec list
     but excluded from Table 2 reproduction. *)
 
 val find : string -> spec
-(** Searches [all] then [extensions]; raises [Not_found] on unknown
-    names. *)
+(** Searches [all] then [extensions]; raises [Not_found] on unknown names.
+    Besides the exact Table 2 labels, accepts lowercase dashed slugs
+    ([page-rank], [linear-regression]) and the aliases [kv-uniform] /
+    [kv-seq] / [kv-zipf] for Redis-Rand / Redis-Seq / Redis-Zipf. *)
 
 val redis_rand : spec
 val redis_seq : spec

@@ -243,6 +243,26 @@ let test_stats_merge () =
   Alcotest.(check (float 1e-9)) "mean" (Stats.mean whole) (Stats.mean m);
   Alcotest.(check (float 1e-6)) "variance" (Stats.variance whole) (Stats.variance m)
 
+(* Two-stream merge must agree with single-stream stats on the
+   concatenated input — the invariant telemetry aggregation relies on. *)
+let prop_stats_merge_concat =
+  let close a b = abs_float (a -. b) <= 1e-6 *. (1. +. abs_float a +. abs_float b) in
+  QCheck.Test.make ~name:"stats merge = stats of concatenated streams" ~count:300
+    QCheck.(pair (small_list (int_bound 10_000)) (small_list (int_bound 10_000)))
+    (fun (xs, ys) ->
+      let a = Stats.create () and b = Stats.create () and whole = Stats.create () in
+      List.iter (Stats.add_int a) xs;
+      List.iter (Stats.add_int b) ys;
+      List.iter (Stats.add_int whole) (xs @ ys);
+      let m = Stats.merge a b in
+      Stats.count m = Stats.count whole
+      && (Stats.count whole = 0
+         || close (Stats.mean m) (Stats.mean whole)
+            && close (Stats.min m) (Stats.min whole)
+            && close (Stats.max m) (Stats.max whole))
+      && (Stats.count whole < 2
+         || close (Stats.variance m) (Stats.variance whole)))
+
 let test_counters () =
   let c = Stats.Counters.create () in
   Stats.Counters.incr c "faults";
@@ -361,6 +381,34 @@ let prop_histogram_percentile_bounds =
       let below = List.length (List.filter (fun s -> s <= p90) samples) in
       10 * below >= 9 * List.length samples)
 
+let prop_histogram_merge_concat =
+  QCheck.Test.make ~name:"histogram merge = histogram of concatenated streams"
+    ~count:300
+    QCheck.(pair (small_list (int_bound 1_000_000)) (small_list (int_bound 1_000_000)))
+    (fun (xs, ys) ->
+      let a = Histogram.create ()
+      and b = Histogram.create ()
+      and whole = Histogram.create () in
+      List.iter (Histogram.add a) xs;
+      List.iter (Histogram.add b) ys;
+      List.iter (Histogram.add whole) (xs @ ys);
+      let m = Histogram.merge a b in
+      Histogram.count m = Histogram.count whole
+      && abs_float (Histogram.sum m -. Histogram.sum whole) < 1e-6
+      && Histogram.buckets m = Histogram.buckets whole
+      && Histogram.percentile m 99. = Histogram.percentile whole 99.)
+
+let prop_histogram_diff_inverts_merge =
+  QCheck.Test.make ~name:"histogram diff inverts merge" ~count:300
+    QCheck.(pair (small_list (int_bound 1_000_000)) (small_list (int_bound 1_000_000)))
+    (fun (xs, ys) ->
+      let a = Histogram.create () and b = Histogram.create () in
+      List.iter (Histogram.add a) xs;
+      List.iter (Histogram.add b) ys;
+      let m = Histogram.merge a b in
+      let back = Histogram.diff ~after:m ~before:a in
+      Histogram.buckets back = Histogram.buckets b)
+
 let qsuite name props = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) props)
 
 let () =
@@ -404,6 +452,7 @@ let () =
           Alcotest.test_case "merge" `Quick test_stats_merge;
           Alcotest.test_case "counters" `Quick test_counters;
         ] );
+      qsuite "stats-props" [ prop_stats_merge_concat ];
       ( "cdf",
         [
           Alcotest.test_case "basic" `Quick test_cdf_basic;
@@ -421,5 +470,10 @@ let () =
           Alcotest.test_case "basic" `Quick test_histogram_basic;
           Alcotest.test_case "buckets" `Quick test_histogram_buckets;
         ] );
-      qsuite "histogram-props" [ prop_histogram_percentile_bounds ];
+      qsuite "histogram-props"
+        [
+          prop_histogram_percentile_bounds;
+          prop_histogram_merge_concat;
+          prop_histogram_diff_inverts_merge;
+        ];
     ]
