@@ -83,7 +83,7 @@ type run_result = {
 (* Execute [spec] on one runtime with a fresh rack and its own telemetry
    hub; verifies remote-memory integrity after the final drain. *)
 let run_one ~(spec : Workloads.spec) ~scale ~seed ~fmem_pages ~replicas
-    ~prefetch system =
+    ~prefetch ~sq_depth ~signal_interval system =
   let controller = Rack_controller.create ~slab_size:(Units.mib 1) () in
   Rack_controller.register_node controller
     (Memory_node.create ~id:0 ~capacity:(Units.mib 128));
@@ -95,7 +95,16 @@ let run_one ~(spec : Workloads.spec) ~scale ~seed ~fmem_pages ~replicas
   let sink, elapsed, drain, stats, rm =
     match system with
     | "kona" ->
-        let config = { Runtime.default_config with fmem_pages; replicas; prefetch } in
+        let config =
+          {
+            Runtime.default_config with
+            fmem_pages;
+            replicas;
+            prefetch;
+            sq_depth;
+            signal_interval;
+          }
+        in
         let rt = Runtime.create ~config ~hub ~controller ~read_local () in
         ( Runtime.sink rt,
           (fun () -> Runtime.elapsed_ns rt),
@@ -110,7 +119,14 @@ let run_one ~(spec : Workloads.spec) ~scale ~seed ~fmem_pages ~replicas
           | "infiniswap" -> Vm_runtime.infiniswap_profile cost
           | _ -> Vm_runtime.kona_vm_profile cost Kona_rdma.Cost.default
         in
-        let config = { Vm_runtime.default_config with cache_pages = fmem_pages } in
+        let config =
+          {
+            Vm_runtime.default_config with
+            cache_pages = fmem_pages;
+            sq_depth;
+            signal_interval;
+          }
+        in
         let vm = Vm_runtime.create ~config ~hub ~profile ~controller ~read_local () in
         ( Vm_runtime.sink vm,
           (fun () -> Vm_runtime.elapsed_ns vm),
@@ -214,15 +230,16 @@ let export_results ~(spec : Workloads.spec) ~full ~seed ~metrics_json ~trace
           Fmt.pr "trace: wrote %d events to %s@." n p)
         results
 
-let cmd_run workload systems fmem_pages replicas prefetch seed metrics_json
-    trace full =
+let cmd_run workload systems fmem_pages replicas prefetch sq_depth
+    signal_interval seed metrics_json trace full =
   let scale = scale_of full in
   let spec =
     match specs_of (Some workload) with [ s ] -> s | _ -> assert false
   in
   let results =
     List.map
-      (run_one ~spec ~scale ~seed ~fmem_pages ~replicas ~prefetch)
+      (run_one ~spec ~scale ~seed ~fmem_pages ~replicas ~prefetch ~sq_depth
+         ~signal_interval)
       (systems_of systems)
   in
   List.iter
@@ -237,15 +254,16 @@ let cmd_run workload systems fmem_pages replicas prefetch seed metrics_json
   export_results ~spec ~full ~seed ~metrics_json ~trace results;
   if List.exists (fun r -> r.rr_mismatches > 0) results then 1 else 0
 
-let cmd_stats workload systems fmem_pages replicas prefetch seed metrics_json
-    trace full =
+let cmd_stats workload systems fmem_pages replicas prefetch sq_depth
+    signal_interval seed metrics_json trace full =
   let scale = scale_of full in
   let spec =
     match specs_of (Some workload) with [ s ] -> s | _ -> assert false
   in
   let results =
     List.map
-      (run_one ~spec ~scale ~seed ~fmem_pages ~replicas ~prefetch)
+      (run_one ~spec ~scale ~seed ~fmem_pages ~replicas ~prefetch ~sq_depth
+         ~signal_interval)
       (systems_of systems)
   in
   List.iter
@@ -323,6 +341,23 @@ let replicas =
 let prefetch =
   Arg.(value & flag & info [ "prefetch" ] ~doc:"enable stream prefetching (kona only)")
 
+let sq_depth =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sq-depth" ]
+        ~doc:"bound RDMA send queues to $(docv) outstanding WQEs (default: unbounded)"
+        ~docv:"N")
+
+let signal_interval =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "signal-interval" ]
+        ~doc:"selective signaling: raise a completion every $(docv)th WQE on \
+              background queue pairs (default 1 = every WQE)"
+        ~docv:"N")
+
 let seed =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"workload RNG seed")
 
@@ -364,13 +399,14 @@ let cmds =
     Cmd.v (Cmd.info "run" ~doc:"run a workload on remote-memory runtimes")
       Term.(
         const cmd_run $ workload_req $ system $ fmem_pages $ replicas $ prefetch
-        $ seed $ metrics_json $ trace_out $ full);
+        $ sq_depth $ signal_interval $ seed $ metrics_json $ trace_out $ full);
     Cmd.v
       (Cmd.info "stats"
          ~doc:"run a workload and print the full telemetry table per system")
       Term.(
         const cmd_stats $ workload_req $ system $ fmem_pages $ replicas
-        $ prefetch $ seed $ metrics_json $ trace_out $ full);
+        $ prefetch $ sq_depth $ signal_interval $ seed $ metrics_json
+        $ trace_out $ full);
   ]
 
 let () =

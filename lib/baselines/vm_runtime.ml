@@ -52,6 +52,8 @@ type config = {
   cache_assoc : int;
   write_protect : bool;
   page_bytes : int;
+  sq_depth : int option;
+  signal_interval : int;
 }
 
 let default_config =
@@ -63,6 +65,8 @@ let default_config =
     cache_assoc = 4;
     write_protect = true;
     page_bytes = Units.page_size;
+    sq_depth = None;
+    signal_interval = 1;
   }
 
 type t = {
@@ -133,6 +137,9 @@ let register_metrics t reg =
   c ~labels "qp.payload_bytes" (fun () -> Qp.payload_bytes t.evict_qp);
   c ~labels "qp.posts" (fun () -> Qp.posts t.evict_qp);
   c ~labels "qp.verbs" (fun () -> Qp.verbs t.evict_qp);
+  c ~labels "qp.window_stalls" (fun () -> Qp.window_stalls t.evict_qp);
+  c ~labels "qp.window_stall_ns" (fun () -> Qp.window_stall_ns t.evict_qp);
+  g ~labels "qp.outstanding_peak" (fun () -> Qp.outstanding_peak t.evict_qp);
   c "nic.ops" (fun () -> Nic.ops t.nic);
   c "nic.busy_ns" (fun () -> Nic.busy_ns t.nic);
   c "nic.stall_ns" (fun () -> Nic.stall_ns t.nic);
@@ -175,7 +182,9 @@ let create ?(config = default_config) ?nic ?hub ~profile ~controller ~read_local
           ~controller ();
       controller;
       nic;
-      evict_qp = Qp.create ~cost:config.rdma ~nic ~clock:bg_clock ();
+      evict_qp =
+        Qp.create ~cost:config.rdma ~nic ?sq_depth:config.sq_depth
+          ~signal_interval:config.signal_interval ~clock:bg_clock ();
       tracer;
       fetch_latency = Histogram.create ();
       read_local;

@@ -41,6 +41,10 @@ type config = {
           eviction all coarsen with it — the coupling Kona's design breaks
           (§3 "Decouple data movement size from the virtual memory page
           size"). *)
+  sq_depth : int option;
+      (** eviction QP send-queue window; [None] = unbounded (default). *)
+  signal_interval : int;
+      (** selective signaling on the eviction QP (1 = every WQE, default). *)
 }
 
 val default_config : config

@@ -24,6 +24,16 @@ type t = {
   fetch_latency : Histogram.t;
 }
 
+(* A page leaving FMem must also leave the prefetch bookkeeping, or the
+   prefetcher would never re-request it and [prefetched] would grow without
+   bound. *)
+let note_victim t (victim : Fmem.victim) =
+  (match t.prefetcher with
+  | Some p -> Prefetcher.forget p ~vpage:victim.Fmem.vpage
+  | None -> ());
+  Hashtbl.remove t.prefetched victim.Fmem.vpage;
+  t.on_victim ~vpage:victim.Fmem.vpage ~dirty:victim.Fmem.dirty_lines
+
 let create ~cost ?(fetch_block = Units.page_size) ?mce_threshold_ns ?prefetch_qp ?tracer
     ~fmem ~rm ~fetch_qp ~on_victim () =
   if fetch_block < Units.page_size || fetch_block mod Units.page_size <> 0 then
@@ -63,8 +73,7 @@ let create ~cost ?(fetch_block = Units.page_size) ?mce_threshold_ns ?prefetch_qp
           Hashtbl.replace t.prefetched vpage ();
           match Fmem.insert t.fmem ~vpage with
           | None -> ()
-          | Some victim ->
-              t.on_victim ~vpage:victim.Fmem.vpage ~dirty:victim.Fmem.dirty_lines
+          | Some victim -> note_victim t victim
         end
       in
       t.prefetcher <- Some (Prefetcher.create ~on_prefetch ())
@@ -103,8 +112,7 @@ let fetch_page t ~vpage =
   t.bytes_fetched <- t.bytes_fetched + Units.page_size;
   match Fmem.insert t.fmem ~vpage with
   | None -> ()
-  | Some victim ->
-      t.on_victim ~vpage:victim.Fmem.vpage ~dirty:victim.Fmem.dirty_lines
+  | Some victim -> note_victim t victim
 
 let on_fill t ~addr =
   let vpage = Units.page_of_addr addr in

@@ -20,6 +20,10 @@ type t = {
   mutable payload_bytes : int;
   mutable wire_bytes : int;
   mutable flushes : int;
+  mutable unfenced_flushes : int; (* node batches shipped since the last fence *)
+  mutable doorbell_batches : int;
+  mutable doorbell_wqes : int;
+  mutable doorbell_batch_peak : int;
   mutable bitmap_ns : int;
   mutable copy_ns : int;
   mutable rdma_ns : int;
@@ -43,6 +47,10 @@ let create ?(capacity = 512) ?(extra_targets = fun ~node:_ -> []) ?tracer ~qp ~c
     payload_bytes = 0;
     wire_bytes = 0;
     flushes = 0;
+    unfenced_flushes = 0;
+    doorbell_batches = 0;
+    doorbell_wqes = 0;
+    doorbell_batch_peak = 0;
     bitmap_ns = 0;
     copy_ns = 0;
     rdma_ns = 0;
@@ -63,15 +71,13 @@ let note_bitmap_scan t ~lines = charge t `Bitmap (Cost.bitmap_scan_ns t.cost ~li
 
 let staged_count t node = Option.value ~default:0 (Hashtbl.find_opt t.staged node)
 
-(* Ship one node's staged entries asynchronously: the post returns
-   immediately and acknowledgment latency is hidden by continuing to stage
-   more dirty cache-lines (§4.4).  Wire serialization and ack costs are
-   attributed to their phases; the clock only blocks at [flush] (the
-   fence). *)
-let flush_node t node =
+(* Take one node's staged entries off the buffer and build the WQEs
+   shipping them to the primary and its mirrors — without posting, so a
+   fence can coalesce several nodes under one doorbell. *)
+let take_node_wqes t node =
   match Hashtbl.find_opt t.buffers node with
-  | None -> ()
-  | Some { contents = [] } -> ()
+  | None -> []
+  | Some { contents = [] } -> []
   | Some entries_ref ->
       let entries = List.rev !entries_ref in
       entries_ref := [];
@@ -83,26 +89,10 @@ let flush_node t node =
           0 entries
       in
       let targets = t.resolve ~node :: t.extra_targets ~node in
-      let wqes =
-        List.map
-          (fun target ->
-            Qp.wqe ~signaled:true
-              ~deliver:(fun () -> Memory_node.receive_log target entries)
-              Qp.Write ~len:wire)
-          targets
-      in
-      Qp.post t.qp wqes;
       t.wire_bytes <- t.wire_bytes + (wire * List.length targets);
-      t.rdma_ns <-
-        t.rdma_ns
-        + (List.length targets
-          * int_of_float
-              (t.cost.Cost.wqe_ns
-              +. (t.cost.Cost.byte_ns *. float_of_int (wire + t.cost.Cost.header_bytes))));
-      (* Replica acks are awaited in parallel: one ack latency per flush. *)
-      t.ack_ns <- t.ack_ns + int_of_float t.cost.Cost.ack_ns;
       t.flushes <- t.flushes + 1;
-      match t.tracer with
+      t.unfenced_flushes <- t.unfenced_flushes + 1;
+      (match t.tracer with
       | Some tr ->
           Tracer.instant tr "cllog.flush_node"
             ~args:
@@ -112,7 +102,31 @@ let flush_node t node =
                 ("wire_bytes", wire);
                 ("replicas", List.length targets - 1);
               ]
-      | None -> ()
+      | None -> ());
+      List.map
+        (fun target ->
+          Qp.wqe ~signaled:true
+            ~deliver:(fun () -> Memory_node.receive_log target entries)
+            Qp.Write ~len:wire)
+        targets
+
+(* Ship one linked batch (one doorbell): the post returns after the
+   doorbell (plus any send-window backpressure) and the acknowledgment
+   latency is hidden by continuing to stage more dirty cache-lines
+   (§4.4).  Only the clock delta the post actually cost is attributed to
+   the rdma phase; wire time is charged where it blocks, at [flush]. *)
+let post_wqes t wqes =
+  if wqes <> [] then begin
+    let before = Clock.now (clock t) in
+    Qp.post t.qp wqes;
+    t.rdma_ns <- t.rdma_ns + (Clock.now (clock t) - before);
+    t.doorbell_batches <- t.doorbell_batches + 1;
+    let n = List.length wqes in
+    t.doorbell_wqes <- t.doorbell_wqes + n;
+    if n > t.doorbell_batch_peak then t.doorbell_batch_peak <- n
+  end
+
+let flush_node t node = post_wqes t (take_node_wqes t node)
 
 let append_run t ~node ~raddr ~data =
   let len = String.length data in
@@ -136,17 +150,24 @@ let append_run t ~node ~raddr ~data =
   if staged_count t node >= t.capacity then flush_node t node
 
 let flush t =
+  let began = Clock.now (clock t) in
   let nodes = Hashtbl.fold (fun node _ acc -> node :: acc) t.buffers [] in
-  List.iter (fun node -> flush_node t node) nodes;
-  (* Fence: wait for outstanding log writes, then the last (unhidden)
-     acknowledgment round-trip. *)
-  let before = Clock.now (clock t) in
+  (* Doorbell batching: the fence coalesces every staged node's log write
+     into a single linked post — one doorbell for the whole rack. *)
+  post_wqes t (List.concat_map (fun node -> take_node_wqes t node) nodes);
+  (* Fence: wait for outstanding log writes (this fires their deliveries),
+     then the last (unhidden) acknowledgment round-trip — but only when
+     something actually shipped since the previous fence. *)
+  let before_wait = Clock.now (clock t) in
   Qp.wait_idle t.qp;
-  t.rdma_ns <- t.rdma_ns + (Clock.now (clock t) - before);
-  if t.flushes > 0 then Clock.advance (clock t) (int_of_float t.cost.Cost.ack_ns);
+  t.rdma_ns <- t.rdma_ns + (Clock.now (clock t) - before_wait);
+  if t.unfenced_flushes > 0 then begin
+    charge t `Ack (int_of_float t.cost.Cost.ack_ns);
+    t.unfenced_flushes <- 0
+  end;
   match t.tracer with
   | Some tr ->
-      Tracer.span tr "cllog.fence" ~dur_ns:(Clock.now (clock t) - before)
+      Tracer.span tr "cllog.fence" ~dur_ns:(Clock.now (clock t) - began)
         ~args:[ ("flushes", t.flushes) ]
   | None -> ()
 
@@ -155,6 +176,9 @@ let flushes t = t.flushes
 let appends t = t.appends
 let payload_bytes t = t.payload_bytes
 let wire_bytes t = t.wire_bytes
+let doorbell_batches t = t.doorbell_batches
+let doorbell_wqes t = t.doorbell_wqes
+let doorbell_batch_peak t = t.doorbell_batch_peak
 
 (* Bytes shipped beyond the application payload: entry headers, wire
    framing, replica copies — the log's own amplification. *)

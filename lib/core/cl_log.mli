@@ -50,11 +50,16 @@ val note_bitmap_scan : t -> lines:int -> unit
     performed while collecting lines. *)
 
 val flush : t -> unit
-(** Fence: ship all staged entries (one RDMA write per destination node),
-    wait for every outstanding log write to complete, plus the final
-    receiver acknowledgment.  Auto-flushes triggered by [append_run] are
-    asynchronous — their acks are hidden by continued staging, as in the
-    paper. *)
+(** Fence: ship all staged entries — one RDMA write per destination node,
+    coalesced under a {e single} doorbell across nodes — wait for every
+    outstanding log write to complete (which fires their deliveries into
+    the memory nodes), plus the final receiver acknowledgment.  The ack
+    round-trip is charged only when something shipped since the previous
+    fence: an empty fence advances the clock by zero.  Auto-flushes
+    triggered by [append_run] are asynchronous — their acks are hidden by
+    continued staging, as in the paper, and their bytes become visible at
+    the memory node only once the clock reaches the write's completion
+    time. *)
 
 val lines_logged : t -> int
 val flushes : t -> int
@@ -73,8 +78,20 @@ val overhead_bytes : t -> int
 (** [wire_bytes - payload_bytes] floored at zero while a batch is staged:
     the log's own dirty-data amplification in bytes. *)
 
+val doorbell_batches : t -> int
+(** Linked posts issued (auto-flushes plus fence-coalesced batches). *)
+
+val doorbell_wqes : t -> int
+(** WQEs shipped across all doorbells; [doorbell_wqes /
+    doorbell_batches] is the mean doorbell batch size. *)
+
+val doorbell_batch_peak : t -> int
+(** Largest number of WQEs ever coalesced under one doorbell. *)
+
 val breakdown_ns : t -> (string * int) list
 (** [("bitmap", ns); ("copy", ns); ("rdma", ns); ("ack", ns)] — Fig. 11c.
     Phase attribution: bitmap and copy are synchronous CPU time; rdma is
-    wire serialization plus any fence wait; ack is the (mostly hidden)
-    receiver acknowledgment cost. *)
+    doorbell and send-window time plus the fence's completion wait; ack is
+    the unhidden fence acknowledgment.  Every nanosecond charged to the
+    log's (background) clock lands in exactly one phase, so the phases sum
+    to the log's background-clock contribution. *)

@@ -5,7 +5,11 @@
     Clean pages are dropped silently.
 
     Runs on the background clock (the CL log's queue pair's clock): eviction
-    is off the application's critical path unless the cache is full. *)
+    is off the application's critical path unless the cache is full.  Log
+    writes staged here are delivered completion-driven — the bytes reach
+    the memory node when the background clock passes the write's completion
+    time (driven by later posts, the {!Poller}, or the fence), subject to
+    the queue pair's send-window backpressure. *)
 
 type t
 

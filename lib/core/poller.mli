@@ -8,7 +8,10 @@ val register : t -> name:string -> Kona_rdma.Qp.t -> unit
 
 val poll : t -> (string * int) list
 (** One round over all registered QPs; returns (name, completions reaped)
-    for QPs that had any. *)
+    for QPs that had any.  Polling also retires WQEs whose completion time
+    the clock has reached, firing their delivery side-effects in
+    completion order — the poller is what drives asynchronous (eviction,
+    prefetch) deliveries forward between fences. *)
 
 val drain : t -> unit
 (** Advance each QP's clock to idle and clear its CQ. *)

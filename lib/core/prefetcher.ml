@@ -15,15 +15,17 @@ type t = {
   deltas : int array;
   mutable delta_cursor : int;
   mutable last_miss : int;
-  requested : (int, unit) Hashtbl.t; (* stride-mode dedup *)
+  requested : Kona_util.Lru.t; (* stride-mode dedup, LRU-bounded *)
+  requested_cap : int;
   mutable tick : int;
   mutable issued : int;
 }
 
 let history = 8
 
-let create ?(policy = Next_page) ?(streams = 8) ?(depth = 2) ~on_prefetch () =
-  assert (streams > 0 && depth > 0);
+let create ?(policy = Next_page) ?(streams = 8) ?(depth = 2) ?(requested_cap = 4096)
+    ~on_prefetch () =
+  assert (streams > 0 && depth > 0 && requested_cap > 0);
   {
     policy;
     streams = Array.init streams (fun _ -> { last = -2; ahead = -2; stamp = 0 });
@@ -32,7 +34,8 @@ let create ?(policy = Next_page) ?(streams = 8) ?(depth = 2) ~on_prefetch () =
     deltas = Array.make history 0;
     delta_cursor = 0;
     last_miss = min_int;
-    requested = Hashtbl.create 64;
+    requested = Kona_util.Lru.create ();
+    requested_cap;
     tick = 0;
     issued = 0;
   }
@@ -72,8 +75,10 @@ let observe_stride t ~vpage =
   | Some stride ->
       for k = 1 to t.depth do
         let target = vpage + (k * stride) in
-        if target >= 0 && not (Hashtbl.mem t.requested target) then begin
-          Hashtbl.replace t.requested target ();
+        if target >= 0 && not (Kona_util.Lru.mem t.requested target) then begin
+          Kona_util.Lru.touch t.requested target;
+          if Kona_util.Lru.length t.requested > t.requested_cap then
+            ignore (Kona_util.Lru.evict_lru t.requested : int option);
           t.issued <- t.issued + 1;
           t.on_prefetch ~vpage:target
         end
@@ -104,6 +109,11 @@ let observe_miss t ~vpage =
   match t.policy with
   | Next_page -> observe_next_page t ~vpage
   | Majority_stride -> observe_stride t ~vpage
+
+(* The page left the local cache: dropping it from the dedup table lets a
+   later stream over the same region prefetch it again. *)
+let forget t ~vpage = Kona_util.Lru.remove t.requested vpage
+let requested_pending t = Kona_util.Lru.length t.requested
 
 let issued t = t.issued
 let streams_active t =

@@ -25,16 +25,27 @@ val create :
   ?policy:policy ->
   ?streams:int ->
   ?depth:int ->
+  ?requested_cap:int ->
   on_prefetch:(vpage:int -> unit) ->
   unit ->
   t
 (** Track up to [streams] (default 8) concurrent sequential streams
     ([Next_page]) or an 8-delta history window ([Majority_stride]); on a
     detection hit, request the next [depth] (default 2) pages/strides via
-    [on_prefetch] (never re-requesting pages already asked for). *)
+    [on_prefetch] (never re-requesting pages already asked for).  The
+    stride-mode dedup table is LRU-bounded to [requested_cap] pages
+    (default 4096) so memory stays bounded on unbounded scans. *)
 
 val observe_miss : t -> vpage:int -> unit
 (** Feed one demand miss. *)
+
+val forget : t -> vpage:int -> unit
+(** The page was evicted from the local cache: clear it from the dedup
+    table so a later stream can prefetch it again. *)
+
+val requested_pending : t -> int
+(** Pages currently held in the stride-mode dedup table (bounded by
+    [requested_cap]). *)
 
 val issued : t -> int
 (** Prefetch requests emitted. *)

@@ -22,6 +22,8 @@ type config = {
   replicas : int;
   mce_threshold_ns : int option;
   prefetch : bool;
+  sq_depth : int option;
+  signal_interval : int;
 }
 
 let default_config =
@@ -37,6 +39,8 @@ let default_config =
     replicas = 0;
     mce_threshold_ns = None;
     prefetch = false;
+    sq_depth = None;
+    signal_interval = 1;
   }
 
 type t = {
@@ -126,6 +130,9 @@ let register_metrics t reg =
   c "cllog.payload_bytes" (fun () -> Cl_log.payload_bytes t.log);
   c "cllog.wire_bytes" (fun () -> Cl_log.wire_bytes t.log);
   c "cllog.amp_bytes" (fun () -> Cl_log.overhead_bytes t.log);
+  c "cllog.doorbell_batches" (fun () -> Cl_log.doorbell_batches t.log);
+  c "cllog.doorbell_wqes" (fun () -> Cl_log.doorbell_wqes t.log);
+  g "cllog.doorbell_batch_peak" (fun () -> Cl_log.doorbell_batch_peak t.log);
   List.iter
     (fun phase ->
       c ~labels:[ ("phase", phase) ] "cllog.phase_ns" (fun () ->
@@ -149,7 +156,11 @@ let register_metrics t reg =
           c ~labels "qp.posts" (fun () -> Qp.posts qp);
           c ~labels "qp.verbs" (fun () -> Qp.verbs qp);
           c ~labels "qp.signaled" (fun () -> Qp.signaled qp);
-          c ~labels "qp.completed" (fun () -> Qp.completed qp))
+          c ~labels "qp.completed" (fun () -> Qp.completed qp);
+          c ~labels "qp.window_stalls" (fun () -> Qp.window_stalls qp);
+          c ~labels "qp.window_stall_ns" (fun () -> Qp.window_stall_ns qp);
+          g ~labels "qp.outstanding_peak" (fun () -> Qp.outstanding_peak qp);
+          g ~labels "qp.in_flight" (fun () -> Qp.in_flight qp))
     qps;
   c "nic.ops" (fun () -> Nic.ops t.nic);
   c "nic.busy_ns" (fun () -> Nic.busy_ns t.nic);
@@ -173,8 +184,16 @@ let create ?(config = default_config) ?nic ?hub ~controller ~read_local () =
       Tracer.set_clock tr (fun () -> (Clock.now app_clock, Clock.now bg_clock))
   | None -> ());
   let nic = match nic with Some n -> n | None -> Kona_rdma.Nic.create () in
-  let fetch_qp = Qp.create ~cost:config.rdma ~nic ~clock:app_clock () in
-  let evict_qp = Qp.create ~cost:config.rdma ~nic ~clock:bg_clock () in
+  (* Demand fetches stay signal-every-WQE (they are synchronous); the
+     background paths take both the send-queue window and selective
+     signaling. *)
+  let fetch_qp =
+    Qp.create ~cost:config.rdma ~nic ?sq_depth:config.sq_depth ~clock:app_clock ()
+  in
+  let evict_qp =
+    Qp.create ~cost:config.rdma ~nic ?sq_depth:config.sq_depth
+      ~signal_interval:config.signal_interval ~clock:bg_clock ()
+  in
   let rpc = Kona_rdma.Rpc.create ~cost:config.rdma ~clock:app_clock ~nic () in
   let rm = Resource_manager.create ~rpc ~controller () in
   let fmem =
@@ -226,7 +245,10 @@ let create ?(config = default_config) ?nic ?hub ~controller ~read_local () =
       ()
   in
   let prefetch_qp =
-    if config.prefetch then Some (Qp.create ~cost:config.rdma ~nic ~clock:bg_clock ())
+    if config.prefetch then
+      Some
+        (Qp.create ~cost:config.rdma ~nic ?sq_depth:config.sq_depth
+           ~signal_interval:config.signal_interval ~clock:bg_clock ())
     else None
   in
   let caching =
@@ -343,6 +365,8 @@ let stats t =
       ("evict.snooped", Eviction_handler.snooped_dirty_lines t.evictor);
       ("log.lines", Cl_log.lines_logged t.log);
       ("log.flushes", Cl_log.flushes t.log);
+      ("log.doorbell_batches", Cl_log.doorbell_batches t.log);
+      ("evict.window_stalls", Qp.window_stalls t.evict_qp);
       ("rdma.fetch_wire_bytes", Qp.wire_bytes t.fetch_qp);
       ("directory.fills", Directory.fills t.directory);
       ("directory.writebacks", Directory.writebacks t.directory);

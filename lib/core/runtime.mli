@@ -35,6 +35,14 @@ type config = {
   prefetch : bool;
       (** stream-prefetch sequential remote pages on the background queue
           pair — the prefetcher-crosses-page-faults advantage (§3) *)
+  sq_depth : int option;
+      (** per-QP send-queue window: at most this many WQEs outstanding;
+          [post] stalls the caller until a slot frees.  [None] = unbounded *)
+  signal_interval : int;
+      (** selective signaling on the background queue pairs: of the WQEs
+          requesting a completion, only every Nth raises a CQE.  1 = every
+          one (default).  The demand-fetch QP always signals — its fetches
+          are synchronous *)
 }
 
 val default_config : config

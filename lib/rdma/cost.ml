@@ -8,6 +8,7 @@ type t = {
   memcpy_byte_ns : float;
   bitmap_line_ns : float;
   ack_ns : float;
+  cqe_ns : float;
 }
 
 (* byte_ns: 100 Gbps = 12.5 GB/s = 0.08 ns/B.
@@ -25,6 +26,9 @@ let default =
     memcpy_byte_ns = 0.05;
     bitmap_line_ns = 1.0;
     ack_ns = 2_900.;
+    (* Reaping one CQE: cacheline read of the CQ + bookkeeping.  This is
+       what selective signaling (signal every Nth WQE) amortizes. *)
+    cqe_ns = 150.;
   }
 
 let batch_ns t ~sizes =

@@ -15,6 +15,9 @@ type t = {
   memcpy_byte_ns : float;  (** per-byte cost of copying into an RDMA buffer *)
   bitmap_line_ns : float;  (** per-cache-line cost of scanning a dirty bitmap *)
   ack_ns : float;  (** remote log-receiver acknowledgment latency *)
+  cqe_ns : float;
+      (** cost of reaping one completion-queue entry — the overhead
+          selective signaling (a CQE every Nth WQE) amortizes *)
 }
 
 val default : t

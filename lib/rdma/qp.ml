@@ -8,11 +8,20 @@ let wqe ?(signaled = false) ?(deliver = fun () -> ()) op ~len =
   assert (len >= 0);
   { op; len; signaled; deliver }
 
+(* A posted WQE awaiting its completion time.  Batches occupy the wire in
+   post order and the latency floor is a constant, so finish times are
+   monotone across posts and a FIFO queue stays clock-ordered. *)
+type pending = { finish : int; p_signaled : bool; p_deliver : unit -> unit }
+
 type t = {
   cost : Cost.t;
   clock : Clock.t;
   nic : Nic.t;
-  cq : int Queue.t; (* completion times of signaled WQEs *)
+  sq_depth : int option; (* modeled send-queue depth; None = unbounded *)
+  signal_interval : int; (* raise a CQE every Nth signal-requested WQE *)
+  sq : pending Queue.t; (* posted, not yet completed (clock-ordered) *)
+  cq : int Queue.t; (* completion times of signaled WQEs, ready to reap *)
+  mutable since_signal : int;
   mutable nic_free_at : int; (* this QP's wire busy until *)
   mutable last_completion : int;
   mutable payload_bytes : int;
@@ -21,14 +30,23 @@ type t = {
   mutable verbs : int;
   mutable signaled : int;
   mutable completed : int;
+  mutable window_stalls : int;
+  mutable window_stall_ns : int;
+  mutable outstanding_peak : int;
 }
 
-let create ?(cost = Cost.default) ?nic ~clock () =
+let create ?(cost = Cost.default) ?nic ?sq_depth ?(signal_interval = 1) ~clock () =
+  assert (signal_interval > 0);
+  (match sq_depth with Some d -> assert (d > 0) | None -> ());
   {
     cost;
     clock;
     nic = (match nic with Some n -> n | None -> Nic.create ());
+    sq_depth;
+    signal_interval;
+    sq = Queue.create ();
     cq = Queue.create ();
+    since_signal = 0;
     nic_free_at = 0;
     last_completion = 0;
     payload_bytes = 0;
@@ -37,12 +55,52 @@ let create ?(cost = Cost.default) ?nic ~clock () =
     verbs = 0;
     signaled = 0;
     completed = 0;
+    window_stalls = 0;
+    window_stall_ns = 0;
+    outstanding_peak = 0;
   }
 
 let clock t = t.clock
 
+(* Retire WQEs whose completion time the clock has reached: fire their
+   delivery side-effects (the bytes land at the memory node now, not at
+   post time) and make signaled ones reapable. *)
+let retire_due t =
+  let rec loop () =
+    match Queue.peek_opt t.sq with
+    | Some p when p.finish <= Clock.now t.clock ->
+        ignore (Queue.pop t.sq : pending);
+        p.p_deliver ();
+        if p.p_signaled then Queue.push p.finish t.cq;
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
 let post t wqes =
   if wqes <> [] then begin
+    retire_due t;
+    let n = List.length wqes in
+    (* Windowed flow control: the send queue holds at most [sq_depth]
+       WQEs, so a full window blocks the posting thread — its clock
+       advances to the oldest in-flight completion — until the batch
+       fits.  A batch larger than the window waits for a full drain. *)
+    (match t.sq_depth with
+    | Some depth ->
+        let needed = min n depth in
+        let stalled = ref false in
+        while Queue.length t.sq > depth - needed do
+          let head = Queue.peek t.sq in
+          if head.finish > Clock.now t.clock then begin
+            stalled := true;
+            t.window_stall_ns <-
+              t.window_stall_ns + (head.finish - Clock.now t.clock);
+            Clock.advance_to t.clock head.finish
+          end;
+          retire_due t
+        done;
+        if !stalled then t.window_stalls <- t.window_stalls + 1
+    | None -> ());
     let sizes = List.map (fun w -> w.len) wqes in
     (* The posting thread pays only the doorbell; the NIC pipeline starts
        when it is free and the batch occupies it for the remainder. *)
@@ -50,7 +108,6 @@ let post t wqes =
     (* The port is exclusively occupied only for serialization (WQE
        processing + bytes on the wire); the propagation/latency floor is
        pipelined with other QPs' traffic. *)
-    let n = List.length sizes in
     let wire =
       int_of_float
         ((t.cost.Cost.wqe_ns *. float_of_int n)
@@ -64,39 +121,60 @@ let post t wqes =
     t.nic_free_at <- start + wire;
     t.last_completion <- max t.last_completion finish;
     t.posts <- t.posts + 1;
-    t.verbs <- t.verbs + List.length wqes;
+    t.verbs <- t.verbs + n;
     t.payload_bytes <- t.payload_bytes + List.fold_left ( + ) 0 sizes;
     t.wire_bytes <- t.wire_bytes + Cost.wire_bytes t.cost ~sizes;
     List.iter
-      (fun w ->
-        w.deliver ();
-        if w.signaled then begin
-          t.signaled <- t.signaled + 1;
-          Queue.push finish t.cq
-        end)
-      wqes
+      (fun (w : wqe) ->
+        (* Selective signaling: only every [signal_interval]-th WQE the
+           caller asked to signal actually raises a CQE. *)
+        let signaled =
+          w.signaled
+          && begin
+               t.since_signal <- t.since_signal + 1;
+               if t.since_signal >= t.signal_interval then begin
+                 t.since_signal <- 0;
+                 true
+               end
+               else false
+             end
+        in
+        if signaled then t.signaled <- t.signaled + 1;
+        Queue.push { finish; p_signaled = signaled; p_deliver = w.deliver } t.sq)
+      wqes;
+    if Queue.length t.sq > t.outstanding_peak then
+      t.outstanding_peak <- Queue.length t.sq
   end
 
 let poll t ~max:n =
+  retire_due t;
   let rec loop acc n =
     if n = 0 then List.rev acc
     else
-      match Queue.peek_opt t.cq with
-      | Some finish when finish <= Clock.now t.clock ->
-          ignore (Queue.pop t.cq : int);
+      match Queue.take_opt t.cq with
+      | Some finish ->
           t.completed <- t.completed + 1;
+          Clock.advance t.clock (int_of_float t.cost.Cost.cqe_ns);
           loop (finish :: acc) (n - 1)
-      | Some _ | None -> List.rev acc
+      | None -> List.rev acc
   in
   loop [] n
 
 let wait_idle t =
   Clock.advance_to t.clock t.last_completion;
-  t.completed <- t.completed + Queue.length t.cq;
+  retire_due t;
+  let n = Queue.length t.cq in
+  t.completed <- t.completed + n;
+  Clock.advance t.clock (n * int_of_float t.cost.Cost.cqe_ns);
   Queue.clear t.cq
 
+(* Posted-but-not-completed WQEs relative to the clock, unsignaled ones
+   included: CQ depth alone under-reports in-flight work, and wire
+   occupancy alone over-reports it once the port is free but completions
+   are still outstanding. *)
 let in_flight t =
-  if t.nic_free_at > Clock.now t.clock then Queue.length t.cq else 0
+  let now = Clock.now t.clock in
+  Queue.fold (fun acc p -> if p.finish > now then acc + 1 else acc) 0 t.sq
 
 let payload_bytes t = t.payload_bytes
 let wire_bytes t = t.wire_bytes
@@ -104,4 +182,8 @@ let posts t = t.posts
 let verbs t = t.verbs
 let signaled t = t.signaled
 let completed t = t.completed
-let outstanding t = Queue.length t.cq
+let outstanding t = t.signaled - t.completed
+let window_stalls t = t.window_stalls
+let window_stall_ns t = t.window_stall_ns
+let outstanding_peak t = t.outstanding_peak
+let sq_depth t = t.sq_depth

@@ -1,11 +1,22 @@
 (** A simulated RDMA queue pair with one-sided verbs.
 
     Supports the optimizations the paper evaluates for eviction (§5.1):
-    batching + linking (one doorbell for a list of WQEs), unsignaled
-    completions (only the last WQE of a batch raises a CQE), and inline
-    data.  Delivery side-effects (actually moving the bytes) are supplied by
-    the caller as thunks, so the module stays a pure timing/accounting
-    model usable by both the runtime and the microbenchmarks. *)
+    batching + linking (one doorbell for a list of WQEs), unsignaled and
+    selective signaling (a CQE every Nth signal-requested WQE), and inline
+    data.  Delivery side-effects (actually moving the bytes) are supplied
+    by the caller as thunks, so the module stays a pure timing/accounting
+    model usable by both the runtime and the microbenchmarks.
+
+    {b Completion-driven delivery.}  [post] never executes delivery
+    thunks: a WQE's side-effect fires only once the virtual clock reaches
+    the WQE's completion timestamp, when due completions are drained by
+    [post], [poll] or [wait_idle].  A reader polling remote state between
+    post and completion therefore never observes bytes "from the future".
+
+    {b Windowed flow control.}  With [sq_depth] set, the modeled send
+    queue exerts backpressure: posting into a full window advances the
+    caller's clock to the oldest in-flight completion until the batch
+    fits ([window_stalls]/[window_stall_ns] account for it). *)
 
 type op = Read | Write
 
@@ -21,28 +32,46 @@ val wqe : ?signaled:bool -> ?deliver:(unit -> unit) -> op -> len:int -> wqe
 
 type t
 
-val create : ?cost:Cost.t -> ?nic:Nic.t -> clock:Kona_util.Clock.t -> unit -> t
+val create :
+  ?cost:Cost.t ->
+  ?nic:Nic.t ->
+  ?sq_depth:int ->
+  ?signal_interval:int ->
+  clock:Kona_util.Clock.t ->
+  unit ->
+  t
 (** [clock] is the posting thread's virtual clock; posting charges doorbell
     time to it, while wire time elapses asynchronously.  QPs sharing a
-    [nic] contend for wire time. *)
+    [nic] contend for wire time.
+
+    [sq_depth] bounds outstanding (posted-but-not-completed) WQEs; [post]
+    blocks — advancing the caller's clock — until a slot frees (default:
+    unbounded).  [signal_interval] implements selective signaling: of the
+    WQEs the caller requests signaled, only every Nth raises a CQE
+    (default 1 = every requested one). *)
 
 val clock : t -> Kona_util.Clock.t
 
 val post : t -> wqe list -> unit
-(** Post one linked batch (one doorbell).  Executes delivery thunks and
-    enqueues a CQE per signaled WQE, stamped with the batch completion
-    time. *)
+(** Post one linked batch (one doorbell).  Applies window backpressure,
+    stamps every WQE with the batch completion time, and fires any
+    already-due delivery thunks from earlier posts.  The new batch's own
+    deliveries fire later, when the clock reaches their completion time. *)
 
 val poll : t -> max:int -> int list
-(** Completion times of up to [max] CQEs whose completion time has passed
-    the posting clock (non-blocking poll). *)
+(** Drain due completions: fires delivery thunks of WQEs whose completion
+    time has passed the posting clock, then reaps up to [max] CQEs,
+    returning their completion times (non-blocking; charges
+    [Cost.cqe_ns] per reaped CQE). *)
 
 val wait_idle : t -> unit
-(** Block (advance the clock) until every posted verb has completed; drains
-    the CQ.  This is how a synchronous caller waits for a fence. *)
+(** Block (advance the clock) until every posted verb has completed, fire
+    all pending deliveries, and drain the CQ.  This is how a synchronous
+    caller waits for a fence. *)
 
 val in_flight : t -> int
-(** Posted-but-not-completed verbs (relative to the current clock). *)
+(** Posted-but-not-completed WQEs relative to the current clock —
+    unsignaled WQEs included (posted minus completed). *)
 
 (** {2 Accounting} *)
 
@@ -52,11 +81,23 @@ val posts : t -> int
 val verbs : t -> int
 
 val signaled : t -> int
-(** Signaled WQEs posted (CQEs ever enqueued). *)
+(** WQEs that actually carried a CQE (after selective signaling). *)
 
 val completed : t -> int
 (** CQEs drained by [poll] or [wait_idle]; [signaled - completed -
     outstanding = 0] always holds. *)
 
 val outstanding : t -> int
-(** CQEs enqueued but not yet drained. *)
+(** Signaled WQEs whose CQE has not been reaped yet. *)
+
+val window_stalls : t -> int
+(** Posts that blocked on a full send-queue window. *)
+
+val window_stall_ns : t -> int
+(** Total clock time posts spent waiting for a window slot. *)
+
+val outstanding_peak : t -> int
+(** Peak send-queue occupancy (WQEs in flight at once). *)
+
+val sq_depth : t -> int option
+(** The configured window, if any. *)

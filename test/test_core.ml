@@ -125,7 +125,12 @@ let test_cl_log_autoflush () =
   let line = String.make 64 'z' in
   Cl_log.append_run log ~node:0 ~raddr:0 ~data:line;
   Cl_log.append_run log ~node:0 ~raddr:64 ~data:line;
-  check_int "autoflush at capacity" 2 (Memory_node.lines_received node);
+  (* The auto-flush is asynchronous: the write is posted but its bytes only
+     land at the memory node when the clock reaches its completion time. *)
+  check_int "autoflush posted at capacity" 1 (Cl_log.flushes log);
+  check_int "bytes still in flight" 0 (Memory_node.lines_received node);
+  Cl_log.flush log;
+  check_int "visible after the fence" 2 (Memory_node.lines_received node);
   check_bool "short line rejected" true
     (try
        Cl_log.append_run log ~node:0 ~raddr:0 ~data:"short";
@@ -133,7 +138,9 @@ let test_cl_log_autoflush () =
      with Invalid_argument _ -> true);
   (* A multi-line run counts as its number of lines. *)
   Cl_log.append_run log ~node:0 ~raddr:128 ~data:(String.make 256 'r');
-  check_int "run of 4 lines autoflushes" 6 (Memory_node.lines_received node);
+  check_int "run of 4 lines autoflushes" 2 (Cl_log.flushes log);
+  Cl_log.flush log;
+  check_int "all six lines delivered" 6 (Memory_node.lines_received node);
   Alcotest.(check string) "run content intact" (String.make 256 'r')
     (Memory_node.peek node ~addr:128 ~len:256)
 
@@ -155,7 +162,65 @@ let test_cl_log_empty_flush_and_split () =
   Cl_log.flush log;
   check_int "per-node logs" 2 (Cl_log.flushes log);
   check_int "node 0 got 2 lines" 2 (Memory_node.lines_received n0);
-  check_int "node 1 got 1 line" 1 (Memory_node.lines_received n1)
+  check_int "node 1 got 1 line" 1 (Memory_node.lines_received n1);
+  (* Both node batches went out under one coalesced doorbell. *)
+  check_int "one doorbell for the whole fence" 1 (Cl_log.doorbell_batches log);
+  check_int "two WQEs under it" 2 (Cl_log.doorbell_wqes log)
+
+let test_cl_log_empty_fence_costs_nothing () =
+  (* Regression: the fence used to gate the final ack on the lifetime flush
+     counter, so every fence after the first ever flush paid the ack
+     round-trip even with nothing staged. *)
+  let node = Memory_node.create ~id:0 ~capacity:(Units.kib 64) in
+  let clock = Clock.create () in
+  let qp = Qp.create ~clock () in
+  let log = Cl_log.create ~capacity:8 ~qp ~cost:Kona_rdma.Cost.default
+      ~resolve:(fun ~node:_ -> node) () in
+  Cl_log.flush log;
+  check_int "fence before any traffic is free" 0 (Clock.now clock);
+  Cl_log.append_run log ~node:0 ~raddr:0 ~data:(String.make 64 'a');
+  Cl_log.flush log;
+  let after_real_fence = Clock.now clock in
+  check_bool "real fence costs time" true (after_real_fence > 0);
+  Cl_log.flush log;
+  check_int "empty fence after a flush advances the clock by zero"
+    after_real_fence (Clock.now clock);
+  let ack = List.assoc "ack" (Cl_log.breakdown_ns log) in
+  check_int "exactly one ack charged"
+    (int_of_float Kona_rdma.Cost.default.Kona_rdma.Cost.ack_ns) ack
+
+let prop_cl_log_breakdown_sums_to_clock =
+  (* Phase attribution is a partition: every nanosecond the log charges to
+     its clock lands in exactly one of bitmap/copy/rdma/ack, so on a
+     standalone log (nothing else touching the clock) the phases sum to the
+     clock exactly — the double-charge of wire serialization would break
+     this. *)
+  QCheck.Test.make ~name:"cl_log breakdown partitions the clock" ~count:50
+    QCheck.(
+      pair (int_range 1 16)
+        (list_of_size Gen.(1 -- 60) (pair (int_bound 199) (int_range 1 4))))
+    (fun (capacity, runs) ->
+      let node = Memory_node.create ~id:0 ~capacity:(Units.mib 1) in
+      let clock = Clock.create () in
+      let qp = Qp.create ~clock () in
+      let log =
+        Cl_log.create ~capacity ~qp ~cost:Kona_rdma.Cost.default
+          ~resolve:(fun ~node:_ -> node)
+          ()
+      in
+      List.iteri
+        (fun i (slot, lines) ->
+          Cl_log.note_bitmap_scan log ~lines:Units.lines_per_page;
+          Cl_log.append_run log ~node:0 ~raddr:(slot * 256)
+            ~data:(String.make (lines * 64) (Char.chr (Char.code 'a' + (i mod 26))));
+          if i mod 7 = 0 then Cl_log.flush log)
+        runs;
+      Cl_log.flush log;
+      Cl_log.flush log;
+      let total =
+        List.fold_left (fun acc (_, ns) -> acc + ns) 0 (Cl_log.breakdown_ns log)
+      in
+      total = Clock.now clock)
 
 let test_dirty_tracker_orphan_path () =
   (* A writeback for a page that is not FMem-resident (the race of §4.4)
@@ -342,6 +407,67 @@ let prop_runtime_integrity_random_ops =
           end);
       !ok)
 
+let test_drain_invariant_with_windowed_qp () =
+  (* The end-to-end integrity invariant must be insensitive to the timing
+     knobs: windowed (sq_depth 1 and 4) and selectively signaled eviction
+     QPs reorder nothing, only reshape when time passes. *)
+  List.iter
+    (fun sq_depth ->
+      let controller = Rack_controller.create ~slab_size:(Units.kib 256) () in
+      Rack_controller.register_node controller
+        (Memory_node.create ~id:0 ~capacity:(Units.mib 8));
+      Rack_controller.register_node controller
+        (Memory_node.create ~id:1 ~capacity:(Units.mib 8));
+      let heap_ref = ref None in
+      let read_local ~addr ~len = Heap.peek_bytes (Option.get !heap_ref) addr len in
+      let config =
+        { Runtime.default_config with fmem_pages = 16; sq_depth; signal_interval = 4 }
+      in
+      let runtime = Runtime.create ~config ~controller ~read_local () in
+      let heap = Heap.create ~capacity:(Units.mib 4) ~sink:(Runtime.sink runtime) () in
+      heap_ref := Some heap;
+      let rng = Kona_util.Rng.create ~seed:13 in
+      let base = Heap.alloc heap (Units.kib 256) in
+      for _ = 1 to 10_000 do
+        Heap.write_u64 heap
+          (base + Kona_util.Rng.int rng (Units.kib 256 - 8))
+          (Kona_util.Rng.int rng 1_000_000)
+      done;
+      Runtime.drain runtime;
+      check_integrity runtime heap controller;
+      match sq_depth with
+      | Some 1 ->
+          check_bool "depth-1 window stalled the evictor" true
+            (List.assoc "evict.window_stalls" (Runtime.stats runtime) > 0)
+      | _ -> ())
+    [ Some 1; Some 4; None ]
+
+let test_runtime_breakdown_matches_bg_clock () =
+  (* kv-uniform (Redis-Rand): with prefetch off, only the CL log charges
+     the background clock, so the Fig. 11c phases must add up to it —
+     within 1% to allow rounding, in practice exactly. *)
+  let spec = Workloads.find "kv-uniform" in
+  let controller = Rack_controller.create ~slab_size:(Units.kib 256) () in
+  Rack_controller.register_node controller
+    (Memory_node.create ~id:0 ~capacity:(Units.mib 16));
+  let heap_ref = ref None in
+  let read_local ~addr ~len = Heap.peek_bytes (Option.get !heap_ref) addr len in
+  let config = { Runtime.default_config with fmem_pages = 128 } in
+  let runtime = Runtime.create ~config ~controller ~read_local () in
+  let heap =
+    Heap.create ~capacity:(spec.Workloads.heap_capacity Workloads.Smoke)
+      ~sink:(Runtime.sink runtime) ()
+  in
+  heap_ref := Some heap;
+  spec.Workloads.run Workloads.Smoke ~heap ~seed:3;
+  Runtime.drain runtime;
+  let breakdown = Cl_log.breakdown_ns (Runtime.cl_log runtime) in
+  let total = List.fold_left (fun acc (_, ns) -> acc + ns) 0 breakdown in
+  let bg = Runtime.bg_ns runtime in
+  check_bool "bg clock saw eviction work" true (bg > 0);
+  check_bool "phases sum to the bg clock within 1%" true
+    (abs (total - bg) * 100 <= bg)
+
 let test_runtime_multi_node_distribution () =
   (* Small slabs across two nodes: eviction logs must split per node and
      both nodes must receive their share. *)
@@ -506,6 +632,31 @@ let test_prefetcher_stride_policy () =
     Prefetcher.observe_miss np ~vpage:(100 + (3 * i))
   done;
   check_int "next-page blind to strides" 0 !quiet
+
+let test_prefetcher_bounded_dedup_table () =
+  let requested = ref [] in
+  let p =
+    Prefetcher.create ~policy:Prefetcher.Majority_stride ~depth:2 ~requested_cap:8
+      ~on_prefetch:(fun ~vpage -> requested := vpage :: !requested)
+      ()
+  in
+  (* A long stride-1 scan used to grow the dedup table one entry per
+     prefetched page, forever. *)
+  for i = 0 to 9_999 do
+    Prefetcher.observe_miss p ~vpage:i
+  done;
+  check_bool "scan prefetched" true (Prefetcher.issued p > 1_000);
+  check_bool "dedup table stays within its cap" true
+    (Prefetcher.requested_pending p <= 8);
+  (* Eviction clears the entry, so the page can be prefetched again. *)
+  let before = Prefetcher.issued p in
+  requested := [];
+  Prefetcher.forget p ~vpage:10_001;
+  for i = 10_100 to 10_120 do
+    Prefetcher.observe_miss p ~vpage:i
+  done;
+  check_bool "new stream keeps prefetching after forget" true
+    (Prefetcher.issued p > before)
 
 let test_ktracker_pml_model () =
   let heap = Heap.create ~capacity:(Units.mib 1) ~sink:Access.Tap.ignore () in
@@ -726,9 +877,13 @@ let () =
           Alcotest.test_case "autoflush" `Quick test_cl_log_autoflush;
           Alcotest.test_case "empty flush + node split" `Quick
             test_cl_log_empty_flush_and_split;
+          Alcotest.test_case "empty fence costs nothing" `Quick
+            test_cl_log_empty_fence_costs_nothing;
           Alcotest.test_case "orphan write-through" `Quick test_dirty_tracker_orphan_path;
           Alcotest.test_case "memory node validation" `Quick test_memory_node_validation;
         ] );
+      ( "cl_log-props",
+        [ QCheck_alcotest.to_alcotest ~long:false prop_cl_log_breakdown_sums_to_clock ] );
       ( "runtime-props",
         [ QCheck_alcotest.to_alcotest ~long:false prop_runtime_integrity_random_ops ] );
       ( "runtime",
@@ -742,6 +897,10 @@ let () =
           Alcotest.test_case "multi-node distribution" `Quick
             test_runtime_multi_node_distribution;
           Alcotest.test_case "clocks" `Quick test_runtime_clocks_advance;
+          Alcotest.test_case "drain invariant with windowed QPs" `Quick
+            test_drain_invariant_with_windowed_qp;
+          Alcotest.test_case "breakdown sums to bg clock (kv-uniform)" `Quick
+            test_runtime_breakdown_matches_bg_clock;
         ] );
       ( "replication",
         [
@@ -761,6 +920,8 @@ let () =
           Alcotest.test_case "runtime prefetch integrity" `Quick
             test_runtime_prefetch_integrity;
           Alcotest.test_case "majority-stride policy" `Quick test_prefetcher_stride_policy;
+          Alcotest.test_case "bounded dedup table" `Quick
+            test_prefetcher_bounded_dedup_table;
         ] );
       ("pml", [ Alcotest.test_case "drain model" `Quick test_ktracker_pml_model ]);
       ("alloc_lib", [ Alcotest.test_case "malloc/free" `Quick test_alloc_lib ]);

@@ -55,13 +55,83 @@ let test_qp_delivery_and_completion () =
   let delivered = ref false in
   Qp.post qp
     [ Qp.wqe ~signaled:true ~deliver:(fun () -> delivered := true) Qp.Write ~len:4096 ];
-  check_bool "delivered" true !delivered;
+  (* Completion-driven: the bytes land when the clock reaches the WQE's
+     completion time, not at post. *)
+  check_bool "not delivered at post" false !delivered;
   Alcotest.(check (list int)) "not complete yet (wire time pending)" []
     (Qp.poll qp ~max:8);
+  check_bool "poll before completion does not deliver" false !delivered;
   Qp.wait_idle qp;
+  check_bool "delivered at completion" true !delivered;
   check_bool "clock advanced past wire time" true (Clock.now clock > 2_500);
   check_int "verbs" 1 (Qp.verbs qp);
   check_int "posts" 1 (Qp.posts qp)
+
+let test_qp_completion_ordered_delivery () =
+  (* Deliveries fire in completion order as the clock crosses each finish
+     time, whichever call (post/poll/wait_idle) moves the clock there. *)
+  let clock = Clock.create () in
+  let qp = Qp.create ~clock () in
+  let order = ref [] in
+  let mark tag () = order := tag :: !order in
+  Qp.post qp [ Qp.wqe ~signaled:true ~deliver:(mark "a") Qp.Write ~len:4096 ];
+  Qp.post qp [ Qp.wqe ~signaled:true ~deliver:(mark "b") Qp.Write ~len:4096 ];
+  check_int "nothing delivered at post" 0 (List.length !order);
+  Clock.advance clock 1_000_000;
+  check_int "clock alone delivers nothing" 0 (List.length !order);
+  ignore (Qp.poll qp ~max:8 : int list);
+  Alcotest.(check (list string)) "poll retires in post order" [ "a"; "b" ]
+    (List.rev !order)
+
+let test_qp_window_backpressure () =
+  let clock = Clock.create () in
+  let qp = Qp.create ~sq_depth:1 ~clock () in
+  Qp.post qp [ Qp.wqe ~signaled:true Qp.Write ~len:4096 ];
+  check_int "no stall on empty window" 0 (Qp.window_stalls qp);
+  let before = Clock.now clock in
+  Qp.post qp [ Qp.wqe ~signaled:true Qp.Write ~len:4096 ];
+  check_int "second post stalled" 1 (Qp.window_stalls qp);
+  check_bool "stall advanced the caller's clock" true (Clock.now clock > before);
+  check_bool "stall time accounted" true (Qp.window_stall_ns qp > 0);
+  check_int "peak outstanding bounded by depth" 1 (Qp.outstanding_peak qp);
+  Qp.wait_idle qp;
+  let unbounded =
+    let c = Clock.create () in
+    let q = Qp.create ~clock:c () in
+    Qp.post q [ Qp.wqe ~signaled:true Qp.Write ~len:4096 ];
+    Qp.post q [ Qp.wqe ~signaled:true Qp.Write ~len:4096 ];
+    Qp.wait_idle q;
+    Clock.now c
+  in
+  check_bool "windowed run no faster than unbounded" true
+    (Clock.now clock >= unbounded)
+
+let test_qp_selective_signaling () =
+  let clock = Clock.create () in
+  let qp = Qp.create ~signal_interval:4 ~clock () in
+  for _ = 1 to 8 do
+    Qp.post qp [ Qp.wqe ~signaled:true Qp.Write ~len:64 ]
+  done;
+  Clock.advance clock 1_000_000_000;
+  check_int "8 requested, every 4th raises a CQE" 2
+    (List.length (Qp.poll qp ~max:100));
+  check_int "signaled counter matches CQEs" 2 (Qp.signaled qp)
+
+let test_qp_in_flight () =
+  let clock = Clock.create () in
+  let qp = Qp.create ~clock () in
+  Qp.post qp
+    [
+      Qp.wqe Qp.Write ~len:64;
+      Qp.wqe Qp.Write ~len:64;
+      Qp.wqe ~signaled:true Qp.Write ~len:64;
+    ];
+  (* Unsignaled WQEs count too: posted minus completed, not CQ depth. *)
+  check_int "all posted WQEs in flight" 3 (Qp.in_flight qp);
+  Clock.advance clock 1_000_000;
+  check_int "none in flight past completion time" 0 (Qp.in_flight qp);
+  check_int "signaled one reapable" 1 (List.length (Qp.poll qp ~max:8));
+  check_int "still none in flight" 0 (Qp.in_flight qp)
 
 let test_qp_poll_after_time () =
   let clock = Clock.create () in
@@ -153,6 +223,11 @@ let () =
       ( "qp",
         [
           Alcotest.test_case "delivery + completion" `Quick test_qp_delivery_and_completion;
+          Alcotest.test_case "completion-ordered delivery" `Quick
+            test_qp_completion_ordered_delivery;
+          Alcotest.test_case "window backpressure" `Quick test_qp_window_backpressure;
+          Alcotest.test_case "selective signaling" `Quick test_qp_selective_signaling;
+          Alcotest.test_case "in-flight accounting" `Quick test_qp_in_flight;
           Alcotest.test_case "poll after time" `Quick test_qp_poll_after_time;
           Alcotest.test_case "unsignaled" `Quick test_qp_unsignaled;
           Alcotest.test_case "accounting" `Quick test_qp_accounting;
