@@ -5,10 +5,11 @@
      dune exec bench/main.exe -- table2 fig8  -- run a subset
      dune exec bench/main.exe -- --quick      -- smoke scale (CI-fast)
 
-   Experiment ids: table2 fig2 fig7 fig8 fig9 fig11 sec61 ablate micro
-   (fig2 includes fig3; fig9 includes fig10; ablate covers the design-choice
-   studies: associativity, prefetching, huge pages, replication,
-   batching).
+   Experiment ids: table2 fig2 fig7 fig8 fig9 fig11 sec61 ablate faults
+   micro (fig2 includes fig3; fig9 includes fig10; ablate covers the
+   design-choice studies: associativity, prefetching, huge pages,
+   replication, batching; faults sweeps replication degree x crash time
+   under the fault injector).
 
    Every run also writes BENCH_telemetry.json: one JSON line per printed
    table row (see Report), closed by full runtime-telemetry snapshots of a
@@ -23,7 +24,7 @@ module Snapshot = Kona_telemetry.Snapshot
 
 let all_ids =
   [ "table2"; "fig2"; "fig7"; "fig8"; "fig9"; "fig11"; "sec61"; "ablate"; "system";
-    "micro" ]
+    "faults"; "micro" ]
 
 let artifact_path = "BENCH_telemetry.json"
 
@@ -117,6 +118,7 @@ let () =
     | "sec61" -> Bench_sec61.run ()
     | "ablate" -> Bench_ablation.run ~scale ()
     | "system" -> Bench_system.run ~scale ()
+    | "faults" -> Bench_faults.run ()
     | "micro" -> Bench_micro.run ()
     | _ -> assert false
   in

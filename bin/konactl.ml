@@ -78,12 +78,27 @@ type run_result = {
   rr_stats : (string * int) list;
   rr_footprint : int;
   rr_mismatches : int;
+  rr_lost_pages : int;  (** backed pages on a crashed, un-failed-over node *)
+  rr_degraded : string option;
 }
 
+let parse_fault_spec = function
+  | None -> []
+  | Some s -> (
+      match Kona_faults.Fault_spec.parse s with
+      | Ok plan -> plan
+      | Error msg ->
+          Fmt.epr "bad --fault-spec: %s@." msg;
+          exit 1)
+
 (* Execute [spec] on one runtime with a fresh rack and its own telemetry
-   hub; verifies remote-memory integrity after the final drain. *)
+   hub; verifies remote-memory integrity after the final drain.  [faults]
+   (kona only) is the injection plan: node crashes trigger failover when
+   [replicas > 0], and integrity skips pages lost to un-failed-over
+   crashed nodes, reporting them as degradation instead of divergence. *)
 let run_one ~(spec : Workloads.spec) ~scale ~seed ~fmem_pages ~replicas
-    ~prefetch ~sq_depth ~signal_interval system =
+    ~prefetch ~sq_depth ~signal_interval ~faults ~fault_seed ~check_replicas
+    system =
   let controller = Rack_controller.create ~slab_size:(Units.mib 1) () in
   Rack_controller.register_node controller
     (Memory_node.create ~id:0 ~capacity:(Units.mib 128));
@@ -92,7 +107,7 @@ let run_one ~(spec : Workloads.spec) ~scale ~seed ~fmem_pages ~replicas
   let hub = Hub.create () in
   let heap_ref = ref None in
   let read_local ~addr ~len = Heap.peek_bytes (Option.get !heap_ref) addr len in
-  let sink, elapsed, drain, stats, rm =
+  let sink, elapsed, drain, stats, rm, degraded =
     match system with
     | "kona" ->
         let config =
@@ -103,6 +118,9 @@ let run_one ~(spec : Workloads.spec) ~scale ~seed ~fmem_pages ~replicas
             prefetch;
             sq_depth;
             signal_interval;
+            faults;
+            fault_seed;
+            check_replicas;
           }
         in
         let rt = Runtime.create ~config ~hub ~controller ~read_local () in
@@ -110,7 +128,8 @@ let run_one ~(spec : Workloads.spec) ~scale ~seed ~fmem_pages ~replicas
           (fun () -> Runtime.elapsed_ns rt),
           (fun () -> Runtime.drain rt),
           (fun () -> Runtime.stats rt),
-          Runtime.resource_manager rt )
+          Runtime.resource_manager rt,
+          fun () -> Runtime.degraded rt )
     | ("kona-vm" | "legoos" | "infiniswap") as sys ->
         let cost = Cost_model.default in
         let profile =
@@ -132,7 +151,8 @@ let run_one ~(spec : Workloads.spec) ~scale ~seed ~fmem_pages ~replicas
           (fun () -> Vm_runtime.elapsed_ns vm),
           (fun () -> Vm_runtime.drain vm),
           (fun () -> Vm_runtime.stats vm),
-          Vm_runtime.resource_manager vm )
+          Vm_runtime.resource_manager vm,
+          fun () -> None )
     | other ->
         Fmt.epr "unknown system %S (kona | kona-vm | legoos | infiniswap)@." other;
         exit 1
@@ -143,7 +163,7 @@ let run_one ~(spec : Workloads.spec) ~scale ~seed ~fmem_pages ~replicas
   heap_ref := Some heap;
   spec.Workloads.run scale ~heap ~seed;
   drain ();
-  let mismatches = ref 0 in
+  let mismatches = ref 0 and lost_pages = ref 0 in
   Resource_manager.iter_backed_pages rm (fun ~vpage ~node ~remote_addr ->
       let base = vpage * Units.page_size in
       (* skip pages holding mmap'd (poked) input: clean by construction *)
@@ -151,11 +171,14 @@ let run_one ~(spec : Workloads.spec) ~scale ~seed ~fmem_pages ~replicas
          && not (Heap.page_poked heap ~page:vpage)
       then begin
         let local = Heap.peek_bytes heap base Units.page_size in
-        let remote =
-          Memory_node.peek (Rack_controller.node controller ~id:node) ~addr:remote_addr
-            ~len:Units.page_size
-        in
-        if local <> remote then incr mismatches
+        match
+          Memory_node.peek (Rack_controller.node controller ~id:node)
+            ~addr:remote_addr ~len:Units.page_size
+        with
+        | remote -> if local <> remote then incr mismatches
+        | exception Memory_node.Crashed _ ->
+            (* crashed with no promoted replica: lost, not divergent *)
+            incr lost_pages
       end);
   {
     rr_system = system;
@@ -164,6 +187,8 @@ let run_one ~(spec : Workloads.spec) ~scale ~seed ~fmem_pages ~replicas
     rr_stats = stats ();
     rr_footprint = Heap.used heap;
     rr_mismatches = !mismatches;
+    rr_lost_pages = !lost_pages;
+    rr_degraded = degraded ();
   }
 
 let systems_of s =
@@ -230,16 +255,33 @@ let export_results ~(spec : Workloads.spec) ~full ~seed ~metrics_json ~trace
           Fmt.pr "trace: wrote %d events to %s@." n p)
         results
 
+(* Exit status shared by run/stats: 1 on divergence (a real bug), 2 on a
+   gracefully degraded run (data lost to an unrecovered fault — reported,
+   not raised), 0 otherwise. *)
+let report_faults r =
+  (match r.rr_degraded with
+  | Some reason -> Fmt.pr "degraded: %s@." reason
+  | None -> ());
+  if r.rr_lost_pages > 0 then
+    Fmt.pr "integrity: %d page(s) unreachable on crashed nodes@." r.rr_lost_pages
+
+let exit_status results =
+  if List.exists (fun r -> r.rr_mismatches > 0) results then 1
+  else if List.exists (fun r -> r.rr_degraded <> None) results then 2
+  else 0
+
 let cmd_run workload systems fmem_pages replicas prefetch sq_depth
-    signal_interval seed metrics_json trace full =
+    signal_interval fault_spec fault_seed check_replicas seed metrics_json
+    trace full =
   let scale = scale_of full in
   let spec =
     match specs_of (Some workload) with [ s ] -> s | _ -> assert false
   in
+  let faults = parse_fault_spec fault_spec in
   let results =
     List.map
       (run_one ~spec ~scale ~seed ~fmem_pages ~replicas ~prefetch ~sq_depth
-         ~signal_interval)
+         ~signal_interval ~faults ~fault_seed ~check_replicas)
       (systems_of systems)
   in
   List.iter
@@ -249,31 +291,35 @@ let cmd_run workload systems fmem_pages replicas prefetch sq_depth
       List.iter (fun (k, v) -> Fmt.pr "  %-26s %d@." k v) r.rr_stats;
       Fmt.pr "integrity: %s@."
         (if r.rr_mismatches = 0 then "remote memory matches the heap"
-         else Printf.sprintf "%d PAGES DIVERGED" r.rr_mismatches))
+         else Printf.sprintf "%d PAGES DIVERGED" r.rr_mismatches);
+      report_faults r)
     results;
   export_results ~spec ~full ~seed ~metrics_json ~trace results;
-  if List.exists (fun r -> r.rr_mismatches > 0) results then 1 else 0
+  exit_status results
 
 let cmd_stats workload systems fmem_pages replicas prefetch sq_depth
-    signal_interval seed metrics_json trace full =
+    signal_interval fault_spec fault_seed check_replicas seed metrics_json
+    trace full =
   let scale = scale_of full in
   let spec =
     match specs_of (Some workload) with [ s ] -> s | _ -> assert false
   in
+  let faults = parse_fault_spec fault_spec in
   let results =
     List.map
       (run_one ~spec ~scale ~seed ~fmem_pages ~replicas ~prefetch ~sq_depth
-         ~signal_interval)
+         ~signal_interval ~faults ~fault_seed ~check_replicas)
       (systems_of systems)
   in
   List.iter
     (fun r ->
       Fmt.pr "== %s on %s (%s, seed %d): %a ==@." spec.Workloads.name
         r.rr_system (scale_name full) seed Units.pp_ns r.rr_elapsed;
-      Fmt.pr "%a@." Snapshot.pp_table (Hub.snapshot r.rr_hub))
+      Fmt.pr "%a@." Snapshot.pp_table (Hub.snapshot r.rr_hub);
+      report_faults r)
     results;
   export_results ~spec ~full ~seed ~metrics_json ~trace results;
-  if List.exists (fun r -> r.rr_mismatches > 0) results then 1 else 0
+  exit_status results
 
 (* ------------------------------------------------------------------ *)
 
@@ -358,6 +404,33 @@ let signal_interval =
               background queue pairs (default 1 = every WQE)"
         ~docv:"N")
 
+let fault_spec =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-spec" ] ~docv:"SPEC"
+        ~doc:
+          "inject faults (kona only): ';'-separated clauses of \
+           $(b,kind[@time][:key=value,...]).  Kinds: $(b,node-crash@T:id=N), \
+           $(b,link-flap@T:dur=D), $(b,rpc-timeout:p=P), $(b,wqe-drop:p=P), \
+           $(b,wqe-delay:p=P,ns=D).  Times/durations take ns/us/ms/s \
+           suffixes, e.g. 'node-crash@2ms:id=1;wqe-drop:p=0.01'")
+
+let fault_seed =
+  Arg.(
+    value
+    & opt int 42
+    & info [ "fault-seed" ]
+        ~doc:"fault-injector RNG seed (same seed + spec => identical faults)")
+
+let check_replicas =
+  Arg.(
+    value & flag
+    & info [ "check-replicas" ]
+        ~doc:
+          "debug invariant (kona only): verify replicas are byte-identical \
+           to their primary after every eviction batch")
+
 let seed =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"workload RNG seed")
 
@@ -399,14 +472,15 @@ let cmds =
     Cmd.v (Cmd.info "run" ~doc:"run a workload on remote-memory runtimes")
       Term.(
         const cmd_run $ workload_req $ system $ fmem_pages $ replicas $ prefetch
-        $ sq_depth $ signal_interval $ seed $ metrics_json $ trace_out $ full);
+        $ sq_depth $ signal_interval $ fault_spec $ fault_seed $ check_replicas
+        $ seed $ metrics_json $ trace_out $ full);
     Cmd.v
       (Cmd.info "stats"
          ~doc:"run a workload and print the full telemetry table per system")
       Term.(
         const cmd_stats $ workload_req $ system $ fmem_pages $ replicas
-        $ prefetch $ sq_depth $ signal_interval $ seed $ metrics_json
-        $ trace_out $ full);
+        $ prefetch $ sq_depth $ signal_interval $ fault_spec $ fault_seed
+        $ check_replicas $ seed $ metrics_json $ trace_out $ full);
   ]
 
 let () =

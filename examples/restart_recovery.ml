@@ -43,21 +43,22 @@ let () =
   (* ------------- incarnation 2: fresh host, recover ------------- *)
   (* A brand-new heap: all zeros, nothing local survives the crash. *)
   let heap2 = Heap.create ~capacity:(Units.mib 8) ~sink:Kona_trace.Access.Tap.ignore () in
-  (* Restore: stream every backed page back from the memory nodes (a real
-     restart would fault them in lazily through a new runtime; eager
-     restore keeps the example self-contained). *)
-  let restored = ref 0 in
-  Resource_manager.iter_backed_pages rm1 (fun ~vpage ~node ~remote_addr ->
-      let base = vpage * Units.page_size in
-      if base + Units.page_size <= Heap.capacity heap2 then begin
-        let data =
-          Memory_node.peek (Rack_controller.node controller ~id:node) ~addr:remote_addr
-            ~len:Units.page_size
-        in
-        Heap.restore_page heap2 ~addr:base ~data;
-        incr restored
-      end);
-  Fmt.pr "incarnation 2: restored %d pages from the rack@." !restored;
+  (* Restore through the runtime: [recover_heap] flushes the cache-line
+     log, streams every backed page back over RDMA reads, and charges the
+     whole restore to the virtual clock (a real restart would fault pages
+     in lazily through a new runtime; eager restore keeps the example
+     self-contained). *)
+  let restored, lost =
+    Runtime.recover_heap runtime1 ~restore:(fun ~addr ~data ->
+        if addr + Units.page_size <= Heap.capacity heap2 then
+          Heap.restore_page heap2 ~addr ~data)
+  in
+  Fmt.pr "incarnation 2: restored %d pages from the rack (%d unreachable) in %s@."
+    restored lost
+    (Fmt.str "%.1fus"
+       (float_of_int
+          (Kona_util.Histogram.percentile (Runtime.recovery_latency runtime1) 50.)
+       /. 1e3));
 
   (* Re-attach to the table through the recovered root pointer. *)
   let kv2 = Kv_store.attach heap2 ~nbuckets ~table:root ~entries:keys in

@@ -24,6 +24,8 @@ type t = {
   mutable doorbell_batches : int;
   mutable doorbell_wqes : int;
   mutable doorbell_batch_peak : int;
+  mutable lost_deliveries : int;
+  mutable lost_lines : int;
   mutable bitmap_ns : int;
   mutable copy_ns : int;
   mutable rdma_ns : int;
@@ -51,6 +53,8 @@ let create ?(capacity = 512) ?(extra_targets = fun ~node:_ -> []) ?tracer ~qp ~c
     doorbell_batches = 0;
     doorbell_wqes = 0;
     doorbell_batch_peak = 0;
+    lost_deliveries = 0;
+    lost_lines = 0;
     bitmap_ns = 0;
     copy_ns = 0;
     rdma_ns = 0;
@@ -103,10 +107,24 @@ let take_node_wqes t node =
                 ("replicas", List.length targets - 1);
               ]
       | None -> ());
+      let lines =
+        List.fold_left
+          (fun acc (e : Memory_node.log_entry) ->
+            acc + (String.length e.Memory_node.data / Units.cache_line))
+          0 entries
+      in
       List.map
         (fun target ->
           Qp.wqe ~signaled:true
-            ~deliver:(fun () -> Memory_node.receive_log target entries)
+            ~deliver:(fun () ->
+              (* A write to a node that crashed while the WQE was in flight
+                 is lost, not fatal: with replicas the same batch lands on
+                 the mirrors (failover preserves it); without, the loss is
+                 counted and surfaced as graceful degradation. *)
+              try Memory_node.receive_log target entries
+              with Memory_node.Crashed _ ->
+                t.lost_deliveries <- t.lost_deliveries + 1;
+                t.lost_lines <- t.lost_lines + lines)
             Qp.Write ~len:wire)
         targets
 
@@ -179,6 +197,8 @@ let wire_bytes t = t.wire_bytes
 let doorbell_batches t = t.doorbell_batches
 let doorbell_wqes t = t.doorbell_wqes
 let doorbell_batch_peak t = t.doorbell_batch_peak
+let lost_deliveries t = t.lost_deliveries
+let lost_lines t = t.lost_lines
 
 (* Bytes shipped beyond the application payload: entry headers, wire
    framing, replica copies — the log's own amplification. *)

@@ -88,6 +88,14 @@ val doorbell_wqes : t -> int
 val doorbell_batch_peak : t -> int
 (** Largest number of WQEs ever coalesced under one doorbell. *)
 
+val lost_deliveries : t -> int
+(** Log writes whose destination node had crashed by completion time.
+    With mirrors configured the data survives on them; without, this is
+    data loss and the runtime reports degradation. *)
+
+val lost_lines : t -> int
+(** Cache-lines carried by lost deliveries. *)
+
 val breakdown_ns : t -> (string * int) list
 (** [("bitmap", ns); ("copy", ns); ("rdma", ns); ("ack", ns)] — Fig. 11c.
     Phase attribution: bitmap and copy are synchronous CPU time; rdma is

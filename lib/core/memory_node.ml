@@ -1,31 +1,47 @@
 open Kona_util
 
+exception Crashed of int
+
 type t = {
   node_id : int;
   store : Bytes.t;
   mutable brk : int;
+  mutable is_alive : bool;
   mutable lines_received : int;
   mutable logs_received : int;
 }
 
 let create ~id ~capacity =
   assert (capacity > 0);
-  { node_id = id; store = Bytes.make capacity '\000'; brk = 0; lines_received = 0;
-    logs_received = 0 }
+  { node_id = id; store = Bytes.make capacity '\000'; brk = 0; is_alive = true;
+    lines_received = 0; logs_received = 0 }
 
 let id t = t.node_id
 let capacity t = Bytes.length t.store
 let used t = t.brk
 let free_bytes t = capacity t - t.brk
+let alive t = t.is_alive
+let crash t = t.is_alive <- false
+
+let check_alive t = if not t.is_alive then raise (Crashed t.node_id)
 
 let reserve t ~size =
+  check_alive t;
   let size = Units.align_up size ~alignment:Units.page_size in
   if t.brk + size > capacity t then raise Out_of_memory;
   let addr = t.brk in
   t.brk <- t.brk + size;
   addr
 
+let adopt_reservations t ~brk =
+  if brk < 0 || brk > capacity t then
+    invalid_arg
+      (Printf.sprintf "Memory_node %d: adopt_reservations brk %d outside [0,%d]"
+         t.node_id brk (capacity t));
+  t.brk <- max t.brk brk
+
 let check t addr len =
+  check_alive t;
   if addr < 0 || addr + len > Bytes.length t.store then
     invalid_arg
       (Printf.sprintf "Memory_node %d: access [%#x,+%d) out of range" t.node_id addr len)
@@ -41,6 +57,7 @@ let read t ~addr ~len =
 type log_entry = { addr : int; data : string }
 
 let receive_log t entries =
+  check_alive t;
   t.logs_received <- t.logs_received + 1;
   List.iter
     (fun e ->

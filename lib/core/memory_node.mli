@@ -5,15 +5,35 @@
 
 type t
 
+exception Crashed of int
+(** Raised (with the node id) by every data-path operation on a crashed
+    node. *)
+
 val create : id:int -> capacity:int -> t
 val id : t -> int
 val capacity : t -> int
 val used : t -> int
 val free_bytes : t -> int
 
+(** {2 Failure state (§4.5, failure mode 3)}
+
+    A crash is fail-stop: the node's data becomes unreachable, while its
+    {e metadata} ([id]/[capacity]/[used]) stays readable — the rack
+    controller tracks reservations, and failover needs them to promote a
+    mirror. *)
+
+val alive : t -> bool
+val crash : t -> unit
+
 val reserve : t -> size:int -> int
 (** Carve out a slab-sized region; returns its node-local base offset.
     Raises [Out_of_memory] if the node is full. *)
+
+val adopt_reservations : t -> brk:int -> unit
+(** Failover bookkeeping: a promoted mirror (or a fresh replica) inherits
+    the crashed primary's reservation high-water mark, so existing slab
+    translations stay valid and future [reserve]s do not overlap them.
+    Never shrinks. *)
 
 (** {2 Data-path operations (invoked by delivered RDMA verbs)} *)
 

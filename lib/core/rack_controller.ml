@@ -1,39 +1,66 @@
 open Kona_util
 
+(* One registered node: [logical_id] is the rack-wide identity slabs refer
+   to; [backing] is the store currently serving it — swapped on replica
+   failover, so translations outlive the crash of the original hardware. *)
+type slot = { logical_id : int; mutable backing : Memory_node.t }
+
 type t = {
   slab_size : int;
-  mutable node_list : Memory_node.t list; (* registration order *)
+  slots : slot Dynarray.t; (* registration order *)
+  index : (int, int) Hashtbl.t; (* logical id -> slot position *)
   mutable next_node : int; (* round-robin cursor *)
   mutable next_slab_id : int;
 }
 
 let create ?(slab_size = Units.mib 1) () =
   assert (slab_size > 0 && slab_size mod Units.page_size = 0);
-  { slab_size; node_list = []; next_node = 0; next_slab_id = 0 }
+  {
+    slab_size;
+    slots = Dynarray.create ();
+    index = Hashtbl.create 8;
+    next_node = 0;
+    next_slab_id = 0;
+  }
 
 let slab_size t = t.slab_size
-let register_node t node = t.node_list <- t.node_list @ [ node ]
-let nodes t = t.node_list
 
-let node t ~id =
-  match List.find_opt (fun n -> Memory_node.id n = id) t.node_list with
-  | Some n -> n
-  | None -> raise Not_found
+let register_node t node =
+  let id = Memory_node.id node in
+  if Hashtbl.mem t.index id then
+    invalid_arg (Printf.sprintf "Rack_controller: memory node id %d already registered" id);
+  Hashtbl.add t.index id (Dynarray.length t.slots);
+  Dynarray.add_last t.slots { logical_id = id; backing = node }
+
+let nodes t = List.map (fun s -> s.backing) (Dynarray.to_list t.slots)
+
+let slot t ~id =
+  match Hashtbl.find_opt t.index id with
+  | Some pos -> Dynarray.get t.slots pos
+  | None ->
+      invalid_arg (Printf.sprintf "Rack_controller.node: unknown memory node id %d" id)
+
+let node t ~id = (slot t ~id).backing
+
+let replace_node t ~id ~node = (slot t ~id).backing <- node
 
 let allocate_slab t ~vaddr =
-  let n = List.length t.node_list in
+  let n = Dynarray.length t.slots in
   if n = 0 then failwith "Rack_controller: no memory nodes registered";
   let rec try_node attempts =
     if attempts = n then raise Out_of_memory
     else begin
-      let candidate = List.nth t.node_list (t.next_node mod n) in
+      let candidate = Dynarray.get t.slots (t.next_node mod n) in
       t.next_node <- t.next_node + 1;
-      if Memory_node.free_bytes candidate >= t.slab_size then begin
-        let remote_addr = Memory_node.reserve candidate ~size:t.slab_size in
+      if
+        Memory_node.alive candidate.backing
+        && Memory_node.free_bytes candidate.backing >= t.slab_size
+      then begin
+        let remote_addr = Memory_node.reserve candidate.backing ~size:t.slab_size in
         let slab =
           {
             Slab.id = t.next_slab_id;
-            node = Memory_node.id candidate;
+            node = candidate.logical_id;
             vaddr;
             remote_addr;
             size = t.slab_size;
@@ -48,6 +75,9 @@ let allocate_slab t ~vaddr =
   try_node 0
 
 let total_free t =
-  List.fold_left (fun acc n -> acc + Memory_node.free_bytes n) 0 t.node_list
+  Dynarray.fold_left
+    (fun acc s ->
+      if Memory_node.alive s.backing then acc + Memory_node.free_bytes s.backing else acc)
+    0 t.slots
 
 let slabs_allocated t = t.next_slab_id

@@ -1,7 +1,13 @@
 (** The rack controller: a (logically centralized, §4.1) allocator that
     memory nodes register with and from which compute nodes obtain slabs.
     Off the application's critical path — the resource manager calls it in
-    batches. *)
+    batches.
+
+    The controller separates a node's {e logical id} (what slabs record)
+    from the store backing it: replica failover swaps the backing via
+    [replace_node] and every existing translation keeps working.  The node
+    table is a dynarray — [register_node] and the per-slab round-robin
+    probe are O(1). *)
 
 type t
 
@@ -12,16 +18,26 @@ val create : ?slab_size:int -> unit -> t
 val slab_size : t -> int
 
 val register_node : t -> Memory_node.t -> unit
+(** Raises [Invalid_argument] if the node's id is already registered. *)
 
 val nodes : t -> Memory_node.t list
+(** Current backings, in registration order. *)
 
 val node : t -> id:int -> Memory_node.t
-(** Raises [Not_found] for unknown ids. *)
+(** The store currently backing logical node [id].  Raises
+    [Invalid_argument] naming the id when it is unknown. *)
+
+val replace_node : t -> id:int -> node:Memory_node.t -> unit
+(** Failover: make [node] the backing of logical id [id] (the promoted
+    mirror takes over the crashed primary's identity).  Raises
+    [Invalid_argument] for unknown ids. *)
 
 val allocate_slab : t -> vaddr:int -> Slab.t
 (** Allocate one slab backing the VFMem range starting at [vaddr],
-    round-robin across registered nodes (skipping full ones).  Raises
-    [Out_of_memory] when no node has room. *)
+    round-robin across registered nodes (skipping full or crashed ones).
+    Raises [Out_of_memory] when no live node has room. *)
 
 val total_free : t -> int
+(** Free bytes across live nodes. *)
+
 val slabs_allocated : t -> int

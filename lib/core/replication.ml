@@ -1,6 +1,8 @@
 type t = {
   degree : int;
   mirrors : (int, Memory_node.t list) Hashtbl.t; (* primary id -> mirrors *)
+  mutable failovers : int;
+  mutable next_replica_id : int; (* fresh ids for re-replication targets *)
 }
 
 let create ~degree ~controller =
@@ -17,12 +19,59 @@ let create ~degree ~controller =
       in
       Hashtbl.replace mirrors id copies)
     (Rack_controller.nodes controller);
-  { degree; mirrors }
+  { degree; mirrors; failovers = 0; next_replica_id = 2000 }
 
 let degree t = t.degree
 
 let targets t ~node =
   match Hashtbl.find_opt t.mirrors node with Some l -> l | None -> []
+
+let fresh_replica_id t =
+  let id = t.next_replica_id in
+  t.next_replica_id <- id + 1;
+  id
+
+let add_mirror t ~node mirror =
+  Hashtbl.replace t.mirrors node (targets t ~node @ [ mirror ])
+
+(* Promote the first live mirror of [node]: it inherits the crashed
+   backing's reservation mark (so existing slab translations stay valid)
+   and takes over the logical id at the controller.  Mirrors store data at
+   primary-node offsets, so the promotion itself moves no bytes — only the
+   re-replication that restores the degree does. *)
+let failover t ~controller ~node =
+  let crashed = Rack_controller.node controller ~id:node in
+  let live, dead = List.partition Memory_node.alive (targets t ~node) in
+  match live with
+  | [] ->
+      Hashtbl.replace t.mirrors node dead;
+      None
+  | promoted :: rest ->
+      Memory_node.adopt_reservations promoted ~brk:(Memory_node.used crashed);
+      Rack_controller.replace_node controller ~id:node ~node:promoted;
+      Hashtbl.replace t.mirrors node rest;
+      t.failovers <- t.failovers + 1;
+      Some promoted
+
+(* A crash target that is not a controller-registered primary may be one
+   of our mirrors: fail-stop it, drop it from its list, and report which
+   primary lost a replica so the caller can re-replicate. *)
+let crash_mirror t ~id =
+  Hashtbl.fold
+    (fun primary copies acc ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          match List.find_opt (fun m -> Memory_node.id m = id) copies with
+          | Some m ->
+              Memory_node.crash m;
+              Hashtbl.replace t.mirrors primary
+                (List.filter (fun c -> Memory_node.id c <> id) copies);
+              Some primary
+          | None -> None))
+    t.mirrors None
+
+let failovers t = t.failovers
 
 let lines_replicated t =
   Hashtbl.fold
@@ -34,17 +83,24 @@ let divergent_mirrors t ~controller =
   Hashtbl.fold
     (fun id copies acc ->
       match Rack_controller.node controller ~id with
-      | primary ->
+      | primary when Memory_node.alive primary ->
           let used = Memory_node.used primary in
           let reference =
             if used = 0 then "" else Memory_node.peek primary ~addr:0 ~len:used
           in
           List.fold_left
             (fun a mirror ->
-              let copy =
-                if used = 0 then "" else Memory_node.peek mirror ~addr:0 ~len:used
-              in
-              if copy <> reference then a + 1 else a)
+              (* A crashed mirror is a lost replica, not a divergent one. *)
+              if not (Memory_node.alive mirror) then a
+              else
+                let copy =
+                  if used = 0 then "" else Memory_node.peek mirror ~addr:0 ~len:used
+                in
+                if copy <> reference then a + 1 else a)
             acc copies
-      | exception Not_found -> acc + List.length copies)
+      | _ ->
+          (* Primary crashed with no promoted replacement: its mirrors
+             cannot be checked against anything. *)
+          acc
+      | exception Invalid_argument _ -> acc + List.length copies)
     t.mirrors 0

@@ -20,10 +20,36 @@ val degree : t -> int
 val targets : t -> node:int -> Memory_node.t list
 (** The mirrors of [node] (possibly empty; never includes the primary). *)
 
+(** {2 Failover (§4.5, failure mode 3)} *)
+
+val failover : t -> controller:Rack_controller.t -> node:int -> Memory_node.t option
+(** The primary backing logical node [node] crashed: promote its first
+    live mirror — it inherits the crashed node's reservation mark and
+    replaces it at the controller — and return it.  [None] when no live
+    mirror exists (data loss; the caller reports degradation).  The
+    promoted node leaves the mirror set; restoring the replication degree
+    is the caller's re-replication job ({!add_mirror}). *)
+
+val add_mirror : t -> node:int -> Memory_node.t -> unit
+(** Attach a (re-replicated) mirror to logical node [node]. *)
+
+val crash_mirror : t -> id:int -> int option
+(** If [id] names one of the mirrors, fail-stop and remove it, returning
+    the logical id of the primary that lost a replica; [None] otherwise. *)
+
+val fresh_replica_id : t -> int
+(** A node id (2000+) never used by primaries or initial mirrors, for
+    re-replication targets. *)
+
+val failovers : t -> int
+(** Promotions performed. *)
+
 val lines_replicated : t -> int
 (** Total cache-lines received across all mirrors. *)
 
 val divergent_mirrors : t -> controller:Rack_controller.t -> int
-(** Number of mirrors whose used range differs from their primary —
-    0 means every replica is byte-identical (checked over each node's
-    reserved range). *)
+(** Number of live mirrors whose used range differs from their (live)
+    primary — 0 means every replica is byte-identical (checked over each
+    node's reserved range).  Crashed mirrors are lost, not divergent;
+    mirrors of a crashed, un-failed-over primary have no reference to
+    check against and are skipped. *)

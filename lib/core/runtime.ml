@@ -5,10 +5,13 @@ module Fmem = Kona_coherence.Fmem
 module Directory = Kona_coherence.Directory
 module Nic = Kona_rdma.Nic
 module Qp = Kona_rdma.Qp
+module Rpc = Kona_rdma.Rpc
 module Cache = Kona_cachesim.Cache
 module Hub = Kona_telemetry.Hub
 module Registry = Kona_telemetry.Registry
 module Tracer = Kona_telemetry.Tracer
+module Fault_spec = Kona_faults.Fault_spec
+module Injector = Kona_faults.Injector
 
 type config = {
   cost : Cost_model.t;
@@ -24,6 +27,9 @@ type config = {
   prefetch : bool;
   sq_depth : int option;
   signal_interval : int;
+  faults : Fault_spec.t;
+  fault_seed : int;
+  check_replicas : bool;
 }
 
 let default_config =
@@ -41,18 +47,24 @@ let default_config =
     prefetch = false;
     sq_depth = None;
     signal_interval = 1;
+    faults = [];
+    fault_seed = 42;
+    check_replicas = false;
   }
 
 type t = {
   config : config;
   app_clock : Clock.t;
   bg_clock : Clock.t;
+  controller : Rack_controller.t;
   hierarchy : Hierarchy.t;
   fmem : Fmem.t;
   directory : Directory.t;
   rm : Resource_manager.t;
+  rpc : Rpc.t;
   log : Cl_log.t;
   replication : Replication.t option;
+  injector : Injector.t option;
   caching : Caching_handler.t;
   tracker : Dirty_tracker.t;
   evictor : Eviction_handler.t;
@@ -61,6 +73,14 @@ type t = {
   evict_qp : Qp.t;
   prefetch_qp : Qp.t option;
   hub : Hub.t option;
+  tracer : Tracer.t option;
+  failover_latency : Histogram.t;
+  recovery_latency : Histogram.t;
+  mutable node_crashes : int;
+  mutable recovery_bytes : int;
+  mutable heap_pages_restored : int;
+  mutable heap_pages_lost : int;
+  mutable degraded_reason : string option;
   mutable accesses : int;
 }
 
@@ -159,6 +179,8 @@ let register_metrics t reg =
           c ~labels "qp.completed" (fun () -> Qp.completed qp);
           c ~labels "qp.window_stalls" (fun () -> Qp.window_stalls qp);
           c ~labels "qp.window_stall_ns" (fun () -> Qp.window_stall_ns qp);
+          c ~labels "qp.retransmits" (fun () -> Qp.retransmits qp);
+          c ~labels "qp.fault_delay_ns" (fun () -> Qp.fault_delay_ns qp);
           g ~labels "qp.outstanding_peak" (fun () -> Qp.outstanding_peak qp);
           g ~labels "qp.in_flight" (fun () -> Qp.in_flight qp))
     qps;
@@ -173,7 +195,53 @@ let register_metrics t reg =
   (* Resource manager / control plane *)
   g "rm.slabs" (fun () -> List.length (Resource_manager.slabs t.rm));
   c "rm.controller_round_trips" (fun () ->
-      Resource_manager.controller_round_trips t.rm)
+      Resource_manager.controller_round_trips t.rm);
+  c "rpc.calls" (fun () -> Rpc.calls t.rpc);
+  c "rpc.timeouts" (fun () -> Rpc.timeouts t.rpc);
+  c "rpc.retries" (fun () -> Rpc.retries t.rpc);
+  (* Fault injection, failover and recovery (§4.5) *)
+  c "faults.injected" (fun () ->
+      match t.injector with Some inj -> Injector.injected inj | None -> 0);
+  List.iter
+    (fun category ->
+      c ("faults." ^ category) (fun () ->
+          match t.injector with
+          | Some inj ->
+              Option.value ~default:0 (List.assoc_opt category (Injector.counters inj))
+          | None -> 0))
+    [ "node_crashes"; "link_flaps"; "rpc_timeouts"; "wqe_drops"; "wqe_delays" ];
+  c "cllog.lost_writes" (fun () -> Cl_log.lost_deliveries t.log);
+  c "cllog.lost_lines" (fun () -> Cl_log.lost_lines t.log);
+  Registry.histogram_ref reg "failover.latency_ns" t.failover_latency;
+  Registry.histogram_ref reg "recovery.latency_ns" t.recovery_latency;
+  c "recovery.bytes" (fun () -> t.recovery_bytes);
+  c "recovery.heap_pages" (fun () -> t.heap_pages_restored);
+  c "recovery.heap_pages_lost" (fun () -> t.heap_pages_lost);
+  match t.replication with
+  | Some r ->
+      c "replication.lines" (fun () -> Replication.lines_replicated r);
+      c "replication.failovers" (fun () -> Replication.failovers r);
+      g "replication.divergent" (fun () ->
+          Replication.divergent_mirrors r ~controller:t.controller)
+  | None -> ()
+
+(* Debug invariant ([config.check_replicas]): fence the eviction QP —
+   firing any in-flight (possibly retransmission-delayed) mirror writes —
+   then assert that no live mirror diverges from its primary.  Data staged
+   in the CL log but not yet flushed is absent from primary and mirrors
+   alike, so it cannot produce a false positive. *)
+let check_replicas_now t =
+  match t.replication with
+  | None -> ()
+  | Some r ->
+      Qp.wait_idle t.evict_qp;
+      let divergent = Replication.divergent_mirrors r ~controller:t.controller in
+      if divergent > 0 then
+        failwith
+          (Printf.sprintf
+             "Runtime: replica divergence after eviction: %d mirror(s) differ \
+              from their primary"
+             divergent)
 
 let create ?(config = default_config) ?nic ?hub ~controller ~read_local () =
   let app_clock = Clock.create () in
@@ -184,17 +252,36 @@ let create ?(config = default_config) ?nic ?hub ~controller ~read_local () =
       Tracer.set_clock tr (fun () -> (Clock.now app_clock, Clock.now bg_clock))
   | None -> ());
   let nic = match nic with Some n -> n | None -> Kona_rdma.Nic.create () in
+  let injector =
+    match config.faults with
+    | [] -> None
+    | plan -> Some (Injector.create ~seed:config.fault_seed ~plan)
+  in
+  (* Link flaps become NIC outage windows up front; per-WQE and per-RPC
+     decisions are drawn through the hooks below as traffic flows. *)
+  (match injector with
+  | Some inj ->
+      List.iter
+        (fun (at, dur) -> Nic.inject_outage nic ~at ~duration:dur)
+        (Injector.link_flaps inj)
+  | None -> ());
+  let inject = Option.map Injector.qp_inject injector in
   (* Demand fetches stay signal-every-WQE (they are synchronous); the
      background paths take both the send-queue window and selective
      signaling. *)
   let fetch_qp =
-    Qp.create ~cost:config.rdma ~nic ?sq_depth:config.sq_depth ~clock:app_clock ()
+    Qp.create ~cost:config.rdma ~nic ?sq_depth:config.sq_depth ?inject
+      ~clock:app_clock ()
   in
   let evict_qp =
-    Qp.create ~cost:config.rdma ~nic ?sq_depth:config.sq_depth
+    Qp.create ~cost:config.rdma ~nic ?sq_depth:config.sq_depth ?inject
       ~signal_interval:config.signal_interval ~clock:bg_clock ()
   in
-  let rpc = Kona_rdma.Rpc.create ~cost:config.rdma ~clock:app_clock ~nic () in
+  let rpc =
+    Kona_rdma.Rpc.create ~cost:config.rdma
+      ?fail:(Option.map Injector.rpc_timeout injector)
+      ~clock:app_clock ~nic ()
+  in
   let rm = Resource_manager.create ~rpc ~controller () in
   let fmem =
     Fmem.create ~assoc:config.fmem_assoc ~policy:config.fmem_policy
@@ -247,14 +334,19 @@ let create ?(config = default_config) ?nic ?hub ~controller ~read_local () =
   let prefetch_qp =
     if config.prefetch then
       Some
-        (Qp.create ~cost:config.rdma ~nic ?sq_depth:config.sq_depth
+        (Qp.create ~cost:config.rdma ~nic ?sq_depth:config.sq_depth ?inject
            ~signal_interval:config.signal_interval ~clock:bg_clock ())
     else None
   in
+  (* The check_replicas invariant runs after each eviction batch; it needs
+     the full runtime record, which does not exist yet at hook-wiring time. *)
+  let post_evict_ref = ref (fun () -> ()) in
   let caching =
     Caching_handler.create ~cost:config.cost ~fetch_block:config.fetch_block
       ?mce_threshold_ns:config.mce_threshold_ns ?prefetch_qp ?tracer ~fmem ~rm ~fetch_qp
-      ~on_victim:(fun ~vpage ~dirty -> Eviction_handler.evict evictor ~vpage ~dirty)
+      ~on_victim:(fun ~vpage ~dirty ->
+        Eviction_handler.evict evictor ~vpage ~dirty;
+        !post_evict_ref ())
       ()
   in
   evictor_ref := Some evictor;
@@ -265,12 +357,15 @@ let create ?(config = default_config) ?nic ?hub ~controller ~read_local () =
       config;
       app_clock;
       bg_clock;
+      controller;
       hierarchy;
       fmem;
       directory;
       rm;
+      rpc;
       log;
       replication;
+      injector;
       caching;
       tracker;
       evictor;
@@ -279,11 +374,153 @@ let create ?(config = default_config) ?nic ?hub ~controller ~read_local () =
       evict_qp;
       prefetch_qp;
       hub;
+      tracer;
+      failover_latency = Histogram.create ();
+      recovery_latency = Histogram.create ();
+      node_crashes = 0;
+      recovery_bytes = 0;
+      heap_pages_restored = 0;
+      heap_pages_lost = 0;
+      degraded_reason = None;
       accesses = 0;
     }
   in
+  if config.check_replicas then post_evict_ref := (fun () -> check_replicas_now t);
   (match hub with Some h -> register_metrics t (Hub.registry h) | None -> ());
   t
+
+let app_ns t = Clock.now t.app_clock
+let bg_ns t = Clock.now t.bg_clock
+let elapsed_ns t = max (app_ns t) (bg_ns t)
+
+(* Restore the replication degree after a promotion (or a mirror loss):
+   clone the current primary onto a fresh mirror in 1 MiB chunks over the
+   eviction QP.  The copy is asynchronous background traffic — it completes
+   as the background clock advances past each chunk — and the final chunk's
+   delivery stamps the recovery-latency histogram.  Mirrors store data at
+   primary offsets, so the clone is a straight prefix copy of the primary's
+   reserved range. *)
+let re_replicate t ~replication ~node =
+  match Rack_controller.node t.controller ~id:node with
+  | exception Invalid_argument _ -> ()
+  | primary when not (Memory_node.alive primary) -> ()
+  | primary ->
+      let used = Memory_node.used primary in
+      let mirror =
+        Memory_node.create
+          ~id:(Replication.fresh_replica_id replication)
+          ~capacity:(Memory_node.capacity primary)
+      in
+      Memory_node.adopt_reservations mirror ~brk:used;
+      Replication.add_mirror replication ~node mirror;
+      let t0 = Clock.now t.bg_clock in
+      if used = 0 then Histogram.add t.recovery_latency 0
+      else begin
+        let chunk = 1 lsl 20 in
+        let nchunks = (used + chunk - 1) / chunk in
+        let wqes =
+          List.init nchunks (fun i ->
+              let off = i * chunk in
+              let len = min chunk (used - off) in
+              let last = i = nchunks - 1 in
+              Qp.wqe ~signaled:last
+                ~deliver:(fun () ->
+                  (* The source may crash again before the copy lands;
+                     that abandons this clone (the next failover will
+                     re-replicate from whichever primary survives). *)
+                  (try
+                     Memory_node.write mirror ~addr:off
+                       ~data:(Memory_node.peek primary ~addr:off ~len);
+                     t.recovery_bytes <- t.recovery_bytes + len
+                   with Memory_node.Crashed _ -> ());
+                  if last then begin
+                    Histogram.add t.recovery_latency (Clock.now t.bg_clock - t0);
+                    match t.tracer with
+                    | Some tr ->
+                        Tracer.instant tr
+                          ~args:[ ("node", node); ("bytes", used) ]
+                          "faults.re_replicated"
+                    | None -> ()
+                  end)
+                Qp.Write ~len)
+        in
+        Qp.post t.evict_qp wqes
+      end
+
+(* A scheduled node crash fired.  Fail-stop the target, then run the
+   control-plane failover exchange with the rack controller: promote a
+   live mirror (§4.5, failure mode 3) and start background re-replication.
+   Without a live mirror the runtime degrades — the node's data is lost,
+   and subsequent CL-log deliveries to it are counted, not raised. *)
+let handle_node_crash t ~id =
+  t.node_crashes <- t.node_crashes + 1;
+  let note_degraded reason =
+    if t.degraded_reason = None then t.degraded_reason <- Some reason
+  in
+  let emit name args =
+    match t.tracer with Some tr -> Tracer.instant tr ~args name | None -> ()
+  in
+  match Rack_controller.node t.controller ~id with
+  | primary -> (
+      Memory_node.crash primary;
+      emit "faults.node_crash" [ ("node", id) ];
+      match t.replication with
+      | None ->
+          note_degraded
+            (Printf.sprintf
+               "memory node %d crashed with no replicas configured" id)
+      | Some r -> (
+          let t0 = Clock.now t.app_clock in
+          match
+            Rpc.call t.rpc ~request_bytes:64 ~response_bytes:64
+              (fun () -> Replication.failover r ~controller:t.controller ~node:id)
+              ()
+          with
+          | exception Rpc.Timeout_exhausted { attempts } ->
+              note_degraded
+                (Printf.sprintf
+                   "failover of memory node %d failed: rack controller \
+                    unreachable after %d attempts"
+                   id attempts)
+          | promoted -> (
+              Histogram.add t.failover_latency (Clock.now t.app_clock - t0);
+              match promoted with
+              | Some p ->
+                  emit "faults.failover"
+                    [ ("node", id); ("promoted", Memory_node.id p) ];
+                  re_replicate t ~replication:r ~node:id
+              | None ->
+                  note_degraded
+                    (Printf.sprintf
+                       "memory node %d crashed with no live mirror to promote"
+                       id))))
+  | exception Invalid_argument _ -> (
+      (* Not a registered primary — the plan may target a mirror. *)
+      match t.replication with
+      | Some r -> (
+          match Replication.crash_mirror r ~id with
+          | Some primary_id ->
+              emit "faults.mirror_crash"
+                [ ("node", id); ("primary", primary_id) ];
+              re_replicate t ~replication:r ~node:primary_id
+          | None ->
+              note_degraded
+                (Printf.sprintf "fault plan crashed unknown memory node %d" id))
+      | None ->
+          note_degraded
+            (Printf.sprintf "fault plan crashed unknown memory node %d" id))
+
+(* Polled as the clocks advance (every access sink and drain): fire node
+   crashes whose scheduled virtual time has been reached.  O(1) when the
+   plan has none pending. *)
+let poll_faults t =
+  match t.injector with
+  | None -> ()
+  | Some inj ->
+      if Injector.crashes_pending inj > 0 then
+        List.iter
+          (fun id -> handle_node_crash t ~id)
+          (Injector.due_node_crashes inj ~now:(elapsed_ns t))
 
 let charge_level t level =
   let c = t.config.cost in
@@ -296,6 +533,7 @@ let charge_level t level =
   Clock.advance t.app_clock (int_of_float ns)
 
 let sink t event =
+  poll_faults t;
   t.accesses <- t.accesses + 1;
   let write = Access.is_write event in
   Access.iter_lines event (fun line ->
@@ -303,6 +541,7 @@ let sink t event =
       charge_level t level)
 
 let drain t =
+  poll_faults t;
   (* Pages needing writeback: FMem residents plus any page holding dirty
      CPU lines (possible after an FMem eviction raced a cached write). *)
   let pages = Hashtbl.create 256 in
@@ -322,11 +561,77 @@ let drain t =
       in
       Eviction_handler.evict t.evictor ~vpage ~dirty)
     pages;
-  Cl_log.flush t.log
+  Cl_log.flush t.log;
+  if t.config.check_replicas then check_replicas_now t
 
-let app_ns t = Clock.now t.app_clock
-let bg_ns t = Clock.now t.bg_clock
-let elapsed_ns t = max (app_ns t) (bg_ns t)
+(* Compute-node crash recovery (§4.5, failure mode 1): the local cache and
+   heap are gone but remote memory survives.  Flush the CL-log tail first —
+   unacked dirty lines must land remotely before pages are read back — then
+   rebuild every backed page over batched RDMA reads, handing each to
+   [restore] (e.g. {!Kona_workloads.Heap.restore_page}).  Pages whose node
+   is crashed and un-failed-over are lost and counted.  Returns
+   [(restored, lost)] page counts for this call. *)
+let recover_heap t ~restore =
+  let t0 = elapsed_ns t in
+  let restored0 = t.heap_pages_restored and lost0 = t.heap_pages_lost in
+  Cl_log.flush t.log;
+  let page = Units.page_size in
+  let pending = ref [] in
+  let flush_batch () =
+    if !pending <> [] then begin
+      Qp.post t.fetch_qp (List.rev !pending);
+      pending := []
+    end
+  in
+  Resource_manager.iter_backed_pages t.rm (fun ~vpage ~node ~remote_addr ->
+      match Rack_controller.node t.controller ~id:node with
+      | remote when Memory_node.alive remote ->
+          let wqe =
+            Qp.wqe ~signaled:true
+              ~deliver:(fun () ->
+                match Memory_node.peek remote ~addr:remote_addr ~len:page with
+                | data ->
+                    restore ~addr:(vpage * page) ~data;
+                    t.heap_pages_restored <- t.heap_pages_restored + 1;
+                    t.recovery_bytes <- t.recovery_bytes + page
+                | exception Memory_node.Crashed _ ->
+                    t.heap_pages_lost <- t.heap_pages_lost + 1)
+              Qp.Read ~len:page
+          in
+          pending := wqe :: !pending;
+          if List.length !pending >= 64 then flush_batch ()
+      | _ -> t.heap_pages_lost <- t.heap_pages_lost + 1
+      | exception Invalid_argument _ ->
+          t.heap_pages_lost <- t.heap_pages_lost + 1);
+  flush_batch ();
+  Qp.wait_idle t.fetch_qp;
+  let dur = elapsed_ns t - t0 in
+  Histogram.add t.recovery_latency dur;
+  let restored = t.heap_pages_restored - restored0
+  and lost = t.heap_pages_lost - lost0 in
+  (match t.tracer with
+  | Some tr ->
+      Tracer.span tr ~dur_ns:dur
+        ~args:[ ("restored", restored); ("lost", lost) ]
+        "runtime.recover_heap"
+  | None -> ());
+  (restored, lost)
+
+let degraded t =
+  match t.degraded_reason with
+  | Some _ as r -> r
+  | None -> (
+      match t.replication with
+      | Some _ -> None (* lost primary deliveries are covered by mirrors *)
+      | None ->
+          let lost = Cl_log.lost_deliveries t.log in
+          if lost > 0 then
+            Some
+              (Printf.sprintf
+                 "%d cache-line log write(s) (%d lines) lost to crashed \
+                  memory nodes"
+                 lost (Cl_log.lost_lines t.log))
+          else None)
 
 let stats t =
   let h = t.hierarchy in
@@ -372,9 +677,20 @@ let stats t =
       ("directory.writebacks", Directory.writebacks t.directory);
       ("slabs", List.length (Resource_manager.slabs t.rm));
       ("controller.round_trips", Resource_manager.controller_round_trips t.rm);
+      ( "faults.injected",
+        match t.injector with Some i -> Injector.injected i | None -> 0 );
+      ("faults.node_crashes", t.node_crashes);
+      ( "failover.count",
+        match t.replication with Some r -> Replication.failovers r | None -> 0 );
+      ("log.lost_writes", Cl_log.lost_deliveries t.log);
     ]
 
 let replication t = t.replication
+let injector t = t.injector
+let controller t = t.controller
+let node_crashes t = t.node_crashes
+let failover_latency t = t.failover_latency
+let recovery_latency t = t.recovery_latency
 let hub t = t.hub
 let resource_manager t = t.rm
 let fmem t = t.fmem

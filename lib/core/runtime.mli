@@ -43,6 +43,17 @@ type config = {
           requesting a completion, only every Nth raises a CQE.  1 = every
           one (default).  The demand-fetch QP always signals — its fetches
           are synchronous *)
+  faults : Kona_faults.Fault_spec.t;
+      (** fault-injection plan (§4.5): scheduled node crashes and link
+          flaps plus probabilistic WQE loss/delay and RPC timeouts.  [[]]
+          (default) = no injector, zero overhead *)
+  fault_seed : int;
+      (** seed for the injector's splitmix streams; the same seed and plan
+          reproduce bit-identical fault sequences *)
+  check_replicas : bool;
+      (** debug invariant: after every eviction batch (and after [drain]),
+          fence the eviction QP and [failwith] if any live mirror diverges
+          from its primary.  Expensive; off by default *)
 }
 
 val default_config : config
@@ -92,11 +103,54 @@ val stats : t -> (string * int) list
 (** Flat counter dump across all components (fetches, FMem hit/miss,
     tracked lines, evicted pages/lines, log flushes, RDMA bytes, ...). *)
 
+(** {2 Failure recovery (§4.5)}
+
+    Fault handling is driven by the virtual clocks: [sink] and [drain]
+    poll the injector for due node crashes.  A crashed primary is failed
+    over to its first live mirror through a rack-controller RPC exchange
+    (latency recorded in [failover.latency_ns]); the replication degree is
+    then restored by an asynchronous background copy onto a fresh mirror
+    ([recovery.latency_ns], [recovery.bytes]).  Without replicas the crash
+    degrades the run instead of raising: lost CL-log deliveries are
+    counted and {!degraded} reports the reason. *)
+
+val recover_heap :
+  t -> restore:(addr:int -> data:string -> unit) -> int * int
+(** Compute-node crash recovery (failure mode 1): rebuild the application
+    heap from remote memory.  Flushes the CL-log tail (the unacked dirty
+    lines), then reads every backed page over batched RDMA and hands it to
+    [restore] (e.g. [Heap.restore_page] of a fresh heap).  Pages on
+    crashed, un-failed-over nodes are lost.  Returns
+    [(pages_restored, pages_lost)] for this call; the duration lands in
+    the [recovery.latency_ns] histogram. *)
+
+val degraded : t -> string option
+(** [Some reason] when the run lost data or a recovery path failed: a node
+    crashed with no (live) replica, the failover RPC exhausted its
+    retries, or — with replication off — CL-log writes were lost to a
+    crashed node.  [None] means every injected fault was absorbed. *)
+
+val node_crashes : t -> int
+(** Node-crash faults handled (primaries and mirrors). *)
+
+val failover_latency : t -> Kona_util.Histogram.t
+(** App-clock latency of each failover control-plane exchange. *)
+
+val recovery_latency : t -> Kona_util.Histogram.t
+(** Latency of each re-replication copy and each {!recover_heap} call. *)
+
 (** {2 Component access (examples, tests, benches)} *)
 
 val replication : t -> Replication.t option
 (** Present when [config.replicas > 0]; mirrors can then be checked for
     divergence after [drain]. *)
+
+val injector : t -> Kona_faults.Injector.t option
+(** Present when [config.faults] is non-empty. *)
+
+val controller : t -> Rack_controller.t
+(** The rack controller passed at [create] (failover retargets logical
+    node ids inside it). *)
 
 val hub : t -> Kona_telemetry.Hub.t option
 (** The telemetry hub passed at [create], if any. *)

@@ -1,0 +1,141 @@
+type clause =
+  | Node_crash of { at_ns : int; id : int }
+  | Link_flap of { at_ns : int; dur_ns : int }
+  | Rpc_timeout of { p : float }
+  | Wqe_drop of { p : float }
+  | Wqe_delay of { p : float; delay_ns : int }
+
+type t = clause list
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+(* "200us" -> 200_000; bare integers are nanoseconds. *)
+let duration_of_string s =
+  let num, mult =
+    let n = String.length s in
+    let split k m = (String.sub s 0 (n - k), m) in
+    if n >= 2 && String.sub s (n - 2) 2 = "ns" then split 2 1
+    else if n >= 2 && String.sub s (n - 2) 2 = "us" then split 2 1_000
+    else if n >= 2 && String.sub s (n - 2) 2 = "ms" then split 2 1_000_000
+    else if n >= 1 && s.[n - 1] = 's' then split 1 1_000_000_000
+    else (s, 1)
+  in
+  match int_of_string_opt num with
+  | Some v when v >= 0 -> v * mult
+  | Some _ | None -> bad "bad duration %S (expected e.g. 500ns, 200us, 2ms, 1s)" s
+
+let prob_of_string s =
+  match float_of_string_opt s with
+  | Some p when p >= 0. && p <= 1. -> p
+  | Some _ | None -> bad "bad probability %S (expected a float in [0,1])" s
+
+let int_of_field ~key s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> bad "bad integer %S for %s" s key
+
+(* "kind[@time][:k=v,...]" -> (kind, time option, assoc). *)
+let split_clause s =
+  let head, params =
+    match String.index_opt s ':' with
+    | Some i ->
+        ( String.sub s 0 i,
+          String.split_on_char ',' (String.sub s (i + 1) (String.length s - i - 1)) )
+    | None -> (s, [])
+  in
+  let kind, at =
+    match String.index_opt head '@' with
+    | Some i ->
+        ( String.sub head 0 i,
+          Some (duration_of_string (String.sub head (i + 1) (String.length head - i - 1)))
+        )
+    | None -> (head, None)
+  in
+  let kv p =
+    match String.index_opt p '=' with
+    | Some i -> (String.sub p 0 i, String.sub p (i + 1) (String.length p - i - 1))
+    | None -> bad "bad parameter %S (expected key=value)" p
+  in
+  (kind, at, List.map kv (List.filter (fun p -> p <> "") params))
+
+let field params key =
+  match List.assoc_opt key params with
+  | Some v -> v
+  | None -> bad "missing required parameter %s=" key
+
+let require_at kind = function
+  | Some t -> t
+  | None -> bad "%s needs a trigger time (e.g. %s@2ms)" kind kind
+
+let parse_clause s =
+  let kind, at, params = split_clause s in
+  let known ks =
+    List.iter
+      (fun (k, _) -> if not (List.mem k ks) then bad "unknown parameter %s for %s" k kind)
+      params
+  in
+  match kind with
+  | "node-crash" ->
+      known [ "id" ];
+      Node_crash
+        { at_ns = require_at kind at; id = int_of_field ~key:"id" (field params "id") }
+  | "link-flap" ->
+      known [ "dur" ];
+      Link_flap
+        { at_ns = require_at kind at; dur_ns = duration_of_string (field params "dur") }
+  | "rpc-timeout" ->
+      known [ "p" ];
+      Rpc_timeout { p = prob_of_string (field params "p") }
+  | "wqe-drop" ->
+      known [ "p" ];
+      Wqe_drop { p = prob_of_string (field params "p") }
+  | "wqe-delay" ->
+      known [ "p"; "ns" ];
+      Wqe_delay
+        {
+          p = prob_of_string (field params "p");
+          delay_ns = duration_of_string (field params "ns");
+        }
+  | other ->
+      bad
+        "unknown fault kind %S (node-crash | link-flap | rpc-timeout | wqe-drop | \
+         wqe-delay)"
+        other
+
+let parse s =
+  let clauses =
+    String.split_on_char ';' s |> List.map String.trim
+    |> List.filter (fun c -> c <> "")
+  in
+  match List.map parse_clause clauses with
+  | plan -> Ok plan
+  | exception Bad msg -> Error msg
+
+let parse_exn s =
+  match parse s with Ok p -> p | Error msg -> invalid_arg ("Fault_spec: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let ns_to_string ns =
+  if ns mod 1_000_000_000 = 0 && ns > 0 then Printf.sprintf "%ds" (ns / 1_000_000_000)
+  else if ns mod 1_000_000 = 0 && ns > 0 then Printf.sprintf "%dms" (ns / 1_000_000)
+  else if ns mod 1_000 = 0 && ns > 0 then Printf.sprintf "%dus" (ns / 1_000)
+  else Printf.sprintf "%dns" ns
+
+let clause_to_string = function
+  | Node_crash { at_ns; id } -> Printf.sprintf "node-crash@%s:id=%d" (ns_to_string at_ns) id
+  | Link_flap { at_ns; dur_ns } ->
+      Printf.sprintf "link-flap@%s:dur=%s" (ns_to_string at_ns) (ns_to_string dur_ns)
+  | Rpc_timeout { p } -> Printf.sprintf "rpc-timeout:p=%g" p
+  | Wqe_drop { p } -> Printf.sprintf "wqe-drop:p=%g" p
+  | Wqe_delay { p; delay_ns } ->
+      Printf.sprintf "wqe-delay:p=%g,ns=%s" p (ns_to_string delay_ns)
+
+let to_string t = String.concat ";" (List.map clause_to_string t)
+let pp fmt t = Format.pp_print_string fmt (to_string t)

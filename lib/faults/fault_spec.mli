@@ -1,0 +1,44 @@
+(** Fault-plan grammar (§4.5 failure modes, made injectable).
+
+    A plan is a list of clauses separated by [';'].  Each clause is
+
+    {v kind[@time][:key=value[,key=value...]] v}
+
+    where durations accept [ns]/[us]/[ms]/[s] suffixes (bare integers are
+    nanoseconds) and probabilities are floats in [0, 1].  Kinds:
+
+    - [node-crash@2ms:id=1] — memory node [id] fail-stops at virtual time
+      2 ms (failure mode 3; recovered by replica failover when mirrors
+      exist, reported as graceful degradation otherwise);
+    - [link-flap@1ms:dur=200us] — the shared NIC port carries no traffic
+      for the window (failure mode 2; absorbed by the MCE path);
+    - [rpc-timeout:p=0.01] — each control-plane RPC independently times
+      out with probability [p] and is retried with backoff;
+    - [wqe-drop:p=0.001] — each posted WQE transmission attempt is lost
+      with probability [p], exercising the QP retransmission machinery;
+    - [wqe-delay:p=0.01,ns=5us] — each WQE is delayed by [ns] with
+      probability [p].
+
+    All probabilistic draws come from a seeded splitmix stream, so a plan
+    plus a seed reproduces the same faults bit-for-bit. *)
+
+type clause =
+  | Node_crash of { at_ns : int; id : int }
+  | Link_flap of { at_ns : int; dur_ns : int }
+  | Rpc_timeout of { p : float }
+  | Wqe_drop of { p : float }
+  | Wqe_delay of { p : float; delay_ns : int }
+
+type t = clause list
+
+val parse : string -> (t, string) result
+(** Parse a [';']-separated plan; the empty string is the empty plan.
+    [Error msg] pinpoints the offending clause. *)
+
+val parse_exn : string -> t
+(** Raises [Invalid_argument] with the parse error. *)
+
+val to_string : t -> string
+(** Canonical round-trippable rendering ([parse (to_string p)] = [Ok p]). *)
+
+val pp : Format.formatter -> t -> unit

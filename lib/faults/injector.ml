@@ -1,0 +1,109 @@
+open Kona_util
+
+type t = {
+  plan_ : Fault_spec.t;
+  qp_rng : Rng.t;
+  rpc_rng : Rng.t;
+  p_drop : float;
+  p_delay : float;
+  delay_ns : int;
+  p_rpc : float;
+  mutable crashes : (int * int) list; (* (at_ns, id), sorted by time *)
+  flaps : (int * int) list;
+  mutable node_crashes : int;
+  mutable link_flaps_applied : int;
+  mutable rpc_timeouts : int;
+  mutable wqe_drops : int;
+  mutable wqe_delays : int;
+}
+
+let create ~seed ~plan =
+  let root = Rng.create ~seed in
+  let qp_rng = Rng.split root in
+  let rpc_rng = Rng.split root in
+  (* Independent clauses of the same kind compose: probabilities are
+     combined as independent events, crash/flap schedules concatenate. *)
+  let p_drop = ref 0. and p_delay = ref 0. and delay_ns = ref 0 and p_rpc = ref 0. in
+  let crashes = ref [] and flaps = ref [] in
+  let combine p q = 1. -. ((1. -. p) *. (1. -. q)) in
+  List.iter
+    (fun clause ->
+      match clause with
+      | Fault_spec.Node_crash { at_ns; id } -> crashes := (at_ns, id) :: !crashes
+      | Fault_spec.Link_flap { at_ns; dur_ns } -> flaps := (at_ns, dur_ns) :: !flaps
+      | Fault_spec.Rpc_timeout { p } -> p_rpc := combine !p_rpc p
+      | Fault_spec.Wqe_drop { p } -> p_drop := combine !p_drop p
+      | Fault_spec.Wqe_delay { p; delay_ns = d } ->
+          p_delay := combine !p_delay p;
+          delay_ns := max !delay_ns d)
+    plan;
+  {
+    plan_ = plan;
+    qp_rng;
+    rpc_rng;
+    p_drop = !p_drop;
+    p_delay = !p_delay;
+    delay_ns = !delay_ns;
+    p_rpc = !p_rpc;
+    crashes = List.sort compare !crashes;
+    flaps = List.rev !flaps;
+    node_crashes = 0;
+    link_flaps_applied = 0;
+    rpc_timeouts = 0;
+    wqe_drops = 0;
+    wqe_delays = 0;
+  }
+
+let plan t = t.plan_
+
+let qp_inject t () =
+  if t.p_drop = 0. && t.p_delay = 0. then None
+  else begin
+    (* Draws happen only for configured categories; a drop beats a delay
+       when both fire (the lost attempt is retransmitted anyway). *)
+    let drop = t.p_drop > 0. && Rng.float t.qp_rng 1.0 < t.p_drop in
+    let delay = t.p_delay > 0. && Rng.float t.qp_rng 1.0 < t.p_delay in
+    if drop then begin
+      t.wqe_drops <- t.wqe_drops + 1;
+      Some `Drop
+    end
+    else if delay then begin
+      t.wqe_delays <- t.wqe_delays + 1;
+      Some (`Delay t.delay_ns)
+    end
+    else None
+  end
+
+let rpc_timeout t () =
+  t.p_rpc > 0.
+  && Rng.float t.rpc_rng 1.0 < t.p_rpc
+  && begin
+       t.rpc_timeouts <- t.rpc_timeouts + 1;
+       true
+     end
+
+let link_flaps t =
+  t.link_flaps_applied <- List.length t.flaps;
+  t.flaps
+
+let crashes_pending t = List.length t.crashes
+
+let due_node_crashes t ~now =
+  match t.crashes with
+  | [] -> []
+  | _ ->
+      let due, pending = List.partition (fun (at, _) -> at <= now) t.crashes in
+      t.crashes <- pending;
+      t.node_crashes <- t.node_crashes + List.length due;
+      List.map snd due
+
+let counters t =
+  [
+    ("node_crashes", t.node_crashes);
+    ("link_flaps", t.link_flaps_applied);
+    ("rpc_timeouts", t.rpc_timeouts);
+    ("wqe_drops", t.wqe_drops);
+    ("wqe_delays", t.wqe_delays);
+  ]
+
+let injected t = List.fold_left (fun acc (_, v) -> acc + v) 0 (counters t)

@@ -1,0 +1,47 @@
+(** Deterministic fault injector: executes a {!Fault_spec} plan.
+
+    Probabilistic decisions (WQE loss/delay, RPC timeouts) are drawn from
+    independent seeded splitmix streams, one per decision point, so the
+    same seed and plan reproduce the same faults regardless of how the
+    surrounding simulation interleaves its draws.  Scheduled faults (node
+    crashes) are virtual-clock triggered: the runtime polls
+    [due_node_crashes] as its clocks advance.  Link flaps are returned
+    once, at wiring time, for the NIC's outage calendar.
+
+    The injector is pure decision-making plus counters; the components it
+    hooks into (QP retransmission, RPC retry, node crash state, failover)
+    own the recovery machinery. *)
+
+type t
+
+val create : seed:int -> plan:Fault_spec.t -> t
+
+val plan : t -> Fault_spec.t
+
+(** {2 Hooks} *)
+
+val qp_inject : t -> unit -> [ `Drop | `Delay of int ] option
+(** Per-WQE-transmission-attempt decision for {!Kona_rdma.Qp}; [None] means
+    the attempt goes through clean.  Counts every injected fault. *)
+
+val rpc_timeout : t -> unit -> bool
+(** Per-RPC-attempt decision for {!Kona_rdma.Rpc}. *)
+
+val link_flaps : t -> (int * int) list
+(** [(at_ns, dur_ns)] outage windows to install on the NIC.  Calling this
+    counts the flaps as injected (call it once, when wiring). *)
+
+val due_node_crashes : t -> now:int -> int list
+(** Node ids whose crash time has been reached; each id is returned once.
+    O(1) when nothing is pending. *)
+
+val crashes_pending : t -> int
+
+(** {2 Accounting} *)
+
+val injected : t -> int
+(** Total faults injected across every category. *)
+
+val counters : t -> (string * int) list
+(** [(category, count)] pairs: node_crashes, link_flaps, rpc_timeouts,
+    wqe_drops, wqe_delays. *)

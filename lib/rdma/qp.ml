@@ -8,9 +8,18 @@ let wqe ?(signaled = false) ?(deliver = fun () -> ()) op ~len =
   assert (len >= 0);
   { op; len; signaled; deliver }
 
+type retry = { rx_timeout_ns : int; retry_limit : int; backoff_cap : int }
+
+(* Defaults mirror RNR-retry practice: a short retransmission timer,
+   seven retries, backoff doubling capped at 16x. *)
+let default_retry = { rx_timeout_ns = 8_000; retry_limit = 7; backoff_cap = 4 }
+
+exception Retry_exhausted of { attempts : int }
+
 (* A posted WQE awaiting its completion time.  Batches occupy the wire in
-   post order and the latency floor is a constant, so finish times are
-   monotone across posts and a FIFO queue stays clock-ordered. *)
+   post order; injected retransmission delays are clamped monotone (a
+   reliable connection delivers in order, so a retransmitted WQE holds
+   back everything behind it) and a FIFO queue stays clock-ordered. *)
 type pending = { finish : int; p_signaled : bool; p_deliver : unit -> unit }
 
 type t = {
@@ -19,6 +28,8 @@ type t = {
   nic : Nic.t;
   sq_depth : int option; (* modeled send-queue depth; None = unbounded *)
   signal_interval : int; (* raise a CQE every Nth signal-requested WQE *)
+  inject : (unit -> [ `Drop | `Delay of int ] option) option;
+  retry : retry;
   sq : pending Queue.t; (* posted, not yet completed (clock-ordered) *)
   cq : int Queue.t; (* completion times of signaled WQEs, ready to reap *)
   mutable since_signal : int;
@@ -33,10 +44,14 @@ type t = {
   mutable window_stalls : int;
   mutable window_stall_ns : int;
   mutable outstanding_peak : int;
+  mutable retransmits : int;
+  mutable fault_delay_ns : int;
 }
 
-let create ?(cost = Cost.default) ?nic ?sq_depth ?(signal_interval = 1) ~clock () =
+let create ?(cost = Cost.default) ?nic ?sq_depth ?(signal_interval = 1) ?inject
+    ?(retry = default_retry) ~clock () =
   assert (signal_interval > 0);
+  assert (retry.rx_timeout_ns > 0 && retry.retry_limit >= 0 && retry.backoff_cap >= 0);
   (match sq_depth with Some d -> assert (d > 0) | None -> ());
   {
     cost;
@@ -44,6 +59,8 @@ let create ?(cost = Cost.default) ?nic ?sq_depth ?(signal_interval = 1) ~clock (
     nic = (match nic with Some n -> n | None -> Nic.create ());
     sq_depth;
     signal_interval;
+    inject;
+    retry;
     sq = Queue.create ();
     cq = Queue.create ();
     since_signal = 0;
@@ -58,6 +75,8 @@ let create ?(cost = Cost.default) ?nic ?sq_depth ?(signal_interval = 1) ~clock (
     window_stalls = 0;
     window_stall_ns = 0;
     outstanding_peak = 0;
+    retransmits = 0;
+    fault_delay_ns = 0;
   }
 
 let clock t = t.clock
@@ -117,15 +136,46 @@ let post t wqes =
     let start =
       Nic.occupy t.nic ~start:(max (Clock.now t.clock) t.nic_free_at) ~duration:wire
     in
-    let finish = start + wire + latency in
+    let base_finish = start + wire + latency in
     t.nic_free_at <- start + wire;
-    t.last_completion <- max t.last_completion finish;
     t.posts <- t.posts + 1;
     t.verbs <- t.verbs + n;
     t.payload_bytes <- t.payload_bytes + List.fold_left ( + ) 0 sizes;
     t.wire_bytes <- t.wire_bytes + Cost.wire_bytes t.cost ~sizes;
     List.iter
       (fun (w : wqe) ->
+        (* Fault injection: each transmission attempt may be dropped (the
+           retransmission timer fires and the WQE is resent after capped
+           exponential backoff) or delayed.  The final completion time is
+           clamped monotone against earlier WQEs — in-order delivery on a
+           reliable connection means a retransmit holds back its
+           successors. *)
+        let fin = ref (max base_finish t.last_completion) in
+        (match t.inject with
+        | None -> ()
+        | Some draw ->
+            let attempt = ref 0 in
+            let sending = ref true in
+            while !sending do
+              match draw () with
+              | None -> sending := false
+              | Some (`Delay d) ->
+                  t.fault_delay_ns <- t.fault_delay_ns + d;
+                  fin := !fin + d;
+                  sending := false
+              | Some `Drop ->
+                  if !attempt >= t.retry.retry_limit then
+                    raise (Retry_exhausted { attempts = !attempt + 1 });
+                  let backoff =
+                    t.retry.rx_timeout_ns
+                    * (1 lsl min !attempt t.retry.backoff_cap)
+                  in
+                  t.retransmits <- t.retransmits + 1;
+                  t.fault_delay_ns <- t.fault_delay_ns + backoff;
+                  fin := !fin + backoff;
+                  incr attempt
+            done);
+        t.last_completion <- max t.last_completion !fin;
         (* Selective signaling: only every [signal_interval]-th WQE the
            caller asked to signal actually raises a CQE. *)
         let signaled =
@@ -140,7 +190,7 @@ let post t wqes =
              end
         in
         if signaled then t.signaled <- t.signaled + 1;
-        Queue.push { finish; p_signaled = signaled; p_deliver = w.deliver } t.sq)
+        Queue.push { finish = !fin; p_signaled = signaled; p_deliver = w.deliver } t.sq)
       wqes;
     if Queue.length t.sq > t.outstanding_peak then
       t.outstanding_peak <- Queue.length t.sq
@@ -187,3 +237,5 @@ let window_stalls t = t.window_stalls
 let window_stall_ns t = t.window_stall_ns
 let outstanding_peak t = t.outstanding_peak
 let sq_depth t = t.sq_depth
+let retransmits t = t.retransmits
+let fault_delay_ns t = t.fault_delay_ns

@@ -16,7 +16,15 @@
     {b Windowed flow control.}  With [sq_depth] set, the modeled send
     queue exerts backpressure: posting into a full window advances the
     caller's clock to the oldest in-flight completion until the batch
-    fits ([window_stalls]/[window_stall_ns] account for it). *)
+    fits ([window_stalls]/[window_stall_ns] account for it).
+
+    {b Fault injection and retransmission.}  With an [inject] hook, every
+    transmission attempt may be dropped or delayed.  A dropped attempt is
+    retransmitted after the retransmission timer with capped exponential
+    backoff (RNR-retry semantics); the WQE's completion — and therefore
+    its single delivery — moves later by the accumulated backoff, clamped
+    monotone so the reliable connection stays in-order.  Exceeding
+    [retry_limit] raises {!Retry_exhausted} (the QP's error state). *)
 
 type op = Read | Write
 
@@ -30,6 +38,19 @@ type wqe = {
 val wqe : ?signaled:bool -> ?deliver:(unit -> unit) -> op -> len:int -> wqe
 (** Defaults: unsignaled, no-op delivery. *)
 
+type retry = {
+  rx_timeout_ns : int;  (** Retransmission timer for a lost attempt. *)
+  retry_limit : int;  (** Attempts beyond the first before the QP errors. *)
+  backoff_cap : int;  (** Backoff doubles at most this many times. *)
+}
+
+val default_retry : retry
+(** 8 us timer, 7 retries, backoff capped at 16x. *)
+
+exception Retry_exhausted of { attempts : int }
+(** A WQE exhausted its retransmission budget: the QP enters the error
+    state (callers surface this as a failed operation, not a hang). *)
+
 type t
 
 val create :
@@ -37,6 +58,8 @@ val create :
   ?nic:Nic.t ->
   ?sq_depth:int ->
   ?signal_interval:int ->
+  ?inject:(unit -> [ `Drop | `Delay of int ] option) ->
+  ?retry:retry ->
   clock:Kona_util.Clock.t ->
   unit ->
   t
@@ -48,7 +71,11 @@ val create :
     blocks — advancing the caller's clock — until a slot frees (default:
     unbounded).  [signal_interval] implements selective signaling: of the
     WQEs the caller requests signaled, only every Nth raises a CQE
-    (default 1 = every requested one). *)
+    (default 1 = every requested one).
+
+    [inject] is consulted once per transmission attempt (so a dropped
+    attempt draws again for its retransmission); [retry] tunes the
+    retransmission state machine (default {!default_retry}). *)
 
 val clock : t -> Kona_util.Clock.t
 
@@ -101,3 +128,10 @@ val outstanding_peak : t -> int
 
 val sq_depth : t -> int option
 (** The configured window, if any. *)
+
+val retransmits : t -> int
+(** Transmission attempts lost to injected faults and resent. *)
+
+val fault_delay_ns : t -> int
+(** Total completion-time slip from injected drops (backoff waits) and
+    delays. *)

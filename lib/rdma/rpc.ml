@@ -1,30 +1,68 @@
 open Kona_util
 
+exception Timeout_exhausted of { attempts : int }
+
 type t = {
   qp : Qp.t;
   service_ns : int;
+  timeout_ns : int;
+  retry_limit : int;
+  fail : (unit -> bool) option;
   clock : Clock.t;
   mutable calls : int;
   mutable total_ns : int;
+  mutable timeouts : int;
+  mutable retries : int;
 }
 
-let create ?cost ?(service_ns = 1_500) ~clock ~nic () =
-  { qp = Qp.create ?cost ~nic ~clock (); service_ns; clock; calls = 0; total_ns = 0 }
+let create ?cost ?(service_ns = 1_500) ?(timeout_ns = 10_000) ?(retry_limit = 5) ?fail
+    ~clock ~nic () =
+  assert (timeout_ns > 0 && retry_limit >= 0);
+  {
+    qp = Qp.create ?cost ~nic ~clock ();
+    service_ns;
+    timeout_ns;
+    retry_limit;
+    fail;
+    clock;
+    calls = 0;
+    total_ns = 0;
+    timeouts = 0;
+    retries = 0;
+  }
 
 let call t ~request_bytes ~response_bytes f x =
   assert (request_bytes >= 0 && response_bytes >= 0);
   let before = Clock.now t.clock in
-  (* Request SEND: the caller blocks for the round trip, so both messages
-     complete on its clock. *)
-  Qp.post t.qp [ Qp.wqe ~signaled:true Qp.Write ~len:request_bytes ];
-  Qp.wait_idle t.qp;
-  Clock.advance t.clock t.service_ns;
-  let result = f x in
-  Qp.post t.qp [ Qp.wqe ~signaled:true Qp.Write ~len:response_bytes ];
-  Qp.wait_idle t.qp;
+  (* Timeout/retry wrapper: an injected fault loses the exchange before the
+     handler runs, so the caller burns the timeout (with capped exponential
+     backoff) and resends.  The handler itself executes exactly once, on
+     the attempt that goes through. *)
+  let rec attempt k =
+    match t.fail with
+    | Some failing when failing () ->
+        t.timeouts <- t.timeouts + 1;
+        Clock.advance t.clock (t.timeout_ns * (1 lsl min k 4));
+        if k >= t.retry_limit then raise (Timeout_exhausted { attempts = k + 1 });
+        t.retries <- t.retries + 1;
+        attempt (k + 1)
+    | Some _ | None ->
+        (* Request SEND: the caller blocks for the round trip, so both
+           messages complete on its clock. *)
+        Qp.post t.qp [ Qp.wqe ~signaled:true Qp.Write ~len:request_bytes ];
+        Qp.wait_idle t.qp;
+        Clock.advance t.clock t.service_ns;
+        let result = f x in
+        Qp.post t.qp [ Qp.wqe ~signaled:true Qp.Write ~len:response_bytes ];
+        Qp.wait_idle t.qp;
+        result
+  in
+  let result = attempt 0 in
   t.calls <- t.calls + 1;
   t.total_ns <- t.total_ns + (Clock.now t.clock - before);
   result
 
 let calls t = t.calls
 let total_ns t = t.total_ns
+let timeouts t = t.timeouts
+let retries t = t.retries

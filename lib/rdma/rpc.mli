@@ -10,21 +10,41 @@
 
 type t
 
+exception Timeout_exhausted of { attempts : int }
+(** Every retry of a call timed out: the control-plane peer is
+    unreachable. *)
+
 val create :
   ?cost:Cost.t ->
   ?service_ns:int ->
+  ?timeout_ns:int ->
+  ?retry_limit:int ->
+  ?fail:(unit -> bool) ->
   clock:Kona_util.Clock.t ->
   nic:Nic.t ->
   unit ->
   t
 (** An RPC channel clocked by the caller.  [service_ns] models the callee's
     handling time per call (default 1.5 us: a controller allocation or
-    registration handler). *)
+    registration handler).
+
+    [fail] is the fault-injection hook, consulted once per attempt: [true]
+    loses the exchange, costing [timeout_ns] (doubling per consecutive
+    loss, capped at 16x; default 10 us) before a resend, up to
+    [retry_limit] retries (default 5) and then {!Timeout_exhausted}. *)
 
 val call : t -> request_bytes:int -> response_bytes:int -> ('a -> 'b) -> 'a -> 'b
 (** Execute [f] as the remote handler: charges request wire + service +
-    response wire to the caller's clock and returns [f]'s result. *)
+    response wire to the caller's clock and returns [f]'s result.  Under
+    injected timeouts the exchange is retried; [f] runs exactly once, on
+    the successful attempt. *)
 
 val calls : t -> int
 val total_ns : t -> int
-(** Cumulative time spent in [call] (wire + service). *)
+(** Cumulative time spent in [call] (wire + service + timeout waits). *)
+
+val timeouts : t -> int
+(** Attempts lost to injected timeouts. *)
+
+val retries : t -> int
+(** Resends after a timeout (= [timeouts] minus exhausted failures). *)
