@@ -6,10 +6,11 @@
      dune exec bench/main.exe -- --quick      -- smoke scale (CI-fast)
 
    Experiment ids: table2 fig2 fig7 fig8 fig9 fig11 sec61 ablate faults
-   micro (fig2 includes fig3; fig9 includes fig10; ablate covers the
-   design-choice studies: associativity, prefetching, huge pages,
-   replication, batching; faults sweeps replication degree x crash time
-   under the fault injector).
+   integrity micro (fig2 includes fig3; fig9 includes fig10; ablate
+   covers the design-choice studies: associativity, prefetching, huge
+   pages, replication, batching; faults sweeps replication degree x
+   crash time under the fault injector; integrity sweeps bit-flip rate
+   x scrub interval and writes its own BENCH_integrity.json).
 
    Every run also writes BENCH_telemetry.json: one JSON line per printed
    table row (see Report), closed by full runtime-telemetry snapshots of a
@@ -24,7 +25,7 @@ module Snapshot = Kona_telemetry.Snapshot
 
 let all_ids =
   [ "table2"; "fig2"; "fig7"; "fig8"; "fig9"; "fig11"; "sec61"; "ablate"; "system";
-    "faults"; "micro" ]
+    "faults"; "integrity"; "micro" ]
 
 let artifact_path = "BENCH_telemetry.json"
 
@@ -119,6 +120,7 @@ let () =
     | "ablate" -> Bench_ablation.run ~scale ()
     | "system" -> Bench_system.run ~scale ()
     | "faults" -> Bench_faults.run ()
+    | "integrity" -> Bench_integrity.run ()
     | "micro" -> Bench_micro.run ()
     | _ -> assert false
   in

@@ -31,6 +31,19 @@ let close_json () =
       close_out oc;
       json_out := None
 
+let with_artifact ~path ?(meta = []) f =
+  let saved_out = !json_out and saved_section = !current_section in
+  let oc = open_out path in
+  json_out := Some oc;
+  current_section := "";
+  json_line (("schema", Json.String "kona.bench.v1") :: meta);
+  Fun.protect
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      json_out := saved_out;
+      current_section := saved_section)
+    f
+
 let section title =
   current_section := title;
   let line = String.make (String.length title + 8) '=' in

@@ -12,6 +12,16 @@ val open_json :
 
 val close_json : unit -> unit
 
+val with_artifact :
+  path:string ->
+  ?meta:(string * Kona_telemetry.Json.t) list ->
+  (unit -> 'a) ->
+  'a
+(** Run [f] with its own artifact at [path] (header line included),
+    then restore whichever artifact — if any — was open before.  Lets a
+    bench write a dedicated machine-readable file without disturbing the
+    process-wide one. *)
+
 val json_line : (string * Kona_telemetry.Json.t) list -> unit
 (** Append one object (plus a ["section"] field when inside a section). *)
 

@@ -3,11 +3,16 @@
      konactl workloads                 list the Table 2 workloads
      konactl amp [-w NAME] [--full]    measure dirty-data amplification
      konactl run -w NAME [--system kona,kona-vm] [--fmem-pages N] [--full]
-                 [--metrics-json PATH] [--trace PATH]
+                 [--metrics-json PATH] [--trace PATH] [--scrub-interval NS]
+                 [--verify-checksums]
                                        execute a workload on one or more
                                        runtimes and report time, traffic
                                        and integrity
-     konactl stats -w NAME [...]       same runs, telemetry table output *)
+     konactl stats -w NAME [...]       same runs, telemetry table output
+     konactl soak [--episodes N] [--seed S] [--metrics-json PATH]
+                                       randomized corruption episodes vs the
+                                       shadow-heap oracle; fail loudly on
+                                       undetected corruption *)
 
 open Kona
 module Workloads = Kona_workloads.Workloads
@@ -98,7 +103,7 @@ let parse_fault_spec = function
    crashed nodes, reporting them as degradation instead of divergence. *)
 let run_one ~(spec : Workloads.spec) ~scale ~seed ~fmem_pages ~replicas
     ~prefetch ~sq_depth ~signal_interval ~faults ~fault_seed ~check_replicas
-    system =
+    ~scrub_interval ~verify_checksums system =
   let controller = Rack_controller.create ~slab_size:(Units.mib 1) () in
   Rack_controller.register_node controller
     (Memory_node.create ~id:0 ~capacity:(Units.mib 128));
@@ -121,6 +126,8 @@ let run_one ~(spec : Workloads.spec) ~scale ~seed ~fmem_pages ~replicas
             faults;
             fault_seed;
             check_replicas;
+            scrub_interval_ns = scrub_interval;
+            verify_checksums;
           }
         in
         let rt = Runtime.create ~config ~hub ~controller ~read_local () in
@@ -271,8 +278,8 @@ let exit_status results =
   else 0
 
 let cmd_run workload systems fmem_pages replicas prefetch sq_depth
-    signal_interval fault_spec fault_seed check_replicas seed metrics_json
-    trace full =
+    signal_interval fault_spec fault_seed check_replicas scrub_interval
+    verify_checksums seed metrics_json trace full =
   let scale = scale_of full in
   let spec =
     match specs_of (Some workload) with [ s ] -> s | _ -> assert false
@@ -281,7 +288,8 @@ let cmd_run workload systems fmem_pages replicas prefetch sq_depth
   let results =
     List.map
       (run_one ~spec ~scale ~seed ~fmem_pages ~replicas ~prefetch ~sq_depth
-         ~signal_interval ~faults ~fault_seed ~check_replicas)
+         ~signal_interval ~faults ~fault_seed ~check_replicas ~scrub_interval
+         ~verify_checksums)
       (systems_of systems)
   in
   List.iter
@@ -298,8 +306,8 @@ let cmd_run workload systems fmem_pages replicas prefetch sq_depth
   exit_status results
 
 let cmd_stats workload systems fmem_pages replicas prefetch sq_depth
-    signal_interval fault_spec fault_seed check_replicas seed metrics_json
-    trace full =
+    signal_interval fault_spec fault_seed check_replicas scrub_interval
+    verify_checksums seed metrics_json trace full =
   let scale = scale_of full in
   let spec =
     match specs_of (Some workload) with [ s ] -> s | _ -> assert false
@@ -308,7 +316,8 @@ let cmd_stats workload systems fmem_pages replicas prefetch sq_depth
   let results =
     List.map
       (run_one ~spec ~scale ~seed ~fmem_pages ~replicas ~prefetch ~sq_depth
-         ~signal_interval ~faults ~fault_seed ~check_replicas)
+         ~signal_interval ~faults ~fault_seed ~check_replicas ~scrub_interval
+         ~verify_checksums)
       (systems_of systems)
   in
   List.iter
@@ -320,6 +329,228 @@ let cmd_stats workload systems fmem_pages replicas prefetch sq_depth
     results;
   export_results ~spec ~full ~seed ~metrics_json ~trace results;
   exit_status results
+
+(* ------------------------------------------------------------------ *)
+(* Chaos soak: N randomized corruption episodes against the shadow-heap
+   oracle.  Every episode draws a crash-free corruption plan (bit flips,
+   torn writes, stale reads, duplicated deliveries) from the master seed,
+   runs the workload with one replica, on-fetch verification and a
+   background scrubber, then checks:
+
+   - the shadow-heap oracle: after drain, remote memory is byte-identical
+     to the application heap on every backed page the runtime did not
+     declare unrepairable — any other divergence is undetected corruption;
+   - detection accounting: every injected torn write, duplicate delivery
+     and stale read was reported, and every armed bit-flip was either
+     found (scrub / fetch verify) or healed by a later clean overwrite;
+   - reproducibility: re-running the same (plan, seed) yields bit-for-bit
+     identical integrity counters. *)
+
+module Rng = Kona_util.Rng
+module Fault_spec = Kona_faults.Fault_spec
+module Injector = Kona_faults.Injector
+
+(* One crash-free corruption plan.  Episode 0 always carries a bit-flip
+   clause (CI's soak smoke relies on at least one such plan); later
+   episodes draw a random non-empty subset.  Node crashes are deliberately
+   excluded: re-replication after failover heals corruption outside the
+   detection paths this harness is auditing. *)
+let soak_plan rng ~episode =
+  let p lo hi = lo +. Rng.float rng (hi -. lo) in
+  let clauses = ref [] in
+  let add c = clauses := c :: !clauses in
+  if episode = 0 || Rng.bool rng then
+    add (Printf.sprintf "bit-flip:p=%.4f" (p 0.05 0.3));
+  if Rng.bool rng then add (Printf.sprintf "torn-write:p=%.4f" (p 0.05 0.3));
+  if Rng.bool rng then add (Printf.sprintf "dup-deliver:p=%.4f" (p 0.05 0.3));
+  if Rng.bool rng then add (Printf.sprintf "stale-read:p=%.4f" (p 0.02 0.1));
+  if !clauses = [] then add (Printf.sprintf "torn-write:p=%.4f" (p 0.05 0.3));
+  String.concat ";" (List.rev !clauses)
+
+type soak_outcome = {
+  so_counters : (string * int) list;  (** [Runtime.integrity_counters] *)
+  so_injected : (string * int) list;  (** [Injector.counters] *)
+  so_divergent : int;
+  so_unrepairable : int list;
+  so_degraded : string option;
+  so_failures : string list;
+}
+
+let soak_episode ~(spec : Workloads.spec) ~plan_str ~fault_seed ~seed
+    ~scrub_interval =
+  let faults =
+    match Fault_spec.parse plan_str with
+    | Ok p -> p
+    | Error msg ->
+        Fmt.epr "internal: bad soak plan %S: %s@." plan_str msg;
+        exit 1
+  in
+  let controller = Rack_controller.create ~slab_size:(Units.mib 1) () in
+  Rack_controller.register_node controller
+    (Memory_node.create ~id:0 ~capacity:(Units.mib 128));
+  Rack_controller.register_node controller
+    (Memory_node.create ~id:1 ~capacity:(Units.mib 128));
+  let hub = Hub.create () in
+  let heap_ref = ref None in
+  let read_local ~addr ~len = Heap.peek_bytes (Option.get !heap_ref) addr len in
+  let config =
+    {
+      Runtime.default_config with
+      fmem_pages = 256 (* small cache: more eviction traffic to corrupt *);
+      replicas = 1;
+      faults;
+      fault_seed;
+      scrub_interval_ns = Some scrub_interval;
+      verify_checksums = true;
+    }
+  in
+  let rt = Runtime.create ~config ~hub ~controller ~read_local () in
+  let heap =
+    Heap.create
+      ~capacity:(spec.Workloads.heap_capacity Workloads.Smoke)
+      ~sink:(Runtime.sink rt) ()
+  in
+  heap_ref := Some heap;
+  spec.Workloads.run Workloads.Smoke ~heap ~seed;
+  Runtime.drain rt;
+  let unrepairable = Runtime.unrepairable_pages rt in
+  let divergent = ref 0 in
+  Resource_manager.iter_backed_pages (Runtime.resource_manager rt)
+    (fun ~vpage ~node ~remote_addr ->
+      let base = vpage * Units.page_size in
+      if
+        base + Units.page_size <= Heap.capacity heap
+        && (not (Heap.page_poked heap ~page:vpage))
+        && not (List.mem vpage unrepairable)
+      then
+        let local = Heap.peek_bytes heap base Units.page_size in
+        let remote =
+          Memory_node.peek
+            (Rack_controller.node controller ~id:node)
+            ~addr:remote_addr ~len:Units.page_size
+        in
+        if local <> remote then incr divergent);
+  let counters = Runtime.integrity_counters rt in
+  let injected =
+    match Runtime.injector rt with
+    | Some i -> Injector.counters i
+    | None -> []
+  in
+  let find k l = try List.assoc k l with Not_found -> 0 in
+  let failures = ref [] in
+  let expect what got want =
+    if got <> want then
+      failures :=
+        Printf.sprintf "%s: %d, expected %d" what got want :: !failures
+  in
+  expect "torn events detected vs injected"
+    (find "integrity.torn_events" counters)
+    (find "torn_writes" injected);
+  expect "duplicate deliveries detected vs injected"
+    (find "seq.duplicates" counters)
+    (find "dup_delivers" injected);
+  expect "stale reads detected vs injected"
+    (find "integrity.stale_reads" counters)
+    (find "stale_reads" injected);
+  expect "armed bit-flips accounted (found + healed)"
+    (find "integrity.flips_armed" counters)
+    (find "integrity.flips_found" counters
+    + find "integrity.healed_overwrite" counters);
+  if !divergent > 0 then
+    failures :=
+      Printf.sprintf
+        "%d page(s) diverged from the shadow heap (undetected corruption)"
+        !divergent
+      :: !failures;
+  {
+    so_counters = counters;
+    so_injected = injected;
+    so_divergent = !divergent;
+    so_unrepairable = unrepairable;
+    so_degraded = Runtime.degraded rt;
+    so_failures = List.rev !failures;
+  }
+
+let cmd_soak workload episodes master_seed scrub_interval repro_check
+    metrics_json =
+  let spec =
+    match specs_of (Some workload) with [ s ] -> s | _ -> assert false
+  in
+  let rng = Rng.create ~seed:master_seed in
+  let failed = ref false in
+  let docs = ref [] in
+  for episode = 0 to episodes - 1 do
+    let plan_str = soak_plan rng ~episode in
+    let fault_seed = Rng.int rng 1_000_000 in
+    let seed = Rng.int rng 1_000_000 in
+    Fmt.pr "episode %d: plan [%s] fault-seed %d seed %d@." episode plan_str
+      fault_seed seed;
+    let o = soak_episode ~spec ~plan_str ~fault_seed ~seed ~scrub_interval in
+    List.iter
+      (fun (k, v) -> if v <> 0 then Fmt.pr "  %-28s %d@." k v)
+      o.so_counters;
+    (match o.so_degraded with
+    | Some r -> Fmt.pr "  degraded (detected, declared): %s@." r
+    | None -> ());
+    if o.so_unrepairable <> [] then
+      Fmt.pr "  unrepairable pages excluded from oracle: %d@."
+        (List.length o.so_unrepairable);
+    (match o.so_failures with
+    | [] ->
+        Fmt.pr "  PASS: zero shadow-heap divergence, all injections accounted@."
+    | fs ->
+        failed := true;
+        List.iter (fun f -> Fmt.pr "  FAIL: %s@." f) fs);
+    if repro_check then begin
+      let o2 = soak_episode ~spec ~plan_str ~fault_seed ~seed ~scrub_interval in
+      if o2.so_counters <> o.so_counters then begin
+        failed := true;
+        Fmt.pr
+          "  FAIL: re-run of the same (plan, seed) changed integrity counters@."
+      end
+      else Fmt.pr "  repro: integrity counters identical across re-run@."
+    end;
+    docs :=
+      Json.Obj
+        [
+          ("episode", Json.Int episode);
+          ("plan", Json.String plan_str);
+          ("fault_seed", Json.Int fault_seed);
+          ("workload_seed", Json.Int seed);
+          ("divergent_pages", Json.Int o.so_divergent);
+          ("unrepairable_pages", Json.Int (List.length o.so_unrepairable));
+          ("failures", Json.List (List.map (fun f -> Json.String f) o.so_failures));
+          ("integrity", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) o.so_counters));
+          ("injected", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) o.so_injected));
+        ]
+      :: !docs
+  done;
+  (match metrics_json with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Json.Obj
+          [
+            ("schema", Json.String "kona.soak.v1");
+            ("workload", Json.String spec.Workloads.name);
+            ("master_seed", Json.Int master_seed);
+            ("passed", Json.Bool (not !failed));
+            ("episodes", Json.List (List.rev !docs));
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (Json.to_string doc);
+      output_char oc '\n';
+      close_out oc;
+      Fmt.pr "soak: wrote %s@." path);
+  if !failed then begin
+    Fmt.pr "soak: FAILED@.";
+    1
+  end
+  else begin
+    Fmt.pr "soak: %d episode(s) passed@." episodes;
+    0
+  end
 
 (* ------------------------------------------------------------------ *)
 
@@ -413,8 +644,9 @@ let fault_spec =
           "inject faults (kona only): ';'-separated clauses of \
            $(b,kind[@time][:key=value,...]).  Kinds: $(b,node-crash@T:id=N), \
            $(b,link-flap@T:dur=D), $(b,rpc-timeout:p=P), $(b,wqe-drop:p=P), \
-           $(b,wqe-delay:p=P,ns=D).  Times/durations take ns/us/ms/s \
-           suffixes, e.g. 'node-crash@2ms:id=1;wqe-drop:p=0.01'")
+           $(b,wqe-delay:p=P,ns=D), $(b,bit-flip:p=P), $(b,torn-write:p=P), \
+           $(b,stale-read:p=P), $(b,dup-deliver:p=P).  Times/durations take \
+           ns/us/ms/s suffixes, e.g. 'node-crash@2ms:id=1;bit-flip:p=0.1'")
 
 let fault_seed =
   Arg.(
@@ -431,8 +663,52 @@ let check_replicas =
           "debug invariant (kona only): verify replicas are byte-identical \
            to their primary after every eviction batch")
 
+let scrub_interval_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "scrub-interval" ] ~docv:"NS"
+        ~doc:
+          "kona only: background scrub-and-repair sweep period in virtual \
+           nanoseconds — walk every backed page's at-rest checksums and \
+           repair corrupt lines from live replicas (default: off)")
+
+let verify_checksums =
+  Arg.(
+    value & flag
+    & info [ "verify-checksums" ]
+        ~doc:
+          "kona only: verify per-cache-line checksums of the remote page on \
+           every synchronous demand fetch (stale reads are detected and \
+           re-read)")
+
 let seed =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"workload RNG seed")
+
+let soak_workload =
+  Arg.(
+    value
+    & opt string "redis-rand"
+    & info [ "w"; "workload" ] ~doc:"workload driven during each episode")
+
+let episodes =
+  Arg.(
+    value & opt int 3
+    & info [ "episodes" ] ~doc:"number of randomized corruption episodes")
+
+let soak_scrub_interval =
+  Arg.(
+    value & opt int 200_000
+    & info [ "scrub-interval" ] ~docv:"NS"
+        ~doc:"scrub sweep period in virtual nanoseconds")
+
+let repro_check =
+  Arg.(
+    value & opt bool true
+    & info [ "repro-check" ]
+        ~doc:
+          "re-run every episode with the same (plan, seed) and fail unless \
+           the integrity counters are bit-for-bit identical")
 
 let metrics_json =
   Arg.(
@@ -473,14 +749,25 @@ let cmds =
       Term.(
         const cmd_run $ workload_req $ system $ fmem_pages $ replicas $ prefetch
         $ sq_depth $ signal_interval $ fault_spec $ fault_seed $ check_replicas
-        $ seed $ metrics_json $ trace_out $ full);
+        $ scrub_interval_opt $ verify_checksums $ seed $ metrics_json
+        $ trace_out $ full);
     Cmd.v
       (Cmd.info "stats"
          ~doc:"run a workload and print the full telemetry table per system")
       Term.(
         const cmd_stats $ workload_req $ system $ fmem_pages $ replicas
         $ prefetch $ sq_depth $ signal_interval $ fault_spec $ fault_seed
-        $ check_replicas $ seed $ metrics_json $ trace_out $ full);
+        $ check_replicas $ scrub_interval_opt $ verify_checksums $ seed
+        $ metrics_json $ trace_out $ full);
+    Cmd.v
+      (Cmd.info "soak"
+         ~doc:
+           "chaos soak: randomized corruption episodes against the \
+            shadow-heap divergence oracle; fails on any undetected \
+            corruption or accounting gap")
+      Term.(
+        const cmd_soak $ soak_workload $ episodes $ seed $ soak_scrub_interval
+        $ repro_check $ metrics_json);
   ]
 
 let () =

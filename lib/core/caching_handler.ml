@@ -15,6 +15,7 @@ type t = {
   mutable prefetcher : Prefetcher.t option;
   prefetched : (int, unit) Hashtbl.t; (* prefetched, not yet demanded *)
   on_victim : vpage:int -> dirty:Bitmap.t -> unit;
+  mutable on_fetch_verify : (vpage:int -> unit) option;
   mutable fmem_hits : int;
   mutable fmem_misses : int;
   mutable pages_fetched : int;
@@ -51,6 +52,7 @@ let create ~cost ?(fetch_block = Units.page_size) ?mce_threshold_ns ?prefetch_qp
       prefetcher = None;
       prefetched = Hashtbl.create 64;
       on_victim;
+      on_fetch_verify = None;
       fmem_hits = 0;
       fmem_misses = 0;
       pages_fetched = 0;
@@ -110,9 +112,14 @@ let fetch_page t ~vpage =
   | Some _ | None -> ());
   t.pages_fetched <- t.pages_fetched + 1;
   t.bytes_fetched <- t.bytes_fetched + Units.page_size;
+  (* Integrity hook: stale-read detection and on-fetch checksum
+     verification run against the remote image the fetch just read. *)
+  (match t.on_fetch_verify with Some f -> f ~vpage | None -> ());
   match Fmem.insert t.fmem ~vpage with
   | None -> ()
   | Some victim -> note_victim t victim
+
+let set_on_fetch_verify t f = t.on_fetch_verify <- Some f
 
 let on_fill t ~addr =
   let vpage = Units.page_of_addr addr in

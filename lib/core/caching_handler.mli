@@ -47,6 +47,12 @@ val create :
 val on_fill : t -> addr:int -> unit
 (** Handle one LLC-miss line request for VFMem address [addr]. *)
 
+val set_on_fetch_verify : t -> (vpage:int -> unit) -> unit
+(** Install the integrity hook run after every synchronous demand fetch
+    (eviction-fetch included): the runtime uses it for stale-read
+    detection and on-fetch checksum verification of the remote page the
+    fetch just read. *)
+
 val fmem_hits : t -> int
 val fmem_misses : t -> int
 val pages_fetched : t -> int

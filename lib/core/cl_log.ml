@@ -1,4 +1,5 @@
 open Kona_util
+open Kona_integrity
 module Qp = Kona_rdma.Qp
 module Cost = Kona_rdma.Cost
 module Tracer = Kona_telemetry.Tracer
@@ -15,6 +16,15 @@ type t = {
   tracer : Tracer.t option;
   buffers : (int, Memory_node.log_entry list ref) Hashtbl.t; (* node -> staged, newest first *)
   staged : (int, int) Hashtbl.t; (* node -> count *)
+  seq_tx : Sequencer.Tx.t; (* per-destination-node shipment stamps *)
+  pending_dups :
+    (int, (Memory_node.log_entry list * Memory_node.delivery) list ref) Hashtbl.t;
+      (* dup-deliver fault: shipments to replay at the next flush *)
+  mutable inject :
+    (targets:int -> Kona_faults.Injector.delivery_fault option) option;
+  mutable on_report :
+    (node:int -> target:Memory_node.t -> Memory_node.report -> unit) option;
+  mutable on_flip : (target:Memory_node.t -> addr:int -> fresh:bool -> unit) option;
   mutable lines_logged : int;
   mutable appends : int;
   mutable payload_bytes : int;
@@ -44,6 +54,11 @@ let create ?(capacity = 512) ?(extra_targets = fun ~node:_ -> []) ?tracer ~qp ~c
     tracer;
     buffers = Hashtbl.create 4;
     staged = Hashtbl.create 4;
+    seq_tx = Sequencer.Tx.create ();
+    pending_dups = Hashtbl.create 4;
+    inject = None;
+    on_report = None;
+    on_flip = None;
     lines_logged = 0;
     appends = 0;
     payload_bytes = 0;
@@ -74,59 +89,170 @@ let charge t phase ns =
 let note_bitmap_scan t ~lines = charge t `Bitmap (Cost.bitmap_scan_ns t.cost ~lines)
 
 let staged_count t node = Option.value ~default:0 (Hashtbl.find_opt t.staged node)
+let set_inject t f = t.inject <- Some f
+let set_on_report t f = t.on_report <- Some f
+let set_on_flip t f = t.on_flip <- Some f
+let bump_epoch t = Sequencer.Tx.bump_epoch t.seq_tx
+let epoch t = Sequencer.Tx.epoch t.seq_tx
+
+let wire_of entries =
+  List.fold_left
+    (fun acc (e : Memory_node.log_entry) ->
+      acc + header_bytes + String.length e.Memory_node.data)
+    0 entries
+
+let lines_of entries =
+  List.fold_left
+    (fun acc (e : Memory_node.log_entry) ->
+      acc + (String.length e.Memory_node.data / Units.cache_line))
+    0 entries
+
+(* torn-write fault: corrupt the tail lines of one entry in one copy's
+   shipment, leaving the CRCs as computed at staging — the receiver's
+   per-line wire-CRC check rejects exactly the torn lines.  A one-line
+   entry is torn whole. *)
+let tamper_entry (e : Memory_node.log_entry) =
+  let nlines = Array.length e.Memory_node.crcs in
+  let from = nlines / 2 in
+  let data = Bytes.of_string e.Memory_node.data in
+  for i = from to nlines - 1 do
+    let pos = i * Units.cache_line in
+    Bytes.set data pos (Char.chr (Char.code (Bytes.get data pos) lxor 1))
+  done;
+  { e with Memory_node.data = Bytes.to_string data }
+
+(* Delivery closure: classify + verify + apply on the target, then arm
+   any at-rest bit flip the injector scheduled for this copy. *)
+let deliver t ~node ~target ~entries ~delivery ~lines ~flip () =
+  try
+    let report = Memory_node.receive_log ~delivery target entries in
+    (match t.on_report with Some f -> f ~node ~target report | None -> ());
+    match flip with
+    | None -> ()
+    | Some (entry_pick, line_pick, bit_pick) ->
+        let e = List.nth entries (entry_pick mod List.length entries) in
+        let nlines = Array.length e.Memory_node.crcs in
+        let addr =
+          e.Memory_node.addr + (line_pick mod nlines * Units.cache_line)
+        in
+        let fresh = Memory_node.corrupt_bit target ~addr ~bit:bit_pick in
+        (match t.on_flip with
+        | Some f -> f ~target ~addr ~fresh:(fresh = `Fresh)
+        | None -> ())
+  with Memory_node.Crashed _ ->
+    (* A write to a node that crashed while the WQE was in flight is
+       lost, not fatal: with replicas the same batch lands on the
+       mirrors (failover preserves it); without, the loss is counted
+       and surfaced as graceful degradation. *)
+    t.lost_deliveries <- t.lost_deliveries + 1;
+    t.lost_lines <- t.lost_lines + lines
 
 (* Take one node's staged entries off the buffer and build the WQEs
    shipping them to the primary and its mirrors — without posting, so a
-   fence can coalesce several nodes under one doorbell. *)
+   fence can coalesce several nodes under one doorbell.  Any shipments
+   the dup-deliver fault queued for this node are replayed here too
+   (primary only, original stamp), exercising duplicate rejection. *)
 let take_node_wqes t node =
-  match Hashtbl.find_opt t.buffers node with
-  | None -> []
-  | Some { contents = [] } -> []
-  | Some entries_ref ->
-      let entries = List.rev !entries_ref in
-      entries_ref := [];
-      Hashtbl.replace t.staged node 0;
-      let wire =
-        List.fold_left
-          (fun acc (e : Memory_node.log_entry) ->
-            acc + header_bytes + String.length e.Memory_node.data)
-          0 entries
-      in
-      let targets = t.resolve ~node :: t.extra_targets ~node in
-      t.wire_bytes <- t.wire_bytes + (wire * List.length targets);
-      t.flushes <- t.flushes + 1;
-      t.unfenced_flushes <- t.unfenced_flushes + 1;
-      (match t.tracer with
-      | Some tr ->
-          Tracer.instant tr "cllog.flush_node"
-            ~args:
-              [
-                ("node", node);
-                ("entries", List.length entries);
-                ("wire_bytes", wire);
-                ("replicas", List.length targets - 1);
-              ]
-      | None -> ());
-      let lines =
-        List.fold_left
-          (fun acc (e : Memory_node.log_entry) ->
-            acc + (String.length e.Memory_node.data / Units.cache_line))
-          0 entries
-      in
-      List.map
-        (fun target ->
-          Qp.wqe ~signaled:true
-            ~deliver:(fun () ->
-              (* A write to a node that crashed while the WQE was in flight
-                 is lost, not fatal: with replicas the same batch lands on
-                 the mirrors (failover preserves it); without, the loss is
-                 counted and surfaced as graceful degradation. *)
-              try Memory_node.receive_log target entries
-              with Memory_node.Crashed _ ->
-                t.lost_deliveries <- t.lost_deliveries + 1;
-                t.lost_lines <- t.lost_lines + lines)
-            Qp.Write ~len:wire)
-        targets
+  let fresh_wqes =
+    match Hashtbl.find_opt t.buffers node with
+    | None | Some { contents = [] } -> []
+    | Some entries_ref ->
+        let entries = List.rev !entries_ref in
+        entries_ref := [];
+        Hashtbl.replace t.staged node 0;
+        let wire = wire_of entries in
+        let targets = t.resolve ~node :: t.extra_targets ~node in
+        let ntargets = List.length targets in
+        t.wire_bytes <- t.wire_bytes + (wire * ntargets);
+        t.flushes <- t.flushes + 1;
+        t.unfenced_flushes <- t.unfenced_flushes + 1;
+        (match t.tracer with
+        | Some tr ->
+            Tracer.instant tr "cllog.flush_node"
+              ~args:
+                [
+                  ("node", node);
+                  ("entries", List.length entries);
+                  ("wire_bytes", wire);
+                  ("replicas", ntargets - 1);
+                ]
+        | None -> ());
+        let lines = lines_of entries in
+        let delivery =
+          {
+            Memory_node.stream = node;
+            epoch = Sequencer.Tx.epoch t.seq_tx;
+            seq = Sequencer.Tx.next t.seq_tx ~stream:node;
+          }
+        in
+        let fault =
+          match t.inject with Some f -> f ~targets:ntargets | None -> None
+        in
+        (match fault with
+        | Some { Kona_faults.Injector.dup = true; _ } ->
+            let r =
+              match Hashtbl.find_opt t.pending_dups node with
+              | Some r -> r
+              | None ->
+                  let r = ref [] in
+                  Hashtbl.add t.pending_dups node r;
+                  r
+            in
+            r := (entries, delivery) :: !r
+        | _ -> ());
+        List.mapi
+          (fun i target ->
+            (* At most one copy per shipment is tampered per category,
+               so when replicas exist a clean source always survives. *)
+            let entries_i, flip_i =
+              match fault with
+              | None -> (entries, None)
+              | Some { Kona_faults.Injector.torn; flip; _ } ->
+                  let entries_i =
+                    match torn with
+                    | Some (tpick, epick) when tpick mod ntargets = i ->
+                        let victim = epick mod List.length entries in
+                        List.mapi
+                          (fun j e -> if j = victim then tamper_entry e else e)
+                          entries
+                    | _ -> entries
+                  in
+                  let flip_i =
+                    match flip with
+                    | Some (tpick, epick, lpick, bpick) when tpick mod ntargets = i
+                      ->
+                        Some (epick, lpick, bpick)
+                    | _ -> None
+                  in
+                  (entries_i, flip_i)
+            in
+            Qp.wqe ~signaled:true
+              ~deliver:
+                (deliver t ~node ~target ~entries:entries_i ~delivery ~lines
+                   ~flip:flip_i)
+              Qp.Write ~len:wire)
+          targets
+  in
+  let dup_wqes =
+    match Hashtbl.find_opt t.pending_dups node with
+    | None | Some { contents = [] } -> []
+    | Some r ->
+        let dups = List.rev !r in
+        r := [];
+        List.map
+          (fun (entries, delivery) ->
+            let wire = wire_of entries in
+            t.wire_bytes <- t.wire_bytes + wire;
+            t.unfenced_flushes <- t.unfenced_flushes + 1;
+            let target = t.resolve ~node in
+            Qp.wqe ~signaled:true
+              ~deliver:
+                (deliver t ~node ~target ~entries ~delivery
+                   ~lines:(lines_of entries) ~flip:None)
+              Qp.Write ~len:wire)
+          dups
+  in
+  fresh_wqes @ dup_wqes
 
 (* Ship one linked batch (one doorbell): the post returns after the
    doorbell (plus any send-window backpressure) and the acknowledgment
@@ -160,7 +286,9 @@ let append_run t ~node ~raddr ~data =
         Hashtbl.add t.buffers node r;
         r
   in
-  entries_ref := { Memory_node.addr = raddr; data } :: !entries_ref;
+  (* Per-line CRCs are computed during the same pass that copies lines
+     into the log buffer, so they ride the memcpy charge above. *)
+  entries_ref := Memory_node.entry ~addr:raddr ~data :: !entries_ref;
   Hashtbl.replace t.staged node (staged_count t node + lines);
   t.lines_logged <- t.lines_logged + lines;
   t.appends <- t.appends + 1;
@@ -170,6 +298,13 @@ let append_run t ~node ~raddr ~data =
 let flush t =
   let began = Clock.now (clock t) in
   let nodes = Hashtbl.fold (fun node _ acc -> node :: acc) t.buffers [] in
+  (* Nodes with only a pending dup redelivery still need a shipment. *)
+  let nodes =
+    Hashtbl.fold
+      (fun node r acc ->
+        if !r <> [] && not (List.mem node acc) then node :: acc else acc)
+      t.pending_dups nodes
+  in
   (* Doorbell batching: the fence coalesces every staged node's log write
      into a single linked post — one doorbell for the whole rack. *)
   post_wqes t (List.concat_map (fun node -> take_node_wqes t node) nodes);

@@ -39,6 +39,37 @@ val create :
 val clock : t -> Kona_util.Clock.t
 (** The background (eviction-path) clock the log charges to. *)
 
+(** {2 Integrity wiring (PR 4)}
+
+    Every shipment carries a [(stream, epoch, seq)] stamp (stream = the
+    destination's logical node id) and per-line CRC32C values computed
+    when the lines were staged; the receiving {!Memory_node} classifies
+    the stamp and verifies every line before applying.  The CRC pass is
+    folded into the copy-into-log memcpy charge — it touches the same
+    bytes in the same loop. *)
+
+val set_inject :
+  t -> (targets:int -> Kona_faults.Injector.delivery_fault option) -> unit
+(** Install the per-shipment corruption decision hook (torn-write,
+    bit-flip, dup-deliver).  At most one copy per shipment is tampered
+    per category; dup'd shipments are replayed to the primary, with
+    their original stamp, at the next flush touching that node. *)
+
+val set_on_report :
+  t -> (node:int -> target:Memory_node.t -> Memory_node.report -> unit) -> unit
+(** Observe every delivery's {!Memory_node.report} (quarantine, detection
+    counters); called after the receiver classified and applied it. *)
+
+val set_on_flip : t -> (target:Memory_node.t -> addr:int -> fresh:bool -> unit) -> unit
+(** Observe every armed at-rest bit flip ([fresh] = the line verified
+    clean beforehand) — the oracle's arming registry. *)
+
+val bump_epoch : t -> unit
+(** Start a new delivery epoch (called after failover): stragglers
+    stamped with the old epoch are rejected as stale by receivers. *)
+
+val epoch : t -> int
+
 val append_run : t -> node:int -> raddr:int -> data:string -> unit
 (** Stage one run of contiguous dirty cache-lines ([data] length must be a
     positive multiple of 64) bound for [node]/[raddr]; charges the

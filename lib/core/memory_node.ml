@@ -1,10 +1,13 @@
 open Kona_util
+open Kona_integrity
 
 exception Crashed of int
 
 type t = {
   node_id : int;
   store : Bytes.t;
+  chk : Checksums.t;
+  seq_rx : Sequencer.Rx.t;
   mutable brk : int;
   mutable is_alive : bool;
   mutable lines_received : int;
@@ -13,8 +16,16 @@ type t = {
 
 let create ~id ~capacity =
   assert (capacity > 0);
-  { node_id = id; store = Bytes.make capacity '\000'; brk = 0; is_alive = true;
-    lines_received = 0; logs_received = 0 }
+  {
+    node_id = id;
+    store = Bytes.make capacity '\000';
+    chk = Checksums.create ~capacity;
+    seq_rx = Sequencer.Rx.create ();
+    brk = 0;
+    is_alive = true;
+    lines_received = 0;
+    logs_received = 0;
+  }
 
 let id t = t.node_id
 let capacity t = Bytes.length t.store
@@ -48,25 +59,100 @@ let check t addr len =
 
 let write t ~addr ~data =
   check t addr (String.length data);
-  Bytes.blit_string data 0 t.store addr (String.length data)
+  Bytes.blit_string data 0 t.store addr (String.length data);
+  Checksums.record t.chk ~store:t.store ~addr ~len:(String.length data)
 
 let read t ~addr ~len =
   check t addr len;
   Bytes.sub_string t.store addr len
 
-type log_entry = { addr : int; data : string }
+type log_entry = { addr : int; data : string; crcs : int array }
 
-let receive_log t entries =
+let entry ~addr ~data =
+  let len = String.length data in
+  assert (len > 0 && len mod Units.cache_line = 0);
+  assert (addr mod Units.cache_line = 0);
+  let crcs =
+    Array.init (len / Units.cache_line) (fun i ->
+        Crc32c.digest_sub data ~pos:(i * Units.cache_line) ~len:Units.cache_line)
+  in
+  { addr; data; crcs }
+
+type delivery = { stream : int; epoch : int; seq : int }
+
+type report = {
+  verdict : Sequencer.Rx.verdict;
+  applied_lines : int;
+  rejected : int list;
+  healed : int list;
+}
+
+let receive_log ?delivery t entries =
   check_alive t;
   t.logs_received <- t.logs_received + 1;
-  List.iter
-    (fun e ->
-      let len = String.length e.data in
-      assert (len > 0 && len mod Units.cache_line = 0);
-      write t ~addr:e.addr ~data:e.data;
-      t.lines_received <- t.lines_received + (len / Units.cache_line))
-    entries
+  let verdict =
+    match delivery with
+    | None -> Sequencer.Rx.Ok
+    | Some { stream; epoch; seq } -> Sequencer.Rx.observe t.seq_rx ~stream ~epoch ~seq
+  in
+  match verdict with
+  | Sequencer.Rx.Duplicate | Sequencer.Rx.Stale_epoch ->
+      (* Replays and stragglers from a previous configuration are
+         dropped whole: applying them would roll lines backwards. *)
+      { verdict; applied_lines = 0; rejected = []; healed = [] }
+  | Sequencer.Rx.Ok | Sequencer.Rx.Gap _ ->
+      let applied = ref 0 and rejected = ref [] and healed = ref [] in
+      List.iter
+        (fun e ->
+          let len = String.length e.data in
+          assert (len > 0 && len mod Units.cache_line = 0);
+          assert (e.addr mod Units.cache_line = 0);
+          let nlines = len / Units.cache_line in
+          assert (Array.length e.crcs = nlines);
+          for i = 0 to nlines - 1 do
+            let addr = e.addr + (i * Units.cache_line) in
+            let wire =
+              Crc32c.digest_sub e.data ~pos:(i * Units.cache_line)
+                ~len:Units.cache_line
+            in
+            if wire <> e.crcs.(i) then rejected := addr :: !rejected
+            else begin
+              check t addr Units.cache_line;
+              let line = addr / Units.cache_line in
+              if
+                Checksums.recorded t.chk ~line
+                && not (Checksums.line_ok t.chk ~store:t.store ~line)
+              then healed := addr :: !healed;
+              Bytes.blit_string e.data (i * Units.cache_line) t.store addr
+                Units.cache_line;
+              Checksums.set_line t.chk ~line ~crc:wire;
+              incr applied
+            end
+          done;
+          t.lines_received <- t.lines_received + nlines)
+        entries;
+      {
+        verdict;
+        applied_lines = !applied;
+        rejected = List.rev !rejected;
+        healed = List.rev !healed;
+      }
 
 let lines_received t = t.lines_received
 let logs_received t = t.logs_received
 let peek = read
+
+let verify_range t ~addr ~len = Checksums.corrupt_lines t.chk ~store:t.store ~addr ~len
+
+let corrupt_bit t ~addr ~bit =
+  if addr mod Units.cache_line <> 0 then invalid_arg "Memory_node.corrupt_bit: addr";
+  if bit < 0 || bit >= Units.cache_line * 8 then
+    invalid_arg "Memory_node.corrupt_bit: bit";
+  let line = addr / Units.cache_line in
+  let was_clean =
+    Checksums.recorded t.chk ~line && Checksums.line_ok t.chk ~store:t.store ~line
+  in
+  let byte = addr + (bit / 8) in
+  Bytes.set t.store byte
+    (Char.chr (Char.code (Bytes.get t.store byte) lxor (1 lsl (bit land 7))));
+  if was_clean then `Fresh else `Already_corrupt

@@ -1,7 +1,14 @@
 (** A disaggregated memory node: a dumb byte store serving one-sided RDMA
     reads/writes, plus the one piece of near-data compute Kona needs — the
     {e cache-line log receiver} thread that unpacks aggregated dirty
-    cache-lines and scatters them to their home addresses (§4.4). *)
+    cache-lines and scatters them to their home addresses (§4.4).
+
+    Since PR 4 the node also keeps a per-cache-line CRC32C table (the
+    software stand-in for the FPGA's per-line ECC): trusted writes record
+    checksums, the log receiver verifies every delivered line against the
+    CRC computed at staging before applying it, and deliveries carry
+    (stream, epoch, seq) stamps so replays and gaps are classified
+    instead of applied blindly. *)
 
 type t
 
@@ -38,21 +45,63 @@ val adopt_reservations : t -> brk:int -> unit
 (** {2 Data-path operations (invoked by delivered RDMA verbs)} *)
 
 val write : t -> addr:int -> data:string -> unit
+(** Trusted write: stores the bytes and records fresh CRCs for every
+    line the write overlaps.  This is also the repair primitive — a
+    scrub repair is a [write] of a clean replica's line. *)
+
 val read : t -> addr:int -> len:int -> string
 
 (** {2 Cache-line log receiver} *)
 
-type log_entry = { addr : int; data : string }
+type log_entry = { addr : int; data : string; crcs : int array }
 (** [data] is a run of one or more whole cache-lines (length a positive
-    multiple of 64): the log aggregates contiguous dirty lines into single
-    entries. *)
+    multiple of 64, [addr] line-aligned): the log aggregates contiguous
+    dirty lines into single entries.  [crcs] holds one CRC32C per line,
+    computed at staging time from the sender's heap — the receiver
+    verifies the payload against them before applying. *)
 
-val receive_log : t -> log_entry list -> unit
-(** Unpack a received CL log: scatter each entry to its address.  The
-    remote thread's work; cheap (a few reads and writes per line). *)
+val entry : addr:int -> data:string -> log_entry
+(** Build an entry, computing its per-line CRCs. *)
+
+type delivery = { stream : int; epoch : int; seq : int }
+(** Ordering stamp carried by a CL-log shipment (see
+    {!Kona_integrity.Sequencer}). *)
+
+type report = {
+  verdict : Kona_integrity.Sequencer.Rx.verdict;
+  applied_lines : int;  (** lines verified and scattered to the store *)
+  rejected : int list;
+      (** line addresses whose payload failed its wire CRC (torn write):
+          the store keeps its previous, still-consistent contents *)
+  healed : int list;
+      (** line addresses that were corrupt at rest (recorded CRC did not
+          match the store) and have now been overwritten with verified
+          data — an at-rest flip healed before the scrubber saw it *)
+}
+
+val receive_log : ?delivery:delivery -> t -> log_entry list -> report
+(** Unpack a received CL log.  With a [delivery] stamp the shipment is
+    first classified: [Duplicate]/[Stale_epoch] shipments are dropped
+    whole (nothing applied); [Ok]/[Gap _] shipments are applied
+    line-by-line, each line verified against its wire CRC first.  The
+    remote thread's work; cheap (a few reads, CRCs and writes per
+    line). *)
 
 val lines_received : t -> int
 val logs_received : t -> int
 
 val peek : t -> addr:int -> len:int -> string
 (** Uninstrumented inspection for integrity checks. *)
+
+(** {2 Integrity inspection and fault backdoors} *)
+
+val verify_range : t -> addr:int -> len:int -> int list
+(** Line addresses in [addr, addr+len) whose store contents no longer
+    match their recorded CRC.  Works on crashed nodes (an offline fsck);
+    never-written lines are skipped. *)
+
+val corrupt_bit : t -> addr:int -> bit:int -> [ `Fresh | `Already_corrupt ]
+(** Fault-injection backdoor: flip bit [bit] (0..511) of the cache line
+    at line-aligned [addr].  Returns [`Fresh] when the line verified
+    clean beforehand (a new detectable corruption was armed),
+    [`Already_corrupt] otherwise. *)

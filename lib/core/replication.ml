@@ -71,6 +71,17 @@ let crash_mirror t ~id =
           | None -> None))
     t.mirrors None
 
+(* Every live copy of logical node [node]'s data, primary first — the
+   scrubber's repair-source pool. *)
+let live_copies t ~controller ~node =
+  let primary =
+    match Rack_controller.node controller ~id:node with
+    | p when Memory_node.alive p -> [ p ]
+    | _ -> []
+    | exception Invalid_argument _ -> []
+  in
+  primary @ List.filter Memory_node.alive (targets t ~node)
+
 let failovers t = t.failovers
 
 let lines_replicated t =

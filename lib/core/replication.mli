@@ -41,6 +41,12 @@ val fresh_replica_id : t -> int
 (** A node id (2000+) never used by primaries or initial mirrors, for
     re-replication targets. *)
 
+val live_copies : t -> controller:Rack_controller.t -> node:int -> Memory_node.t list
+(** Every live copy of logical node [node]'s data — the current primary
+    (when alive) followed by its live mirrors.  The scrub-and-repair
+    path's source pool: any copy whose line verifies clean can repair
+    the others. *)
+
 val failovers : t -> int
 (** Promotions performed. *)
 

@@ -12,6 +12,8 @@ module Registry = Kona_telemetry.Registry
 module Tracer = Kona_telemetry.Tracer
 module Fault_spec = Kona_faults.Fault_spec
 module Injector = Kona_faults.Injector
+module Sequencer = Kona_integrity.Sequencer
+module Scrubber = Kona_integrity.Scrubber
 
 type config = {
   cost : Cost_model.t;
@@ -30,6 +32,9 @@ type config = {
   faults : Fault_spec.t;
   fault_seed : int;
   check_replicas : bool;
+  scrub_interval_ns : int option;
+  scrub_budget : int;
+  verify_checksums : bool;
 }
 
 let default_config =
@@ -50,6 +55,53 @@ let default_config =
     faults = [];
     fault_seed = 42;
     check_replicas = false;
+    scrub_interval_ns = None;
+    scrub_budget = 8;
+    verify_checksums = false;
+  }
+
+(* End-to-end integrity accounting: the detection side feeds from CL-log
+   delivery reports (wire-CRC rejects, sequence verdicts) and the scrub
+   side from at-rest checksum sweeps.  Quarantine and the flip-arming
+   registry are keyed by (copy node id, absolute line address) — copies
+   are physical nodes, so the keys survive failover re-targeting. *)
+type integrity_state = {
+  quarantine : (int * int, unit) Hashtbl.t;
+  armed : (int * int, int) Hashtbl.t; (* -> virtual time the flip landed *)
+  detect_latency : Histogram.t;
+  unrepairable_pages : (int, unit) Hashtbl.t; (* vpage -> declared lost *)
+  mutable flips_armed : int;
+  mutable flips_found : int;
+  mutable flips_healed : int;
+  mutable torn_events : int;
+  mutable crc_rejected_lines : int;
+  mutable seq_duplicates : int;
+  mutable seq_gaps : int;
+  mutable seq_stale : int;
+  mutable stale_reads_detected : int;
+  mutable repaired_lines : int;
+  mutable repair_bytes : int;
+  mutable unrepairable_lines : int;
+}
+
+let create_integrity_state () =
+  {
+    quarantine = Hashtbl.create 32;
+    armed = Hashtbl.create 32;
+    detect_latency = Histogram.create ();
+    unrepairable_pages = Hashtbl.create 8;
+    flips_armed = 0;
+    flips_found = 0;
+    flips_healed = 0;
+    torn_events = 0;
+    crc_rejected_lines = 0;
+    seq_duplicates = 0;
+    seq_gaps = 0;
+    seq_stale = 0;
+    stale_reads_detected = 0;
+    repaired_lines = 0;
+    repair_bytes = 0;
+    unrepairable_lines = 0;
   }
 
 type t = {
@@ -76,6 +128,8 @@ type t = {
   tracer : Tracer.t option;
   failover_latency : Histogram.t;
   recovery_latency : Histogram.t;
+  integrity : integrity_state;
+  mutable scrubber : Scrubber.t option; (* tied after [t] exists *)
   mutable node_crashes : int;
   mutable recovery_bytes : int;
   mutable heap_pages_restored : int;
@@ -209,7 +263,10 @@ let register_metrics t reg =
           | Some inj ->
               Option.value ~default:0 (List.assoc_opt category (Injector.counters inj))
           | None -> 0))
-    [ "node_crashes"; "link_flaps"; "rpc_timeouts"; "wqe_drops"; "wqe_delays" ];
+    [
+      "node_crashes"; "link_flaps"; "rpc_timeouts"; "wqe_drops"; "wqe_delays";
+      "bit_flips"; "torn_writes"; "stale_reads"; "dup_delivers";
+    ];
   c "cllog.lost_writes" (fun () -> Cl_log.lost_deliveries t.log);
   c "cllog.lost_lines" (fun () -> Cl_log.lost_lines t.log);
   Registry.histogram_ref reg "failover.latency_ns" t.failover_latency;
@@ -217,6 +274,31 @@ let register_metrics t reg =
   c "recovery.bytes" (fun () -> t.recovery_bytes);
   c "recovery.heap_pages" (fun () -> t.heap_pages_restored);
   c "recovery.heap_pages_lost" (fun () -> t.heap_pages_lost);
+  (* End-to-end integrity: detection, repair, sequencing, scrub (PR 4) *)
+  let ist = t.integrity in
+  c "integrity.detected" (fun () ->
+      ist.flips_found + ist.crc_rejected_lines + ist.seq_duplicates
+      + ist.seq_gaps + ist.seq_stale + ist.stale_reads_detected);
+  c "integrity.repaired" (fun () -> ist.repaired_lines);
+  c "integrity.unrepairable" (fun () -> ist.unrepairable_lines);
+  c "integrity.repair_bytes" (fun () -> ist.repair_bytes);
+  c "integrity.healed_overwrite" (fun () -> ist.flips_healed);
+  c "integrity.crc_rejects" (fun () -> ist.crc_rejected_lines);
+  c "integrity.torn_events" (fun () -> ist.torn_events);
+  c "integrity.flips_armed" (fun () -> ist.flips_armed);
+  c "integrity.flips_found" (fun () -> ist.flips_found);
+  c "integrity.stale_reads" (fun () -> ist.stale_reads_detected);
+  c "seq.duplicates" (fun () -> ist.seq_duplicates);
+  c "seq.gaps" (fun () -> ist.seq_gaps);
+  c "seq.stale_epochs" (fun () -> ist.seq_stale);
+  g "integrity.quarantined" (fun () -> Hashtbl.length ist.quarantine);
+  Registry.histogram_ref reg "integrity.detect_latency_ns" ist.detect_latency;
+  c "scrub.pages" (fun () ->
+      match t.scrubber with Some s -> Scrubber.pages_scrubbed s | None -> 0);
+  c "scrub.repairs" (fun () ->
+      match t.scrubber with Some s -> Scrubber.repairs s | None -> 0);
+  c "scrub.sweeps" (fun () ->
+      match t.scrubber with Some s -> Scrubber.sweeps s | None -> 0);
   match t.replication with
   | Some r ->
       c "replication.lines" (fun () -> Replication.lines_replicated r);
@@ -242,6 +324,168 @@ let check_replicas_now t =
              "Runtime: replica divergence after eviction: %d mirror(s) differ \
               from their primary"
              divergent)
+
+let app_ns t = Clock.now t.app_clock
+let bg_ns t = Clock.now t.bg_clock
+let elapsed_ns t = max (app_ns t) (bg_ns t)
+
+let note_degraded t reason =
+  if t.degraded_reason = None then t.degraded_reason <- Some reason
+
+(* ------------------------------------------------------------------ *)
+(* Integrity: delivery-report accounting and scrub-and-repair (PR 4) *)
+
+(* Quarantined line addresses of copy [tid] within [raddr, raddr+len). *)
+let quarantined_lines t ~tid ~raddr ~len =
+  Hashtbl.fold
+    (fun (id, l) () acc ->
+      if id = tid && l >= raddr && l < raddr + len then l :: acc else acc)
+    t.integrity.quarantine []
+
+(* CL-log delivery landed on [target]: fold its classification into the
+   detection counters and quarantine any wire-CRC-rejected (torn) lines
+   so the scrubber repairs them from a clean copy instead of the store
+   serving stale data indefinitely. *)
+let on_delivery_report t ~node:_ ~target (report : Memory_node.report) =
+  let ist = t.integrity in
+  let tid = Memory_node.id target in
+  (match report.Memory_node.verdict with
+  | Sequencer.Rx.Ok -> ()
+  | Sequencer.Rx.Gap n -> ist.seq_gaps <- ist.seq_gaps + n
+  | Sequencer.Rx.Duplicate -> ist.seq_duplicates <- ist.seq_duplicates + 1
+  | Sequencer.Rx.Stale_epoch -> ist.seq_stale <- ist.seq_stale + 1);
+  (match report.Memory_node.rejected with
+  | [] -> ()
+  | rejected ->
+      ist.torn_events <- ist.torn_events + 1;
+      ist.crc_rejected_lines <- ist.crc_rejected_lines + List.length rejected;
+      List.iter (fun l -> Hashtbl.replace ist.quarantine (tid, l) ()) rejected;
+      match t.tracer with
+      | Some tr ->
+          Tracer.instant tr "integrity.torn_rejected"
+            ~args:[ ("node", tid); ("lines", List.length rejected) ]
+      | None -> ());
+  (* Lines that were corrupt at rest but have just been overwritten with
+     verified data: the corruption healed before the scrubber saw it. *)
+  List.iter
+    (fun l ->
+      if Hashtbl.mem ist.armed (tid, l) then begin
+        Hashtbl.remove ist.armed (tid, l);
+        ist.flips_healed <- ist.flips_healed + 1
+      end)
+    report.Memory_node.healed
+
+(* An injected at-rest bit flip landed on [target]. [fresh] means the
+   line verified clean beforehand, i.e. a new detectable corruption was
+   armed; re-flipping a bit of an already-corrupt line can also cancel
+   the corruption, which must disarm the registry to keep the
+   armed = found + healed invariant exact. *)
+let on_flip_armed t ~target ~addr ~fresh =
+  let ist = t.integrity in
+  let key = (Memory_node.id target, addr) in
+  if fresh then begin
+    ist.flips_armed <- ist.flips_armed + 1;
+    Hashtbl.replace ist.armed key (Clock.now t.bg_clock)
+  end
+  else if
+    Hashtbl.mem ist.armed key
+    && Memory_node.verify_range target ~addr ~len:Units.cache_line = []
+  then begin
+    (* Same-bit double flip restored the original bytes. *)
+    Hashtbl.remove ist.armed key;
+    ist.flips_armed <- ist.flips_armed - 1
+  end
+
+(* Verify one remote page across every live copy and repair each corrupt
+   or quarantined line from a copy whose line is clean.  Corruption with
+   no clean source anywhere is declared unrepairable: counted, the page
+   recorded as lost, and the run degraded. *)
+let verify_and_repair_page t ~vpage =
+  let ist = t.integrity in
+  let page = Units.page_size in
+  match Resource_manager.translate t.rm ~vaddr:(vpage * page) with
+  | None -> Scrubber.Clean
+  | Some (node, raddr) ->
+      let copies =
+        match t.replication with
+        | Some r -> Replication.live_copies r ~controller:t.controller ~node
+        | None -> (
+            match Rack_controller.node t.controller ~id:node with
+            | p when Memory_node.alive p -> [ p ]
+            | _ -> []
+            | exception Invalid_argument _ -> [])
+      in
+      if copies = [] then Scrubber.Clean
+      else begin
+        let now = elapsed_ns t in
+        let infos =
+          List.map
+            (fun copy ->
+              let tid = Memory_node.id copy in
+              let at_rest = Memory_node.verify_range copy ~addr:raddr ~len:page in
+              let bad =
+                List.sort_uniq compare
+                  (at_rest @ quarantined_lines t ~tid ~raddr ~len:page)
+              in
+              (copy, tid, at_rest, bad))
+            copies
+        in
+        (* Detection accounting: every at-rest mismatch found here is a
+           bit flip surfacing; stamp its detection latency if armed. *)
+        List.iter
+          (fun (_, tid, at_rest, _) ->
+            List.iter
+              (fun l ->
+                ist.flips_found <- ist.flips_found + 1;
+                match Hashtbl.find_opt ist.armed (tid, l) with
+                | Some t0 ->
+                    Histogram.add ist.detect_latency (max 0 (now - t0));
+                    Hashtbl.remove ist.armed (tid, l)
+                | None -> ())
+              at_rest)
+          infos;
+        let repaired = ref 0 and unrepairable = ref 0 in
+        List.iter
+          (fun (copy, tid, _, bad) ->
+            List.iter
+              (fun l ->
+                (match
+                   List.find_opt
+                     (fun (src, _, _, src_bad) ->
+                       src != copy
+                       && Memory_node.alive src
+                       && not (List.mem l src_bad))
+                     infos
+                 with
+                | Some (src, _, _, _) ->
+                    (* Copy the clean line over; [write] records a fresh
+                       CRC, so the repair is itself verifiable. *)
+                    let data = Memory_node.peek src ~addr:l ~len:Units.cache_line in
+                    (try
+                       Memory_node.write copy ~addr:l ~data;
+                       incr repaired;
+                       ist.repaired_lines <- ist.repaired_lines + 1;
+                       ist.repair_bytes <- ist.repair_bytes + Units.cache_line;
+                       Clock.advance t.bg_clock
+                         (Kona_rdma.Cost.memcpy_ns t.config.rdma
+                            ~bytes:Units.cache_line)
+                     with Memory_node.Crashed _ -> ())
+                | None ->
+                    incr unrepairable;
+                    ist.unrepairable_lines <- ist.unrepairable_lines + 1;
+                    Hashtbl.replace ist.unrepairable_pages vpage ();
+                    note_degraded t
+                      (Printf.sprintf
+                         "corrupt line %#x on node %d has no clean copy to \
+                          repair from"
+                         l tid));
+                Hashtbl.remove ist.quarantine (tid, l))
+              bad)
+          infos;
+        if !unrepairable > 0 then Scrubber.Unrepairable !unrepairable
+        else if !repaired > 0 then Scrubber.Repaired !repaired
+        else Scrubber.Clean
+      end
 
 let create ?(config = default_config) ?nic ?hub ~controller ~read_local () =
   let app_clock = Clock.create () in
@@ -278,9 +522,12 @@ let create ?(config = default_config) ?nic ?hub ~controller ~read_local () =
       ~signal_interval:config.signal_interval ~clock:bg_clock ()
   in
   let rpc =
+    (* The control path's SENDs ride the same loss/delay hook as the
+       data QPs, so wqe-drop plans can kill a control exchange outright
+       (surfaced as the underlying transport error, not a timeout). *)
     Kona_rdma.Rpc.create ~cost:config.rdma
       ?fail:(Option.map Injector.rpc_timeout injector)
-      ~clock:app_clock ~nic ()
+      ?inject ~clock:app_clock ~nic ()
   in
   let rm = Resource_manager.create ~rpc ~controller () in
   let fmem =
@@ -377,6 +624,8 @@ let create ?(config = default_config) ?nic ?hub ~controller ~read_local () =
       tracer;
       failover_latency = Histogram.create ();
       recovery_latency = Histogram.create ();
+      integrity = create_integrity_state ();
+      scrubber = None;
       node_crashes = 0;
       recovery_bytes = 0;
       heap_pages_restored = 0;
@@ -386,12 +635,56 @@ let create ?(config = default_config) ?nic ?hub ~controller ~read_local () =
     }
   in
   if config.check_replicas then post_evict_ref := (fun () -> check_replicas_now t);
+  (* Integrity wiring: every delivery's classification feeds detection
+     accounting; corruption faults are decided per shipment. *)
+  Cl_log.set_on_report log (fun ~node ~target report ->
+      on_delivery_report t ~node ~target report);
+  Cl_log.set_on_flip log (fun ~target ~addr ~fresh -> on_flip_armed t ~target ~addr ~fresh);
+  (match injector with
+  | Some inj when Injector.corruption_armed inj ->
+      Cl_log.set_inject log (fun ~targets -> Injector.delivery_inject inj ~targets)
+  | Some _ | None -> ());
+  (* On-fetch verification: every synchronous demand fetch re-checks the
+     remote page's checksums (and repairs on the spot), after the
+     stale-read fault decides whether this fetch must burn a retry. *)
+  if config.verify_checksums then
+    Caching_handler.set_on_fetch_verify caching (fun ~vpage ->
+        (match injector with
+        | Some inj when Injector.stale_reads_armed inj && Injector.read_inject inj () ->
+            t.integrity.stale_reads_detected <-
+              t.integrity.stale_reads_detected + 1;
+            (match tracer with
+            | Some tr -> Tracer.instant tr "integrity.stale_read" ~args:[ ("vpage", vpage) ]
+            | None -> ());
+            (* The stale image fails verification; re-read the page. *)
+            Qp.post fetch_qp [ Qp.wqe ~signaled:true Qp.Read ~len:Units.page_size ];
+            Qp.wait_idle fetch_qp
+        | Some _ | None -> ());
+        (* The CRC pass over the fetched page is demand-path CPU work. *)
+        Clock.advance app_clock
+          (Kona_rdma.Cost.memcpy_ns config.rdma ~bytes:Units.page_size);
+        ignore (verify_and_repair_page t ~vpage : Scrubber.outcome));
+  (* Background scrubber: budgeted sweeps over the backed pages, driven
+     off the virtual clock from [poll_faults]. *)
+  (match config.scrub_interval_ns with
+  | Some interval ->
+      let scan () =
+        let acc = ref [] in
+        Resource_manager.iter_backed_pages t.rm (fun ~vpage ~node:_ ~remote_addr:_ ->
+            acc := vpage :: !acc);
+        Array.of_list (List.rev !acc)
+      in
+      let check ~page =
+        (* Per-page verify cost: one CRC pass over the page, background. *)
+        Clock.advance bg_clock
+          (Kona_rdma.Cost.memcpy_ns config.rdma ~bytes:Units.page_size);
+        verify_and_repair_page t ~vpage:page
+      in
+      t.scrubber <-
+        Some (Scrubber.create ~interval_ns:interval ~budget:config.scrub_budget ~scan ~check)
+  | None -> ());
   (match hub with Some h -> register_metrics t (Hub.registry h) | None -> ());
   t
-
-let app_ns t = Clock.now t.app_clock
-let bg_ns t = Clock.now t.bg_clock
-let elapsed_ns t = max (app_ns t) (bg_ns t)
 
 (* Restore the replication degree after a promotion (or a mirror loss):
    clone the current primary onto a fresh mirror in 1 MiB chunks over the
@@ -454,9 +747,7 @@ let re_replicate t ~replication ~node =
    and subsequent CL-log deliveries to it are counted, not raised. *)
 let handle_node_crash t ~id =
   t.node_crashes <- t.node_crashes + 1;
-  let note_degraded reason =
-    if t.degraded_reason = None then t.degraded_reason <- Some reason
-  in
+  let note_degraded reason = note_degraded t reason in
   let emit name args =
     match t.tracer with Some tr -> Tracer.instant tr ~args name | None -> ()
   in
@@ -482,12 +773,23 @@ let handle_node_crash t ~id =
                    "failover of memory node %d failed: rack controller \
                     unreachable after %d attempts"
                    id attempts)
+          | exception Qp.Retry_exhausted { attempts } ->
+              (* The Rpc wrapper surfaced the transport's own death
+                 instead of masking it as a timeout. *)
+              note_degraded
+                (Printf.sprintf
+                   "failover of memory node %d failed: control-path send \
+                    dead after %d transmission attempts"
+                   id attempts)
           | promoted -> (
               Histogram.add t.failover_latency (Clock.now t.app_clock - t0);
               match promoted with
               | Some p ->
                   emit "faults.failover"
                     [ ("node", id); ("promoted", Memory_node.id p) ];
+                  (* New configuration, new delivery epoch: stragglers
+                     stamped before the failover are rejected as stale. *)
+                  Cl_log.bump_epoch t.log;
                   re_replicate t ~replication:r ~node:id
               | None ->
                   note_degraded
@@ -514,13 +816,17 @@ let handle_node_crash t ~id =
    crashes whose scheduled virtual time has been reached.  O(1) when the
    plan has none pending. *)
 let poll_faults t =
-  match t.injector with
+  (match t.injector with
   | None -> ()
   | Some inj ->
       if Injector.crashes_pending inj > 0 then
         List.iter
           (fun id -> handle_node_crash t ~id)
-          (Injector.due_node_crashes inj ~now:(elapsed_ns t))
+          (Injector.due_node_crashes inj ~now:(elapsed_ns t)));
+  (* The scrubber shares the poll: cheap when no sweep is due. *)
+  match t.scrubber with
+  | Some s -> Scrubber.tick s ~now:(elapsed_ns t)
+  | None -> ()
 
 let charge_level t level =
   let c = t.config.cost in
@@ -562,6 +868,10 @@ let drain t =
       Eviction_handler.evict t.evictor ~vpage ~dirty)
     pages;
   Cl_log.flush t.log;
+  (* Close the integrity loop before any end-of-run oracle looks at the
+     rack: a forced full sweep verifies (and repairs) every backed page,
+     including quarantined lines whose torn delivery was rejected. *)
+  (match t.scrubber with Some s -> Scrubber.force_sweep s | None -> ());
   if t.config.check_replicas then check_replicas_now t
 
 (* Compute-node crash recovery (§4.5, failure mode 1): the local cache and
@@ -684,6 +994,38 @@ let stats t =
         match t.replication with Some r -> Replication.failovers r | None -> 0 );
       ("log.lost_writes", Cl_log.lost_deliveries t.log);
     ]
+
+(* Canonical ordered integrity counters — the soak harness compares two
+   runs of the same (plan, seed) for bit-for-bit equality over this list,
+   so the order and names are part of the reproducibility contract. *)
+let integrity_counters t =
+  let ist = t.integrity in
+  let scrub f = match t.scrubber with Some s -> f s | None -> 0 in
+  [
+    ("integrity.flips_armed", ist.flips_armed);
+    ("integrity.flips_found", ist.flips_found);
+    ("integrity.healed_overwrite", ist.flips_healed);
+    ("integrity.torn_events", ist.torn_events);
+    ("integrity.crc_rejects", ist.crc_rejected_lines);
+    ("seq.duplicates", ist.seq_duplicates);
+    ("seq.gaps", ist.seq_gaps);
+    ("seq.stale_epochs", ist.seq_stale);
+    ("integrity.stale_reads", ist.stale_reads_detected);
+    ("integrity.repaired", ist.repaired_lines);
+    ("integrity.repair_bytes", ist.repair_bytes);
+    ("integrity.unrepairable", ist.unrepairable_lines);
+    ("integrity.quarantined", Hashtbl.length ist.quarantine);
+    ("scrub.pages", scrub Scrubber.pages_scrubbed);
+    ("scrub.repairs", scrub Scrubber.repairs);
+    ("scrub.sweeps", scrub Scrubber.sweeps);
+  ]
+
+let unrepairable_pages t =
+  Hashtbl.fold (fun vpage () acc -> vpage :: acc) t.integrity.unrepairable_pages
+    []
+  |> List.sort compare
+
+let detect_latency t = t.integrity.detect_latency
 
 let replication t = t.replication
 let injector t = t.injector

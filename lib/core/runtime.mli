@@ -54,6 +54,18 @@ type config = {
       (** debug invariant: after every eviction batch (and after [drain]),
           fence the eviction QP and [failwith] if any live mirror diverges
           from its primary.  Expensive; off by default *)
+  scrub_interval_ns : int option;
+      (** background scrub-and-repair: walk every backed FMem page's
+          at-rest checksums once per interval (virtual background clock),
+          repairing corrupt lines from live replicas.  [None] = off *)
+  scrub_budget : int;
+      (** pages verified per scrubber tick once a sweep is due — bounds
+          the background-clock burst each poll (default 8) *)
+  verify_checksums : bool;
+      (** verify per-line checksums of the remote page on every
+          synchronous demand fetch (and re-read once when a stale read is
+          detected), charging one page memcpy to the app clock.  Off by
+          default — the paranoid read path *)
 }
 
 val default_config : config
@@ -138,6 +150,34 @@ val failover_latency : t -> Kona_util.Histogram.t
 
 val recovery_latency : t -> Kona_util.Histogram.t
 (** Latency of each re-replication copy and each {!recover_heap} call. *)
+
+(** {2 End-to-end data integrity (PR 4)}
+
+    Every FMem page carries per-cache-line CRC32C checksums at the memory
+    nodes, and every CL-log delivery is stamped with an (epoch, sequence)
+    pair per destination stream.  Detection happens at three points: on
+    delivery (wire-CRC rejects of torn lines, sequence-verdict drops of
+    duplicated or stale shipments), on verified demand fetches
+    ([verify_checksums]), and during background scrub sweeps
+    ([scrub_interval_ns]).  Corrupt lines are quarantined and repaired
+    from the first live replica holding a clean copy; a line with no
+    clean copy anywhere marks the run {!degraded} and its page is
+    excluded from byte-level oracles via {!unrepairable_pages}. *)
+
+val integrity_counters : t -> (string * int) list
+(** Canonical ordered dump of every [integrity.*], [seq.*] and [scrub.*]
+    counter.  Two runs of the same (plan, seed) must produce identical
+    lists — the soak harness's reproducibility check compares these
+    bit-for-bit. *)
+
+val unrepairable_pages : t -> int list
+(** Virtual pages declared unrepairable (sorted, deduplicated): a corrupt
+    line was found there and no live copy had a clean version.  Byte-level
+    divergence oracles must exclude these pages. *)
+
+val detect_latency : t -> Kona_util.Histogram.t
+(** Virtual-time lag between a bit-flip landing and its detection
+    ([integrity.detect_latency_ns]). *)
 
 (** {2 Component access (examples, tests, benches)} *)
 

@@ -4,6 +4,10 @@ type clause =
   | Rpc_timeout of { p : float }
   | Wqe_drop of { p : float }
   | Wqe_delay of { p : float; delay_ns : int }
+  | Bit_flip of { p : float }
+  | Torn_write of { p : float }
+  | Stale_read of { p : float }
+  | Dup_deliver of { p : float }
 
 type t = clause list
 
@@ -101,18 +105,61 @@ let parse_clause s =
           p = prob_of_string (field params "p");
           delay_ns = duration_of_string (field params "ns");
         }
+  | "bit-flip" ->
+      known [ "p" ];
+      Bit_flip { p = prob_of_string (field params "p") }
+  | "torn-write" ->
+      known [ "p" ];
+      Torn_write { p = prob_of_string (field params "p") }
+  | "stale-read" ->
+      known [ "p" ];
+      Stale_read { p = prob_of_string (field params "p") }
+  | "dup-deliver" ->
+      known [ "p" ];
+      Dup_deliver { p = prob_of_string (field params "p") }
   | other ->
       bad
         "unknown fault kind %S (node-crash | link-flap | rpc-timeout | wqe-drop | \
-         wqe-delay)"
+         wqe-delay | bit-flip | torn-write | stale-read | dup-deliver)"
         other
+
+(* Probabilistic kinds may appear at most once per plan; a silent
+   last-wins would make e.g. "wqe-drop:p=0.1;wqe-drop:p=0" a no-op
+   plan that looks loaded.  Scheduled kinds (node-crash, link-flap)
+   legitimately repeat. *)
+let prob_kind = function
+  | Node_crash _ | Link_flap _ -> None
+  | Rpc_timeout _ -> Some "rpc-timeout"
+  | Wqe_drop _ -> Some "wqe-drop"
+  | Wqe_delay _ -> Some "wqe-delay"
+  | Bit_flip _ -> Some "bit-flip"
+  | Torn_write _ -> Some "torn-write"
+  | Stale_read _ -> Some "stale-read"
+  | Dup_deliver _ -> Some "dup-deliver"
+
+let check_duplicates plan =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun clause ->
+      match prob_kind clause with
+      | None -> ()
+      | Some kind ->
+          if Hashtbl.mem seen kind then
+            bad "duplicate clause kind %S in one plan (each probabilistic kind \
+                 may appear at most once)" kind
+          else Hashtbl.add seen kind ())
+    plan
 
 let parse s =
   let clauses =
     String.split_on_char ';' s |> List.map String.trim
     |> List.filter (fun c -> c <> "")
   in
-  match List.map parse_clause clauses with
+  match
+    let plan = List.map parse_clause clauses in
+    check_duplicates plan;
+    plan
+  with
   | plan -> Ok plan
   | exception Bad msg -> Error msg
 
@@ -136,6 +183,10 @@ let clause_to_string = function
   | Wqe_drop { p } -> Printf.sprintf "wqe-drop:p=%g" p
   | Wqe_delay { p; delay_ns } ->
       Printf.sprintf "wqe-delay:p=%g,ns=%s" p (ns_to_string delay_ns)
+  | Bit_flip { p } -> Printf.sprintf "bit-flip:p=%g" p
+  | Torn_write { p } -> Printf.sprintf "torn-write:p=%g" p
+  | Stale_read { p } -> Printf.sprintf "stale-read:p=%g" p
+  | Dup_deliver { p } -> Printf.sprintf "dup-deliver:p=%g" p
 
 let to_string t = String.concat ";" (List.map clause_to_string t)
 let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -17,10 +17,27 @@
     - [wqe-drop:p=0.001] — each posted WQE transmission attempt is lost
       with probability [p], exercising the QP retransmission machinery;
     - [wqe-delay:p=0.01,ns=5us] — each WQE is delayed by [ns] with
-      probability [p].
+      probability [p];
+    - [bit-flip:p=0.01] — after a CL-log shipment lands, one bit of one
+      delivered line is flipped at rest on one copy with probability [p]
+      (per shipment), exercising checksum scrub-and-repair;
+    - [torn-write:p=0.01] — one copy of a CL-log shipment arrives torn:
+      the tail lines of one entry are corrupted in flight, exercising
+      wire-CRC rejection and quarantine;
+    - [stale-read:p=0.01] — each verified demand fetch independently
+      returns a stale image with probability [p] and must be detected
+      and retried (requires checksum verification to be on);
+    - [dup-deliver:p=0.01] — each CL-log shipment is redelivered to the
+      primary at the next flush with probability [p], exercising
+      sequence-number duplicate rejection.
 
     All probabilistic draws come from a seeded splitmix stream, so a plan
-    plus a seed reproduces the same faults bit-for-bit. *)
+    plus a seed reproduces the same faults bit-for-bit.
+
+    A plan may not repeat a probabilistic kind (e.g. two [wqe-drop]
+    clauses): [parse] rejects it with a named error rather than letting
+    the last clause silently win.  Scheduled kinds ([node-crash],
+    [link-flap]) may appear any number of times. *)
 
 type clause =
   | Node_crash of { at_ns : int; id : int }
@@ -28,6 +45,10 @@ type clause =
   | Rpc_timeout of { p : float }
   | Wqe_drop of { p : float }
   | Wqe_delay of { p : float; delay_ns : int }
+  | Bit_flip of { p : float }
+  | Torn_write of { p : float }
+  | Stale_read of { p : float }
+  | Dup_deliver of { p : float }
 
 type t = clause list
 

@@ -1,13 +1,25 @@
 open Kona_util
 
+type delivery_fault = {
+  torn : (int * int) option; (* (target pick, entry pick) *)
+  flip : (int * int * int * int) option; (* (target, entry, line, bit picks) *)
+  dup : bool;
+}
+
 type t = {
   plan_ : Fault_spec.t;
   qp_rng : Rng.t;
   rpc_rng : Rng.t;
+  dlv_rng : Rng.t;
+  read_rng : Rng.t;
   p_drop : float;
   p_delay : float;
   delay_ns : int;
   p_rpc : float;
+  p_flip : float;
+  p_torn : float;
+  p_stale : float;
+  p_dup : float;
   mutable crashes : (int * int) list; (* (at_ns, id), sorted by time *)
   flaps : (int * int) list;
   mutable node_crashes : int;
@@ -15,15 +27,25 @@ type t = {
   mutable rpc_timeouts : int;
   mutable wqe_drops : int;
   mutable wqe_delays : int;
+  mutable bit_flips : int;
+  mutable torn_writes : int;
+  mutable stale_reads : int;
+  mutable dup_delivers : int;
 }
 
 let create ~seed ~plan =
   let root = Rng.create ~seed in
+  (* Split order is ABI: streams must be carved off in the same order
+     forever, and new streams appended after the existing ones, so an
+     old (plan, seed) pair keeps reproducing the exact same faults. *)
   let qp_rng = Rng.split root in
   let rpc_rng = Rng.split root in
+  let dlv_rng = Rng.split root in
+  let read_rng = Rng.split root in
   (* Independent clauses of the same kind compose: probabilities are
      combined as independent events, crash/flap schedules concatenate. *)
   let p_drop = ref 0. and p_delay = ref 0. and delay_ns = ref 0 and p_rpc = ref 0. in
+  let p_flip = ref 0. and p_torn = ref 0. and p_stale = ref 0. and p_dup = ref 0. in
   let crashes = ref [] and flaps = ref [] in
   let combine p q = 1. -. ((1. -. p) *. (1. -. q)) in
   List.iter
@@ -35,16 +57,26 @@ let create ~seed ~plan =
       | Fault_spec.Wqe_drop { p } -> p_drop := combine !p_drop p
       | Fault_spec.Wqe_delay { p; delay_ns = d } ->
           p_delay := combine !p_delay p;
-          delay_ns := max !delay_ns d)
+          delay_ns := max !delay_ns d
+      | Fault_spec.Bit_flip { p } -> p_flip := combine !p_flip p
+      | Fault_spec.Torn_write { p } -> p_torn := combine !p_torn p
+      | Fault_spec.Stale_read { p } -> p_stale := combine !p_stale p
+      | Fault_spec.Dup_deliver { p } -> p_dup := combine !p_dup p)
     plan;
   {
     plan_ = plan;
     qp_rng;
     rpc_rng;
+    dlv_rng;
+    read_rng;
     p_drop = !p_drop;
     p_delay = !p_delay;
     delay_ns = !delay_ns;
     p_rpc = !p_rpc;
+    p_flip = !p_flip;
+    p_torn = !p_torn;
+    p_stale = !p_stale;
+    p_dup = !p_dup;
     crashes = List.sort compare !crashes;
     flaps = List.rev !flaps;
     node_crashes = 0;
@@ -52,6 +84,10 @@ let create ~seed ~plan =
     rpc_timeouts = 0;
     wqe_drops = 0;
     wqe_delays = 0;
+    bit_flips = 0;
+    torn_writes = 0;
+    stale_reads = 0;
+    dup_delivers = 0;
   }
 
 let plan t = t.plan_
@@ -73,6 +109,56 @@ let qp_inject t () =
     end
     else None
   end
+
+let corruption_armed t =
+  t.p_flip > 0. || t.p_torn > 0. || t.p_dup > 0.
+
+let delivery_inject t ~targets =
+  if not (corruption_armed t) then None
+  else begin
+    (* One decision per shipment per category.  The picks are raw draws;
+       the CL log reduces them modulo its entry/line counts so the
+       injector stays ignorant of shipment shapes (and the stream stays
+       identical across shipment sizes). *)
+    let torn =
+      if t.p_torn > 0. && Rng.float t.dlv_rng 1.0 < t.p_torn then begin
+        t.torn_writes <- t.torn_writes + 1;
+        Some (Rng.int t.dlv_rng targets, Rng.int t.dlv_rng 1_000_000)
+      end
+      else None
+    in
+    let flip =
+      if t.p_flip > 0. && Rng.float t.dlv_rng 1.0 < t.p_flip then begin
+        t.bit_flips <- t.bit_flips + 1;
+        Some
+          ( Rng.int t.dlv_rng targets,
+            Rng.int t.dlv_rng 1_000_000,
+            Rng.int t.dlv_rng 1_000_000,
+            Rng.int t.dlv_rng 512 )
+      end
+      else None
+    in
+    let dup =
+      t.p_dup > 0.
+      && Rng.float t.dlv_rng 1.0 < t.p_dup
+      && begin
+           t.dup_delivers <- t.dup_delivers + 1;
+           true
+         end
+    in
+    if torn = None && flip = None && not dup then None
+    else Some { torn; flip; dup }
+  end
+
+let read_inject t () =
+  t.p_stale > 0.
+  && Rng.float t.read_rng 1.0 < t.p_stale
+  && begin
+       t.stale_reads <- t.stale_reads + 1;
+       true
+     end
+
+let stale_reads_armed t = t.p_stale > 0.
 
 let rpc_timeout t () =
   t.p_rpc > 0.
@@ -104,6 +190,10 @@ let counters t =
     ("rpc_timeouts", t.rpc_timeouts);
     ("wqe_drops", t.wqe_drops);
     ("wqe_delays", t.wqe_delays);
+    ("bit_flips", t.bit_flips);
+    ("torn_writes", t.torn_writes);
+    ("stale_reads", t.stale_reads);
+    ("dup_delivers", t.dup_delivers);
   ]
 
 let injected t = List.fold_left (fun acc (_, v) -> acc + v) 0 (counters t)

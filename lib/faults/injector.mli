@@ -27,6 +27,35 @@ val qp_inject : t -> unit -> [ `Drop | `Delay of int ] option
 val rpc_timeout : t -> unit -> bool
 (** Per-RPC-attempt decision for {!Kona_rdma.Rpc}. *)
 
+type delivery_fault = {
+  torn : (int * int) option;
+      (** Corrupt one copy's shipment in flight: [(target, entry)] raw
+          picks; the CL log reduces them modulo copy/entry counts and
+          tears the chosen entry's tail lines on that one copy. *)
+  flip : (int * int * int * int) option;
+      (** Flip one bit at rest after apply: [(target, entry, line, bit)]
+          raw picks ([bit] < 512, a bit offset within a 64B line). *)
+  dup : bool;
+      (** Redeliver this shipment to the primary at the next flush. *)
+}
+
+val delivery_inject : t -> targets:int -> delivery_fault option
+(** Per-CL-log-shipment decision ([targets] = number of copies the
+    shipment fans out to: primary + live mirrors).  At most one copy is
+    tampered per category per shipment, so a clean replica always
+    exists for repair when replicas are configured.  No draws happen
+    when no corruption clause is armed. *)
+
+val corruption_armed : t -> bool
+(** True when the plan contains bit-flip, torn-write or dup-deliver. *)
+
+val read_inject : t -> unit -> bool
+(** Per-verified-demand-fetch decision: [true] means this fetch
+    observes a stale image and must be detected and retried.  Only
+    consulted (and only draws) when checksum verification is on. *)
+
+val stale_reads_armed : t -> bool
+
 val link_flaps : t -> (int * int) list
 (** [(at_ns, dur_ns)] outage windows to install on the NIC.  Calling this
     counts the flaps as injected (call it once, when wiring). *)
@@ -44,4 +73,5 @@ val injected : t -> int
 
 val counters : t -> (string * int) list
 (** [(category, count)] pairs: node_crashes, link_flaps, rpc_timeouts,
-    wqe_drops, wqe_delays. *)
+    wqe_drops, wqe_delays, bit_flips, torn_writes, stale_reads,
+    dup_delivers. *)

@@ -16,10 +16,10 @@ type t = {
 }
 
 let create ?cost ?(service_ns = 1_500) ?(timeout_ns = 10_000) ?(retry_limit = 5) ?fail
-    ~clock ~nic () =
+    ?inject ~clock ~nic () =
   assert (timeout_ns > 0 && retry_limit >= 0);
   {
-    qp = Qp.create ?cost ~nic ~clock ();
+    qp = Qp.create ?cost ?inject ~nic ~clock ();
     service_ns;
     timeout_ns;
     retry_limit;
@@ -46,16 +46,34 @@ let call t ~request_bytes ~response_bytes f x =
         if k >= t.retry_limit then raise (Timeout_exhausted { attempts = k + 1 });
         t.retries <- t.retries + 1;
         attempt (k + 1)
-    | Some _ | None ->
+    | Some _ | None -> (
+        let send len =
+          Qp.post t.qp [ Qp.wqe ~signaled:true Qp.Write ~len ];
+          Qp.wait_idle t.qp
+        in
         (* Request SEND: the caller blocks for the round trip, so both
            messages complete on its clock. *)
-        Qp.post t.qp [ Qp.wqe ~signaled:true Qp.Write ~len:request_bytes ];
-        Qp.wait_idle t.qp;
-        Clock.advance t.clock t.service_ns;
-        let result = f x in
-        Qp.post t.qp [ Qp.wqe ~signaled:true Qp.Write ~len:response_bytes ];
-        Qp.wait_idle t.qp;
-        result
+        match send request_bytes with
+        | exception e ->
+            (* The request never reached the peer (e.g. the QP exhausted
+               its retransmissions under wqe-drop), so resending cannot
+               double-execute the handler.  When retries run out the
+               {e underlying} failure surfaces — a transport death must
+               not be masked as [Timeout_exhausted]. *)
+            t.timeouts <- t.timeouts + 1;
+            Clock.advance t.clock (t.timeout_ns * (1 lsl min k 4));
+            if k >= t.retry_limit then raise e;
+            t.retries <- t.retries + 1;
+            attempt (k + 1)
+        | () ->
+            Clock.advance t.clock t.service_ns;
+            (* Handler and response exceptions propagate immediately:
+               the handler has executed, so a retry would break the
+               exactly-once guarantee — and the caller must see the real
+               error, not a timeout. *)
+            let result = f x in
+            send response_bytes;
+            result)
   in
   let result = attempt 0 in
   t.calls <- t.calls + 1;

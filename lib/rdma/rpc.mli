@@ -20,6 +20,7 @@ val create :
   ?timeout_ns:int ->
   ?retry_limit:int ->
   ?fail:(unit -> bool) ->
+  ?inject:(unit -> [ `Drop | `Delay of int ] option) ->
   clock:Kona_util.Clock.t ->
   nic:Nic.t ->
   unit ->
@@ -31,13 +32,24 @@ val create :
     [fail] is the fault-injection hook, consulted once per attempt: [true]
     loses the exchange, costing [timeout_ns] (doubling per consecutive
     loss, capped at 16x; default 10 us) before a resend, up to
-    [retry_limit] retries (default 5) and then {!Timeout_exhausted}. *)
+    [retry_limit] retries (default 5) and then {!Timeout_exhausted}.
+
+    [inject] is forwarded to the channel's internal queue pair, so
+    wqe-drop/wqe-delay plans also stress the control path's SENDs. *)
 
 val call : t -> request_bytes:int -> response_bytes:int -> ('a -> 'b) -> 'a -> 'b
 (** Execute [f] as the remote handler: charges request wire + service +
     response wire to the caller's clock and returns [f]'s result.  Under
     injected timeouts the exchange is retried; [f] runs exactly once, on
-    the successful attempt. *)
+    the successful attempt.
+
+    Failure surfacing: a {e request-send} failure (the message never
+    reached the peer, e.g. {!Qp.Retry_exhausted}) is retried with the
+    same backoff, and when retries run out the underlying exception is
+    re-raised — not masked as {!Timeout_exhausted}.  An exception from
+    the {e handler} (or the response send) propagates immediately: the
+    handler has already executed, so retrying would break exactly-once,
+    and the caller must see the real error. *)
 
 val calls : t -> int
 val total_ns : t -> int

@@ -1,0 +1,40 @@
+(* CRC32C, reflected polynomial 0x82F63B78, standard init/xor-out
+   0xFFFFFFFF.  Byte-at-a-time table lookup; plenty fast for a
+   simulation and dependency-free. *)
+
+let poly = 0x82F63B78
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := (!c lsr 1) lxor poly else c := !c lsr 1
+         done;
+         !c))
+
+let mask32 = 0xFFFFFFFF
+
+let update crc byte =
+  let t = Lazy.force table in
+  (crc lsr 8) lxor t.((crc lxor byte) land 0xFF)
+
+let digest_bytes buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Crc32c.digest_bytes";
+  let crc = ref mask32 in
+  for i = pos to pos + len - 1 do
+    crc := update !crc (Char.code (Bytes.unsafe_get buf i))
+  done;
+  !crc lxor mask32
+
+let digest_sub s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32c.digest_sub";
+  let crc = ref mask32 in
+  for i = pos to pos + len - 1 do
+    crc := update !crc (Char.code (String.unsafe_get s i))
+  done;
+  !crc lxor mask32
+
+let digest s = digest_sub s ~pos:0 ~len:(String.length s)

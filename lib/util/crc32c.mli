@@ -1,0 +1,18 @@
+(** CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) —
+    the checksum used by iSCSI, ext4 and Btrfs metadata, and here for
+    per-cache-line integrity of FMem pages and CL-log entries.  A CRC
+    detects any single-bit error in its input, so every injected
+    [bit-flip] fault is guaranteed-detectable by construction.
+
+    Table-driven software implementation; one 256-entry table, no
+    external dependencies. *)
+
+val digest : string -> int
+(** CRC32C of a whole string (initial value 0, final xor 0xFFFFFFFF,
+    i.e. the standard reflected CRC32C). Result fits in 32 bits. *)
+
+val digest_sub : string -> pos:int -> len:int -> int
+(** CRC32C of a substring. Raises [Invalid_argument] when out of range. *)
+
+val digest_bytes : Bytes.t -> pos:int -> len:int -> int
+(** CRC32C of a byte-buffer slice, without copying. *)

@@ -92,8 +92,9 @@ let test_resource_manager_spanning () =
 let test_memory_node_log_receiver () =
   let node = Memory_node.create ~id:0 ~capacity:(Units.kib 64) in
   let line = String.make 64 'a' in
-  Memory_node.receive_log node
-    [ { Memory_node.addr = 128; data = line }; { Memory_node.addr = 4096; data = line } ];
+  ignore
+    (Memory_node.receive_log node
+       [ Memory_node.entry ~addr:128 ~data:line; Memory_node.entry ~addr:4096 ~data:line ]);
   Alcotest.(check string) "scattered" line (Memory_node.peek node ~addr:128 ~len:64);
   check_int "lines received" 2 (Memory_node.lines_received node);
   check_int "logs received" 1 (Memory_node.logs_received node)

@@ -68,6 +68,9 @@ let test_spec_roundtrip () =
       "link-flap@1500us:dur=3us";
       "rpc-timeout:p=0.25";
       "node-crash@7ns:id=0;wqe-drop:p=0.125;wqe-delay:p=0.5,ns=4097";
+      "bit-flip:p=0.01";
+      "torn-write:p=0.05;stale-read:p=0.02;dup-deliver:p=0.125";
+      "bit-flip:p=0.25;torn-write:p=0.5;node-crash@3ms:id=1";
     ]
 
 let test_spec_errors () =
@@ -82,6 +85,69 @@ let test_spec_errors () =
   check_bool "unknown parameter" true (String.length (err "wqe-drop:p=0.1,q=2") > 0);
   check_bool "parse_exn raises" true
     (raises_invalid (fun () -> Fault_spec.parse_exn "nope") <> None)
+
+let test_spec_duplicate_kinds () =
+  let err s =
+    match Fault_spec.parse s with Error m -> m | Ok _ -> Alcotest.fail ("accepted " ^ s)
+  in
+  check_bool "duplicate probabilistic kind named" true
+    (contains ~sub:"duplicate clause kind" (err "bit-flip:p=0.1;bit-flip:p=0.2"));
+  check_bool "offending kind in message" true
+    (contains ~sub:"torn-write" (err "wqe-drop:p=0.1;torn-write:p=0.2;torn-write:p=0.3"));
+  check_bool "parse_exn raises on duplicates" true
+    (raises_invalid (fun () -> Fault_spec.parse_exn "stale-read:p=0.1;stale-read:p=0.1")
+    <> None);
+  (* Scheduled kinds may repeat: two crashes, two flaps. *)
+  check_bool "repeated node-crash accepted" true
+    (match Fault_spec.parse "node-crash@1ms:id=0;node-crash@2ms:id=1" with
+    | Ok [ _; _ ] -> true
+    | _ -> false);
+  check_bool "repeated link-flap accepted" true
+    (match Fault_spec.parse "link-flap@1ms:dur=1us;link-flap@2ms:dur=2us" with
+    | Ok [ _; _ ] -> true
+    | _ -> false)
+
+(* Random well-formed plans survive a print/parse round trip.  The
+   generator respects the grammar's shape: each probabilistic kind at
+   most once (crashes and flaps may repeat), probabilities drawn as
+   k/1000 so ["%g"] reprints them exactly, and times as positive ns
+   (any positive int round-trips through the unit-suffix printer). *)
+let plan_gen =
+  let open QCheck.Gen in
+  let prob = map (fun k -> float_of_int k /. 1000.) (int_range 1 999) in
+  let time = int_range 1 5_000_000 in
+  let crashes =
+    list_size (int_range 0 2)
+      (map2 (fun at_ns id -> Fault_spec.Node_crash { at_ns; id }) time (int_range 0 7))
+  in
+  let flaps =
+    list_size (int_range 0 2)
+      (map2 (fun at_ns dur_ns -> Fault_spec.Link_flap { at_ns; dur_ns }) time time)
+  in
+  let maybe g = map (function Some c -> [ c ] | None -> []) (opt g) in
+  let p1 mk = maybe (map mk prob) in
+  map List.concat
+    (flatten_l
+       [
+         crashes;
+         flaps;
+         p1 (fun p -> Fault_spec.Rpc_timeout { p });
+         p1 (fun p -> Fault_spec.Wqe_drop { p });
+         maybe
+           (map2
+              (fun p delay_ns -> Fault_spec.Wqe_delay { p; delay_ns })
+              prob time);
+         p1 (fun p -> Fault_spec.Bit_flip { p });
+         p1 (fun p -> Fault_spec.Torn_write { p });
+         p1 (fun p -> Fault_spec.Stale_read { p });
+         p1 (fun p -> Fault_spec.Dup_deliver { p });
+       ])
+
+let prop_spec_roundtrip =
+  QCheck.Test.make ~name:"fault plans round-trip through to_string/parse"
+    ~count:200
+    (QCheck.make ~print:Fault_spec.to_string plan_gen)
+    (fun plan -> Fault_spec.parse_exn (Fault_spec.to_string plan) = plan)
 
 (* ------------------------------------------------------------------ *)
 (* Injector determinism and scheduling *)
@@ -214,6 +280,43 @@ let test_rpc_timeout_exhausted () =
       check_int "attempts" 3 attempts;
       check_int "handler never ran" 0 !ran
 
+let test_rpc_surfaces_transport_death () =
+  (* When the request send itself dies (QP out of retransmissions), the
+     retry wrapper must surface that underlying exception at exhaustion,
+     not mask it as Timeout_exhausted. *)
+  let rpc =
+    Rpc.create ~retry_limit:1
+      ~inject:(fun () -> Some `Drop)
+      ~clock:(Clock.create ()) ~nic:(Nic.create ()) ()
+  in
+  let ran = ref 0 in
+  match Rpc.call rpc ~request_bytes:8 ~response_bytes:8 (fun () -> incr ran) () with
+  | () -> Alcotest.fail "expected Retry_exhausted"
+  | exception Qp.Retry_exhausted _ ->
+      check_int "handler never ran" 0 !ran;
+      check_int "send failures counted as timeouts" 2 (Rpc.timeouts rpc);
+      check_int "one resend before giving up" 1 (Rpc.retries rpc)
+  | exception e ->
+      Alcotest.failf "underlying exception masked: got %s" (Printexc.to_string e)
+
+let test_rpc_handler_exception_no_retry () =
+  (* A handler exception means the handler has executed; retrying would
+     break exactly-once, so it propagates immediately and untouched. *)
+  let rpc = Rpc.create ~clock:(Clock.create ()) ~nic:(Nic.create ()) () in
+  let ran = ref 0 in
+  (match
+     Rpc.call rpc ~request_bytes:8 ~response_bytes:8
+       (fun () ->
+         incr ran;
+         failwith "handler blew up")
+       ()
+   with
+  | () -> Alcotest.fail "expected handler exception"
+  | exception Failure msg -> check_string "original exception" "handler blew up" msg);
+  check_int "handler ran exactly once" 1 !ran;
+  check_int "no retries on handler failure" 0 (Rpc.retries rpc);
+  check_int "no timeouts on handler failure" 0 (Rpc.timeouts rpc)
+
 (* ------------------------------------------------------------------ *)
 (* Fail-stop memory nodes *)
 
@@ -235,7 +338,7 @@ let test_memory_node_crash () =
   check_bool "receive_log raises" true
     (crashed (fun () ->
          Memory_node.receive_log n
-           [ { Memory_node.addr = 0; data = String.make 64 'a' } ]))
+           [ Memory_node.entry ~addr:0 ~data:(String.make 64 'a') ]))
 
 (* ------------------------------------------------------------------ *)
 (* Rack controller: descriptive errors, replace, crash-aware allocation *)
@@ -489,6 +592,9 @@ let () =
           Alcotest.test_case "parse" `Quick test_spec_parse;
           Alcotest.test_case "round-trip" `Quick test_spec_roundtrip;
           Alcotest.test_case "errors" `Quick test_spec_errors;
+          Alcotest.test_case "duplicate kinds rejected" `Quick
+            test_spec_duplicate_kinds;
+          QCheck_alcotest.to_alcotest ~long:false prop_spec_roundtrip;
         ] );
       ( "injector",
         [
@@ -508,6 +614,10 @@ let () =
         [
           Alcotest.test_case "retry" `Quick test_rpc_retry;
           Alcotest.test_case "timeout exhausted" `Quick test_rpc_timeout_exhausted;
+          Alcotest.test_case "transport death surfaces" `Quick
+            test_rpc_surfaces_transport_death;
+          Alcotest.test_case "handler exception not retried" `Quick
+            test_rpc_handler_exception_no_retry;
         ] );
       ( "memory-node",
         [ Alcotest.test_case "fail-stop" `Quick test_memory_node_crash ] );
