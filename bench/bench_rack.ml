@@ -1,0 +1,138 @@
+(* Multi-tenant rack: fairness and contention sweep (lib/rack).
+
+   Two tenants with different access patterns (Redis-Rand vs PageRank)
+   share the rack's memory nodes.  Two sweeps:
+
+   - fairness: hold the link rate at saturation and sweep the bw-share
+     ratio; the achieved ingress-bandwidth ratio must track the weight
+     ratio (the WFQ contract);
+   - contention: hold shares at 2:1 and sweep the per-node link rate;
+     as the link speeds up, saturation — and with it total queueing —
+     falls away.
+
+   Artifact: BENCH_rack.json (one row per configuration, commit/seed
+   stamped by Report). *)
+
+module Rack = Kona_rack.Rack
+module Workloads = Kona_workloads.Workloads
+module Snapshot = Kona_telemetry.Snapshot
+module Histogram = Kona_util.Histogram
+module Json = Kona_telemetry.Json
+
+let artifact = "BENCH_rack.json"
+let seed = 42
+
+let tenants ~shares:(s0, s1) =
+  [
+    {
+      Rack.name = "t0-kv-uniform";
+      workload = "kv-uniform";
+      bw_share = s0;
+      mem_quota = None;
+      seed;
+    };
+    {
+      Rack.name = "t1-page-rank";
+      workload = "page-rank";
+      bw_share = s1;
+      mem_quota = None;
+      seed = seed + 1;
+    };
+  ]
+
+let fetch_pct (t : Rack.tenant_result) ~index p =
+  match
+    Snapshot.find t.Rack.t_snapshot
+      (Printf.sprintf "tenant.%d.fetch.latency_ns" index)
+  with
+  | Some (Snapshot.Hist h) when Histogram.count h > 0 ->
+      Histogram.percentile h p
+  | _ -> 0
+
+let row ~label ~gbps ~shares:(s0, s1) ~scale =
+  let cfg =
+    { Rack.default_config with Rack.scale; node_gbps = gbps }
+  in
+  let r = Rack.run cfg (tenants ~shares:(s0, s1)) in
+  let t0 = r.Rack.r_tenants.(0) and t1 = r.Rack.r_tenants.(1) in
+  let ratio =
+    if t1.Rack.t_achieved_gbps > 0.0 then
+      t0.Rack.t_achieved_gbps /. t1.Rack.t_achieved_gbps
+    else 0.0
+  in
+  Report.json_line
+    [
+      ("kind", Json.String "rack-config");
+      ("label", Json.String label);
+      ("node_gbps", Json.Float gbps);
+      ("share0", Json.Int s0);
+      ("share1", Json.Int s1);
+      ("achieved0_gbps", Json.Float t0.Rack.t_achieved_gbps);
+      ("achieved1_gbps", Json.Float t1.Rack.t_achieved_gbps);
+      ("achieved_ratio", Json.Float ratio);
+      ("delay0_ns", Json.Int t0.Rack.t_delay_ns);
+      ("delay1_ns", Json.Int t1.Rack.t_delay_ns);
+      ("fetch_p50_0_ns", Json.Int (fetch_pct t0 ~index:0 50.));
+      ("fetch_p99_0_ns", Json.Int (fetch_pct t0 ~index:0 99.));
+      ("fetch_p50_1_ns", Json.Int (fetch_pct t1 ~index:1 50.));
+      ("fetch_p99_1_ns", Json.Int (fetch_pct t1 ~index:1 99.));
+      ("saturated_admits", Json.Int r.Rack.r_saturated_admits);
+      ("total_admits", Json.Int r.Rack.r_total_admits);
+      ("invalidations", Json.Int r.Rack.r_invalidations_sent);
+      ("mismatches0", Json.Int t0.Rack.t_mismatches);
+      ("mismatches1", Json.Int t1.Rack.t_mismatches);
+    ];
+  [
+    label;
+    Printf.sprintf "%d:%d" s0 s1;
+    Report.f2 gbps;
+    Report.f2 t0.Rack.t_achieved_gbps;
+    Report.f2 t1.Rack.t_achieved_gbps;
+    Report.f2 ratio;
+    Report.ns t0.Rack.t_delay_ns;
+    Report.ns t1.Rack.t_delay_ns;
+    Report.ns (fetch_pct t0 ~index:0 99.);
+    Report.ns (fetch_pct t1 ~index:1 99.);
+    string_of_int r.Rack.r_invalidations_sent;
+  ]
+
+let run ~scale () =
+  Report.set_seed seed;
+  Report.with_artifact ~path:artifact
+    ~meta:
+      [
+        ("experiment", Json.String "rack");
+        ( "scale",
+          Json.String
+            (match scale with Workloads.Smoke -> "smoke" | Workloads.Full -> "full")
+        );
+      ]
+    (fun () ->
+      Report.section "rack: weighted-fair bandwidth under multi-tenancy";
+      Report.note
+        "two tenants (Redis-Rand vs PageRank) share 2 memory nodes; achieved \
+         = contended-interval ingress bandwidth";
+      let header =
+        [
+          "config"; "shares"; "Gbit/s"; "bw0"; "bw1"; "ratio"; "queued0";
+          "queued1"; "fetch-p99-0"; "fetch-p99-1"; "inval";
+        ]
+      in
+      let fairness =
+        List.map
+          (fun (s0, s1) ->
+            row
+              ~label:(Printf.sprintf "fair-%d:%d" s0 s1)
+              ~gbps:1.0 ~shares:(s0, s1) ~scale)
+          [ (1, 1); (2, 1); (4, 1) ]
+      in
+      let contention =
+        List.map
+          (fun gbps ->
+            row
+              ~label:(Printf.sprintf "link-%.0fG" gbps)
+              ~gbps ~shares:(2, 1) ~scale)
+          [ 0.5; 2.0; 8.0 ]
+      in
+      Report.table ~header (fairness @ contention);
+      Report.note "artifact: %s" artifact)

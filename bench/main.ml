@@ -25,7 +25,7 @@ module Snapshot = Kona_telemetry.Snapshot
 
 let all_ids =
   [ "table2"; "fig2"; "fig7"; "fig8"; "fig9"; "fig11"; "sec61"; "ablate"; "system";
-    "faults"; "integrity"; "micro" ]
+    "faults"; "integrity"; "rack"; "micro" ]
 
 let artifact_path = "BENCH_telemetry.json"
 
@@ -121,6 +121,7 @@ let () =
     | "system" -> Bench_system.run ~scale ()
     | "faults" -> Bench_faults.run ()
     | "integrity" -> Bench_integrity.run ()
+    | "rack" -> Bench_rack.run ~scale ()
     | "micro" -> Bench_micro.run ()
     | _ -> assert false
   in

@@ -6,6 +6,72 @@ module Json = Kona_telemetry.Json
 let json_out : out_channel option ref = ref None
 let current_section = ref ""
 
+(* Provenance stamp: every artifact header records the git commit it was
+   produced from and the workload seed in effect, so a BENCH_*.json found
+   in CI storage is traceable to an exact tree + run.  Resolved with plain
+   Stdlib IO (bench does not link unix): follow .git/HEAD to the ref file
+   or packed-refs. *)
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+let git_commit =
+  lazy
+    (let rec find_git dir depth =
+       let candidate = Filename.concat dir ".git" in
+       if Sys.file_exists candidate && Sys.is_directory candidate then
+         Some candidate
+       else if depth >= 6 then None
+       else find_git (Filename.concat dir Filename.parent_dir_name) (depth + 1)
+     in
+     let resolve git_dir =
+       match read_file (Filename.concat git_dir "HEAD") with
+       | None -> None
+       | Some head -> (
+           let head = String.trim head in
+           match String.length head >= 5 && String.sub head 0 5 = "ref: " with
+           | false -> Some head (* detached HEAD: a bare hash *)
+           | true -> (
+               let refname =
+                 String.trim (String.sub head 5 (String.length head - 5))
+               in
+               match read_file (Filename.concat git_dir refname) with
+               | Some hash -> Some (String.trim hash)
+               | None -> (
+                   (* ref packed away: scan packed-refs for "<hash> <ref>" *)
+                   match read_file (Filename.concat git_dir "packed-refs") with
+                   | None -> None
+                   | Some packed ->
+                       String.split_on_char '\n' packed
+                       |> List.find_map (fun line ->
+                              match String.index_opt line ' ' with
+                              | Some i
+                                when String.sub line (i + 1)
+                                       (String.length line - i - 1)
+                                     = refname ->
+                                  Some (String.sub line 0 i)
+                              | _ -> None))))
+     in
+     match find_git (Sys.getcwd ()) 0 with
+     | None -> "unknown"
+     | Some git_dir -> (
+         match resolve git_dir with Some h -> h | None -> "unknown"))
+
+let seed = ref 42
+let set_seed s = seed := s
+
+let stamp meta =
+  let with_default key value meta =
+    if List.mem_assoc key meta then meta else (key, value) :: meta
+  in
+  meta
+  |> with_default "commit" (Json.String (Lazy.force git_commit))
+  |> with_default "seed" (Json.Int !seed)
+
 let json_line fields =
   match !json_out with
   | None -> ()
@@ -22,7 +88,7 @@ let open_json ~path ?(meta = []) () =
   let oc = open_out path in
   json_out := Some oc;
   current_section := "";
-  json_line (("schema", Json.String "kona.bench.v1") :: meta)
+  json_line (("schema", Json.String "kona.bench.v1") :: stamp meta)
 
 let close_json () =
   match !json_out with
@@ -36,7 +102,7 @@ let with_artifact ~path ?(meta = []) f =
   let oc = open_out path in
   json_out := Some oc;
   current_section := "";
-  json_line (("schema", Json.String "kona.bench.v1") :: meta);
+  json_line (("schema", Json.String "kona.bench.v1") :: stamp meta);
   Fun.protect
     ~finally:(fun () ->
       close_out_noerr oc;

@@ -8,7 +8,17 @@
 val open_json :
   path:string -> ?meta:(string * Kona_telemetry.Json.t) list -> unit -> unit
 (** Start the artifact; writes a header line [{"schema":"kona.bench.v1",
-    ...meta}].  Without an open artifact [json_line] is a no-op. *)
+    ...meta}].  Without an open artifact [json_line] is a no-op.
+
+    Every header is stamped with provenance: a ["commit"] field holding
+    the git commit hash the bench was built from (resolved by following
+    [.git/HEAD]; ["unknown"] outside a checkout) and a ["seed"] field
+    holding the seed set via {!set_seed} — unless the caller's [meta]
+    already supplies those keys. *)
+
+val set_seed : int -> unit
+(** Record the workload seed stamped into subsequent artifact headers
+    (default 42, the bench suite's convention). *)
 
 val close_json : unit -> unit
 

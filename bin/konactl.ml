@@ -553,6 +553,186 @@ let cmd_soak workload episodes master_seed scrub_interval repro_check
   end
 
 (* ------------------------------------------------------------------ *)
+(* Multi-tenant rack: N tenant runtimes interleaved over shared memory
+   nodes with WFQ'd ingress bandwidth, per-tenant quotas and a
+   cross-tenant shared segment (see lib/rack). *)
+
+module Rack = Kona_rack.Rack
+
+let parse_list ~what ~parse s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+  |> List.map (fun x ->
+         try parse x
+         with _ ->
+           Fmt.epr "bad %s element %S@." what x;
+           exit 1)
+
+let nth_cyclic l i default =
+  match l with [] -> default | _ -> List.nth l (i mod List.length l)
+
+let cmd_rack tenants_n workloads bw_shares mem_quotas nodes node_gbps
+    shared_pages shared_ops quantum replicas fault_spec fault_seed seed full
+    metrics_json repro_check =
+  if tenants_n < 1 then begin
+    Fmt.epr "--tenants must be >= 1@.";
+    exit 1
+  end;
+  let scale = scale_of full in
+  let slugs = parse_list ~what:"workload" ~parse:(fun x -> x) workloads in
+  let shares = parse_list ~what:"--bw-share" ~parse:int_of_string bw_shares in
+  let quotas =
+    match mem_quotas with
+    | None -> []
+    | Some s -> parse_list ~what:"--mem-quota" ~parse:int_of_string s
+  in
+  let tenant_cfgs =
+    List.init tenants_n (fun i ->
+        let slug = nth_cyclic slugs i "kv-uniform" in
+        {
+          Rack.name = Printf.sprintf "t%d-%s" i slug;
+          workload = slug;
+          bw_share = nth_cyclic shares i 1;
+          mem_quota =
+            (match nth_cyclic quotas i 0 with 0 -> None | b -> Some b);
+          seed = seed + i;
+        })
+  in
+  let cfg =
+    {
+      Rack.default_config with
+      Rack.scale;
+      nodes;
+      node_gbps;
+      replicas;
+      faults = parse_fault_spec fault_spec;
+      fault_seed;
+      shared_pages;
+      shared_ops;
+      quantum;
+    }
+  in
+  match Rack.run cfg tenant_cfgs with
+  | exception Invalid_argument msg ->
+      Fmt.epr "%s (try 'konactl workloads')@." msg;
+      1
+  | exception Rack_controller.Quota_exceeded q ->
+      Fmt.epr
+        "quota exceeded: tenant %s requested %a with %a of its %a cap used@."
+        q.tenant Units.pp_bytes q.requested Units.pp_bytes q.used
+        Units.pp_bytes q.quota;
+      3
+  | r ->
+      Fmt.pr "rack: %d tenant(s), %d node(s) @ %.2f Gbit/s ingress, %s, %a@."
+        tenants_n nodes node_gbps (scale_name full) Units.pp_ns r.Rack.r_elapsed_ns;
+      Array.iter
+        (fun (t : Rack.tenant_result) ->
+          Fmt.pr
+            "  %-22s share %d  %a  %d accesses  %a admitted  achieved %.3f \
+             Gbit/s  queued %a  inval %d@."
+            t.Rack.t_cfg.Rack.name t.Rack.t_cfg.Rack.bw_share Units.pp_ns
+            t.Rack.t_elapsed_ns t.Rack.t_accesses Units.pp_bytes
+            t.Rack.t_admitted_bytes t.Rack.t_achieved_gbps Units.pp_ns
+            t.Rack.t_delay_ns t.Rack.t_invalidations)
+        r.Rack.r_tenants;
+      Fmt.pr
+        "contention: %d/%d admits saturated; shared segment: %d writes, %d \
+         reads, %d snoops, %d invalidations@."
+        r.Rack.r_saturated_admits r.Rack.r_total_admits r.Rack.r_shared_writes
+        r.Rack.r_shared_reads r.Rack.r_snoops r.Rack.r_invalidations_sent;
+      if r.Rack.r_node_crashes > 0 then
+        Fmt.pr "faults: %d node crash(es) handled@." r.Rack.r_node_crashes;
+      let mismatches = ref 0 in
+      Array.iter
+        (fun (t : Rack.tenant_result) ->
+          mismatches := !mismatches + t.Rack.t_mismatches;
+          if t.Rack.t_mismatches > 0 then
+            Fmt.pr "integrity: %s: %d PAGES DIVERGED@." t.Rack.t_cfg.Rack.name
+              t.Rack.t_mismatches;
+          if t.Rack.t_lost_pages > 0 then
+            Fmt.pr "integrity: %s: %d page(s) unreachable on crashed nodes@."
+              t.Rack.t_cfg.Rack.name t.Rack.t_lost_pages;
+          match t.Rack.t_degraded with
+          | Some reason -> Fmt.pr "degraded: %s: %s@." t.Rack.t_cfg.Rack.name reason
+          | None -> ())
+        r.Rack.r_tenants;
+      if !mismatches = 0 then
+        Fmt.pr "integrity: remote memory matches every tenant's view@.";
+      let repro_failed = ref false in
+      if repro_check then begin
+        let r2 = Rack.run cfg tenant_cfgs in
+        let same =
+          Array.for_all2
+            (fun (a : Rack.tenant_result) (b : Rack.tenant_result) ->
+              a.Rack.t_fingerprint = b.Rack.t_fingerprint)
+            r.Rack.r_tenants r2.Rack.r_tenants
+        in
+        if same then
+          Fmt.pr "repro: per-tenant counters bit-identical across re-run@."
+        else begin
+          repro_failed := true;
+          Fmt.pr "repro: FAIL: re-run changed per-tenant counters@."
+        end
+      end;
+      (match metrics_json with
+      | None -> ()
+      | Some path ->
+          let tenant_doc (t : Rack.tenant_result) =
+            Json.Obj
+              [
+                ("name", Json.String t.Rack.t_cfg.Rack.name);
+                ("workload", Json.String t.Rack.t_cfg.Rack.workload);
+                ("bw_share", Json.Int t.Rack.t_cfg.Rack.bw_share);
+                ( "mem_quota",
+                  match t.Rack.t_cfg.Rack.mem_quota with
+                  | Some b -> Json.Int b
+                  | None -> Json.Null );
+                ("seed", Json.Int t.Rack.t_cfg.Rack.seed);
+                ("accesses", Json.Int t.Rack.t_accesses);
+                ("elapsed_ns", Json.Int t.Rack.t_elapsed_ns);
+                ("admitted_bytes", Json.Int t.Rack.t_admitted_bytes);
+                ("contended_bytes", Json.Int t.Rack.t_contended_bytes);
+                ("delay_ns", Json.Int t.Rack.t_delay_ns);
+                ("achieved_gbps", Json.Float t.Rack.t_achieved_gbps);
+                ("invalidations", Json.Int t.Rack.t_invalidations);
+                ("mismatches", Json.Int t.Rack.t_mismatches);
+                ( "degraded",
+                  match t.Rack.t_degraded with
+                  | Some s -> Json.String s
+                  | None -> Json.Null );
+              ]
+          in
+          let doc =
+            Json.Obj
+              [
+                ("schema", Json.String "kona.rack.v1");
+                ("scale", Json.String (scale_name full));
+                ("seed", Json.Int seed);
+                ("nodes", Json.Int nodes);
+                ("node_gbps", Json.Float node_gbps);
+                ("total_admits", Json.Int r.Rack.r_total_admits);
+                ("saturated_admits", Json.Int r.Rack.r_saturated_admits);
+                ("snoops", Json.Int r.Rack.r_snoops);
+                ("invalidations_sent", Json.Int r.Rack.r_invalidations_sent);
+                ( "tenants",
+                  Json.List (Array.to_list (Array.map tenant_doc r.Rack.r_tenants)) );
+                ("metrics", Snapshot.to_json r.Rack.r_snapshot);
+              ]
+          in
+          let oc = open_out path in
+          output_string oc (Json.to_string doc);
+          output_char oc '\n';
+          close_out oc;
+          Fmt.pr "metrics: wrote %s@." path);
+      if !mismatches > 0 || !repro_failed then 1
+      else if
+        Array.exists
+          (fun (t : Rack.tenant_result) -> t.Rack.t_degraded <> None)
+          r.Rack.r_tenants
+      then 2
+      else 0
+
+(* ------------------------------------------------------------------ *)
 
 let cmd_record workload out seed full =
   let scale = scale_of full in
@@ -735,6 +915,72 @@ let in_path =
 let quantum =
   Arg.(value & opt int 20_000 & info [ "quantum" ] ~doc:"window size in accesses")
 
+let rack_tenants =
+  Arg.(value & opt int 2 & info [ "tenants" ] ~doc:"number of tenant runtimes")
+
+let rack_workloads =
+  Arg.(
+    value
+    & opt string "kv-uniform,page-rank"
+    & info [ "w"; "workloads" ]
+        ~doc:
+          "comma-separated workload slugs, assigned round-robin to tenants \
+           (see 'konactl workloads')")
+
+let rack_bw_shares =
+  Arg.(
+    value & opt string "1"
+    & info [ "bw-share" ]
+        ~doc:
+          "comma-separated WFQ weights, assigned round-robin: tenant i gets \
+           share_i of every saturated node's ingress bandwidth")
+
+let rack_mem_quotas =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "mem-quota" ]
+        ~doc:
+          "comma-separated per-tenant slab-allocation caps in bytes (0 = \
+           unmetered); exceeding a cap fails with the named Quota_exceeded \
+           error (exit 3)")
+
+let rack_nodes =
+  Arg.(value & opt int 2 & info [ "nodes" ] ~doc:"memory nodes in the rack")
+
+let rack_node_gbps =
+  Arg.(
+    value & opt float 1.0
+    & info [ "node-gbps" ]
+        ~doc:"per-node ingress link rate in Gbit/s (WFQ wire time)")
+
+let rack_shared_pages =
+  Arg.(
+    value & opt int 64
+    & info [ "shared-pages" ]
+        ~doc:"pages in tenant 0's published read-mostly segment (0 = off)")
+
+let rack_shared_ops =
+  Arg.(
+    value & opt int 256
+    & info [ "shared-ops" ]
+        ~doc:
+          "synthetic shared-segment ops woven into each tenant's replay \
+           (tenant 0 writes, the rest read)")
+
+let rack_quantum =
+  Arg.(
+    value & opt int 256
+    & info [ "quantum" ] ~doc:"accesses per tenant scheduling slice")
+
+let rack_repro_check =
+  Arg.(
+    value & flag
+    & info [ "repro-check" ]
+        ~doc:
+          "run the rack twice with the same seeds and fail unless every \
+           tenant's counter snapshot is bit-identical")
+
 let cmds =
   [
     Cmd.v (Cmd.info "workloads" ~doc:"list Table 2 workloads")
@@ -759,6 +1005,17 @@ let cmds =
         $ prefetch $ sq_depth $ signal_interval $ fault_spec $ fault_seed
         $ check_replicas $ scrub_interval_opt $ verify_checksums $ seed
         $ metrics_json $ trace_out $ full);
+    Cmd.v
+      (Cmd.info "rack"
+         ~doc:
+           "multi-tenant rack simulation: interleave N tenant runtimes over \
+            shared memory nodes with weighted-fair ingress bandwidth, \
+            per-tenant memory quotas and a cross-tenant shared segment")
+      Term.(
+        const cmd_rack $ rack_tenants $ rack_workloads $ rack_bw_shares
+        $ rack_mem_quotas $ rack_nodes $ rack_node_gbps $ rack_shared_pages
+        $ rack_shared_ops $ rack_quantum $ replicas $ fault_spec $ fault_seed
+        $ seed $ full $ metrics_json $ rack_repro_check);
     Cmd.v
       (Cmd.info "soak"
          ~doc:

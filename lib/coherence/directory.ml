@@ -2,16 +2,25 @@ type state = Invalid | Shared | Modified
 
 type t = {
   lines : (int, state) Hashtbl.t; (* absent = Invalid *)
+  sharers : (int, int list) Hashtbl.t; (* absent = no tracked sharers *)
   mutable fills : int;
   mutable writebacks : int;
+  mutable snoops : int;
 }
 
-let create () = { lines = Hashtbl.create 4096; fills = 0; writebacks = 0 }
+let create () =
+  {
+    lines = Hashtbl.create 4096;
+    sharers = Hashtbl.create 64;
+    fills = 0;
+    writebacks = 0;
+    snoops = 0;
+  }
 
 let state t ~line =
   match Hashtbl.find_opt t.lines line with Some s -> s | None -> Invalid
 
-let on_fill t ~line ~write =
+let on_fill ?sharer t ~line ~write =
   t.fills <- t.fills + 1;
   let next =
     match (state t ~line, write) with
@@ -19,17 +28,40 @@ let on_fill t ~line ~write =
     | Modified, false -> Modified (* already writable; read refill keeps it *)
     | (Invalid | Shared), false -> Shared
   in
-  Hashtbl.replace t.lines line next
+  Hashtbl.replace t.lines line next;
+  match sharer with
+  | None -> ()
+  | Some s ->
+      let cur =
+        match Hashtbl.find_opt t.sharers line with Some l -> l | None -> []
+      in
+      if not (List.mem s cur) then Hashtbl.replace t.sharers line (s :: cur)
 
 let on_writeback t ~line =
   t.writebacks <- t.writebacks + 1;
-  Hashtbl.remove t.lines line
+  Hashtbl.remove t.lines line;
+  Hashtbl.remove t.sharers line
 
 let snoop t ~line =
+  t.snoops <- t.snoops + 1;
   let result = match state t ~line with Modified -> `Dirty | Shared | Invalid -> `Clean in
   Hashtbl.remove t.lines line;
+  Hashtbl.remove t.sharers line;
   result
+
+let sharers t ~line =
+  match Hashtbl.find_opt t.sharers line with
+  | None -> []
+  | Some l -> List.sort compare l
+
+let snoop_sharers t ~line =
+  t.snoops <- t.snoops + 1;
+  let who = sharers t ~line in
+  Hashtbl.remove t.lines line;
+  Hashtbl.remove t.sharers line;
+  who
 
 let granted_lines t = Hashtbl.length t.lines
 let fills t = t.fills
 let writebacks t = t.writebacks
+let snoops t = t.snoops

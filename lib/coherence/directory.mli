@@ -22,8 +22,11 @@ val create : unit -> t
 val state : t -> line:int -> state
 (** [line] is a global cache-line index (byte address / 64). *)
 
-val on_fill : t -> line:int -> write:bool -> unit
-(** The CPU requested the line from VFMem. *)
+val on_fill : ?sharer:int -> t -> line:int -> write:bool -> unit
+(** The CPU requested the line from VFMem.  When the directory mediates a
+    rack-level shared segment, [sharer] identifies which tenant took the
+    copy; the set of sharers per line is tracked so a writer's eviction can
+    recall every remote reader ([snoop_sharers]). *)
 
 val on_writeback : t -> line:int -> unit
 (** A modified line reached the agent; the CPU no longer holds it. *)
@@ -33,8 +36,20 @@ val snoop : t -> line:int -> [ `Clean | `Dirty ]
     granted write permission (the CPU's copy may contain new data that the
     snoop response carries). *)
 
+val sharers : t -> line:int -> int list
+(** Tenants currently holding a tracked copy of [line], sorted ascending.
+    Non-destructive. *)
+
+val snoop_sharers : t -> line:int -> int list
+(** Recall the line from every tracked sharer: returns the sorted sharer
+    list, then forgets both the line state and its sharers.  Counts as one
+    snoop. *)
+
 val granted_lines : t -> int
 (** Lines currently believed to be at the CPU. *)
 
 val fills : t -> int
 val writebacks : t -> int
+
+val snoops : t -> int
+(** Recalls issued ([snoop] + [snoop_sharers]). *)

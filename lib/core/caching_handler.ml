@@ -16,6 +16,7 @@ type t = {
   prefetched : (int, unit) Hashtbl.t; (* prefetched, not yet demanded *)
   on_victim : vpage:int -> dirty:Bitmap.t -> unit;
   mutable on_fetch_verify : (vpage:int -> unit) option;
+  mutable on_fetch : (vpage:int -> unit) option;
   mutable fmem_hits : int;
   mutable fmem_misses : int;
   mutable pages_fetched : int;
@@ -53,6 +54,7 @@ let create ~cost ?(fetch_block = Units.page_size) ?mce_threshold_ns ?prefetch_qp
       prefetched = Hashtbl.create 64;
       on_victim;
       on_fetch_verify = None;
+      on_fetch = None;
       fmem_hits = 0;
       fmem_misses = 0;
       pages_fetched = 0;
@@ -68,9 +70,13 @@ let create ~cost ?(fetch_block = Units.page_size) ?mce_threshold_ns ?prefetch_qp
         if not (Fmem.lookup t.fmem ~vpage) then begin
           Resource_manager.ensure_backed t.rm ~addr:(vpage * Units.page_size)
             ~len:Units.page_size;
+          let node =
+            Option.map fst
+              (Resource_manager.translate t.rm ~vaddr:(vpage * Units.page_size))
+          in
           (* Asynchronous: posted on the background queue pair; the demand
              stream never waits for it. *)
-          Qp.post qp [ Qp.wqe Qp.Read ~len:Units.page_size ];
+          Qp.post qp [ Qp.wqe ?node Qp.Read ~len:Units.page_size ];
           t.bytes_fetched <- t.bytes_fetched + Units.page_size;
           Hashtbl.replace t.prefetched vpage ();
           match Fmem.insert t.fmem ~vpage with
@@ -89,8 +95,12 @@ let fetch_page t ~vpage =
      Data is already locally visible in our emulation (the application heap
      is the single store), so only timing and accounting flow here. *)
   Resource_manager.ensure_backed t.rm ~addr:(vpage * Units.page_size) ~len:Units.page_size;
+  let node =
+    Option.map fst
+      (Resource_manager.translate t.rm ~vaddr:(vpage * Units.page_size))
+  in
   let before = Clock.now (app_clock t) in
-  let wqe = Qp.wqe ~signaled:true Qp.Read ~len:Units.page_size in
+  let wqe = Qp.wqe ~signaled:true ?node Qp.Read ~len:Units.page_size in
   Qp.post t.fetch_qp [ wqe ];
   Qp.wait_idle t.fetch_qp;
   let wait_ns = Clock.now (app_clock t) - before in
@@ -115,11 +125,13 @@ let fetch_page t ~vpage =
   (* Integrity hook: stale-read detection and on-fetch checksum
      verification run against the remote image the fetch just read. *)
   (match t.on_fetch_verify with Some f -> f ~vpage | None -> ());
+  (match t.on_fetch with Some f -> f ~vpage | None -> ());
   match Fmem.insert t.fmem ~vpage with
   | None -> ()
   | Some victim -> note_victim t victim
 
 let set_on_fetch_verify t f = t.on_fetch_verify <- Some f
+let set_on_fetch t f = t.on_fetch <- Some f
 
 let on_fill t ~addr =
   let vpage = Units.page_of_addr addr in

@@ -53,6 +53,11 @@ val set_on_fetch_verify : t -> (vpage:int -> unit) -> unit
     detection and on-fetch checksum verification of the remote page the
     fetch just read. *)
 
+val set_on_fetch : t -> (vpage:int -> unit) -> unit
+(** Install an observation hook run after every synchronous demand fetch,
+    after verification: the rack layer uses it to register shared-segment
+    sharers with the rack-level directory. *)
+
 val fmem_hits : t -> int
 val fmem_misses : t -> int
 val pages_fetched : t -> int

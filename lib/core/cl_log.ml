@@ -11,6 +11,7 @@ type t = {
   capacity : int;
   qp : Qp.t;
   cost : Cost.t;
+  stream_base : int; (* tenant offset for sequencer streams (stream_base + node) *)
   resolve : node:int -> Memory_node.t;
   extra_targets : node:int -> Memory_node.t list;
   tracer : Tracer.t option;
@@ -42,13 +43,15 @@ type t = {
   mutable ack_ns : int;
 }
 
-let create ?(capacity = 512) ?(extra_targets = fun ~node:_ -> []) ?tracer ~qp ~cost
-    ~resolve () =
+let create ?(capacity = 512) ?(stream_base = 0)
+    ?(extra_targets = fun ~node:_ -> []) ?tracer ~qp ~cost ~resolve () =
   assert (capacity > 0);
+  assert (stream_base >= 0);
   {
     capacity;
     qp;
     cost;
+    stream_base;
     resolve;
     extra_targets;
     tracer;
@@ -178,11 +181,16 @@ let take_node_wqes t node =
                 ]
         | None -> ());
         let lines = lines_of entries in
+        (* Streams are namespaced per tenant (stream_base + node): two
+           tenants shipping to one node must not interleave one sequence
+           space, or the receiver's gap/duplicate verdicts would fire on
+           perfectly ordered cross-tenant traffic. *)
+        let stream = t.stream_base + node in
         let delivery =
           {
-            Memory_node.stream = node;
+            Memory_node.stream;
             epoch = Sequencer.Tx.epoch t.seq_tx;
-            seq = Sequencer.Tx.next t.seq_tx ~stream:node;
+            seq = Sequencer.Tx.next t.seq_tx ~stream;
           }
         in
         let fault =
@@ -230,7 +238,7 @@ let take_node_wqes t node =
               ~deliver:
                 (deliver t ~node ~target ~entries:entries_i ~delivery ~lines
                    ~flip:flip_i)
-              Qp.Write ~len:wire)
+              ~node Qp.Write ~len:wire)
           targets
   in
   let dup_wqes =
@@ -249,7 +257,7 @@ let take_node_wqes t node =
               ~deliver:
                 (deliver t ~node ~target ~entries ~delivery
                    ~lines:(lines_of entries) ~flip:None)
-              Qp.Write ~len:wire)
+              ~node Qp.Write ~len:wire)
           dups
   in
   fresh_wqes @ dup_wqes

@@ -22,6 +22,7 @@ val entry_bytes : int
 
 val create :
   ?capacity:int ->
+  ?stream_base:int ->
   ?extra_targets:(node:int -> Memory_node.t list) ->
   ?tracer:Kona_telemetry.Tracer.t ->
   qp:Kona_rdma.Qp.t ->
@@ -34,7 +35,13 @@ val create :
     supplies replica mirrors — each flush is posted to the primary and all
     mirrors in one linked batch, and the (parallel) acknowledgments are
     awaited together (§4.5).  [tracer] receives a [cllog.flush_node] event
-    per shipped batch and a [cllog.fence] span per synchronous flush. *)
+    per shipped batch and a [cllog.fence] span per synchronous flush.
+
+    [stream_base] (default 0) offsets the sequencer stream ids this log
+    stamps shipments with ([stream_base + node]): in a multi-tenant rack
+    each tenant gets a disjoint base, so the per-stream Rx sequencers at
+    shared memory nodes never see two tenants interleaved in one sequence
+    space. *)
 
 val clock : t -> Kona_util.Clock.t
 (** The background (eviction-path) clock the log charges to. *)

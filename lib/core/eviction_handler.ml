@@ -60,12 +60,13 @@ let evict t ~vpage ~dirty =
       (Bitmap.segments dirty)
   end;
   t.pages_evicted <- t.pages_evicted + 1;
-  match t.tracer with
+  (match t.tracer with
   | Some tr ->
       Tracer.span tr "evict.page"
         ~dur_ns:(Clock.now (Cl_log.clock t.log) - began)
         ~args:[ ("vpage", vpage); ("dirty_lines", dirty_count) ]
-  | None -> ()
+  | None -> ());
+  dirty_count > 0
 
 let write_line_through t ~line_addr =
   stage_run t ~run_addr:line_addr ~lines:1;

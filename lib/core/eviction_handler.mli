@@ -27,8 +27,12 @@ val create :
     [evict.page] span per victim (duration on the background clock) and an
     instant per orphan write-through. *)
 
-val evict : t -> vpage:int -> dirty:Kona_util.Bitmap.t -> unit
-(** Process one victim. *)
+val evict : t -> vpage:int -> dirty:Kona_util.Bitmap.t -> bool
+(** Process one victim.  Returns [true] when the page shipped dirty lines
+    (the frame's bitmap merged with lines snooped out of the CPU caches),
+    [false] for a silently dropped clean page — the signal the rack layer
+    uses to decide whether a shared-segment eviction must recall remote
+    readers. *)
 
 val write_line_through : t -> line_addr:int -> unit
 (** Ship one orphan line immediately (dirty-tracker race path). *)

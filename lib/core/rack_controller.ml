@@ -5,10 +5,25 @@ open Kona_util
    failover, so translations outlive the crash of the original hardware. *)
 type slot = { logical_id : int; mutable backing : Memory_node.t }
 
+exception
+  Quota_exceeded of { tenant : string; quota : int; used : int; requested : int }
+
+let () =
+  Printexc.register_printer (function
+    | Quota_exceeded { tenant; quota; used; requested } ->
+        Some
+          (Printf.sprintf
+             "Rack_controller.Quota_exceeded: tenant %S at %d/%d bytes, slab \
+              of %d rejected"
+             tenant used quota requested)
+    | _ -> None)
+
 type t = {
   slab_size : int;
   slots : slot Dynarray.t; (* registration order *)
   index : (int, int) Hashtbl.t; (* logical id -> slot position *)
+  quotas : (string, int) Hashtbl.t; (* tenant -> byte cap *)
+  used : (string, int) Hashtbl.t; (* tenant -> bytes allocated *)
   mutable next_node : int; (* round-robin cursor *)
   mutable next_slab_id : int;
 }
@@ -19,6 +34,8 @@ let create ?(slab_size = Units.mib 1) () =
     slab_size;
     slots = Dynarray.create ();
     index = Hashtbl.create 8;
+    quotas = Hashtbl.create 8;
+    used = Hashtbl.create 8;
     next_node = 0;
     next_slab_id = 0;
   }
@@ -43,10 +60,41 @@ let slot t ~id =
 let node t ~id = (slot t ~id).backing
 
 let replace_node t ~id ~node = (slot t ~id).backing <- node
+let free_bytes t ~id = Memory_node.free_bytes (slot t ~id).backing
+let used_bytes t ~id = Memory_node.used (slot t ~id).backing
 
-let allocate_slab t ~vaddr =
+let set_quota t ~tenant ~bytes =
+  if bytes < 0 then invalid_arg "Rack_controller.set_quota: negative quota";
+  Hashtbl.replace t.quotas tenant bytes
+
+let quota t ~tenant = Hashtbl.find_opt t.quotas tenant
+
+let tenant_used t ~tenant =
+  match Hashtbl.find_opt t.used tenant with Some b -> b | None -> 0
+
+(* Admission control: reject past the cap before touching any node; usage
+   is committed only once a slab is actually handed out. *)
+let admit t ~tenant =
+  match tenant with
+  | None -> ()
+  | Some tenant -> (
+      let used = tenant_used t ~tenant in
+      match Hashtbl.find_opt t.quotas tenant with
+      | Some quota when used + t.slab_size > quota ->
+          raise
+            (Quota_exceeded { tenant; quota; used; requested = t.slab_size })
+      | Some _ | None -> ())
+
+let commit t ~tenant =
+  match tenant with
+  | None -> ()
+  | Some tenant ->
+      Hashtbl.replace t.used tenant (tenant_used t ~tenant + t.slab_size)
+
+let allocate_slab ?tenant t ~vaddr =
   let n = Dynarray.length t.slots in
   if n = 0 then failwith "Rack_controller: no memory nodes registered";
+  admit t ~tenant;
   let rec try_node attempts =
     if attempts = n then raise Out_of_memory
     else begin
@@ -67,6 +115,7 @@ let allocate_slab t ~vaddr =
           }
         in
         t.next_slab_id <- t.next_slab_id + 1;
+        commit t ~tenant;
         slab
       end
       else try_node (attempts + 1)

@@ -9,6 +9,12 @@
     table is a dynarray — [register_node] and the per-slab round-robin
     probe are O(1). *)
 
+exception
+  Quota_exceeded of { tenant : string; quota : int; used : int; requested : int }
+(** Admission control rejected an allocation: [tenant] already holds
+    [used] bytes against a cap of [quota]; granting [requested] more would
+    exceed it.  Nothing is charged on rejection. *)
+
 type t
 
 val create : ?slab_size:int -> unit -> t
@@ -32,10 +38,29 @@ val replace_node : t -> id:int -> node:Memory_node.t -> unit
     mirror takes over the crashed primary's identity).  Raises
     [Invalid_argument] for unknown ids. *)
 
-val allocate_slab : t -> vaddr:int -> Slab.t
+val free_bytes : t -> id:int -> int
+(** Free bytes on the store currently backing logical node [id].  Raises
+    [Invalid_argument] for unknown ids. *)
+
+val used_bytes : t -> id:int -> int
+(** Bytes reserved on the store currently backing logical node [id]. *)
+
+val set_quota : t -> tenant:string -> bytes:int -> unit
+(** Cap [tenant]'s total slab allocation at [bytes] (rounded up only by
+    slab granularity — a slab is admitted iff it fits entirely).  Replaces
+    any previous cap.  Raises [Invalid_argument] on a negative cap. *)
+
+val quota : t -> tenant:string -> int option
+val tenant_used : t -> tenant:string -> int
+(** Bytes of slabs granted to [tenant] so far (0 for unknown tenants). *)
+
+val allocate_slab : ?tenant:string -> t -> vaddr:int -> Slab.t
 (** Allocate one slab backing the VFMem range starting at [vaddr],
     round-robin across registered nodes (skipping full or crashed ones).
-    Raises [Out_of_memory] when no live node has room. *)
+    Raises [Out_of_memory] when no live node has room.  With [tenant] set,
+    the allocation is charged against that tenant's quota and raises
+    {!Quota_exceeded} — before reserving anything — once the cap would be
+    crossed. *)
 
 val total_free : t -> int
 (** Free bytes across live nodes. *)

@@ -4,18 +4,20 @@ type t = {
   controller : Rack_controller.t;
   batch : int;
   rpc : Kona_rdma.Rpc.t option;
+  tenant : string option; (* quota identity for controller allocations *)
   (* slab-grain translation: VFMem slab index -> slab *)
   by_slab_index : (int, Slab.t) Hashtbl.t;
   mutable slab_list : Slab.t list;
   mutable round_trips : int;
 }
 
-let create ?(batch = 4) ?rpc ~controller () =
+let create ?(batch = 4) ?rpc ?tenant ~controller () =
   assert (batch > 0);
   {
     controller;
     batch;
     rpc;
+    tenant;
     by_slab_index = Hashtbl.create 64;
     slab_list = [];
     round_trips = 0;
@@ -36,7 +38,8 @@ let allocate_batch t ~first_index =
     while !allocated < t.batch do
       if not (Hashtbl.mem t.by_slab_index !index) then begin
         let slab =
-          Rack_controller.allocate_slab t.controller ~vaddr:(!index * slab_bytes t)
+          Rack_controller.allocate_slab ?tenant:t.tenant t.controller
+            ~vaddr:(!index * slab_bytes t)
         in
         Hashtbl.add t.by_slab_index !index slab;
         t.slab_list <- slab :: t.slab_list;
@@ -57,6 +60,27 @@ let ensure_backed t ~addr ~len =
   for index = first to last do
     if not (Hashtbl.mem t.by_slab_index index) then allocate_batch t ~first_index:index
   done
+
+(* Map another tenant's published slabs into this address space at [at]:
+   translation entries only, pointing at the publisher's remote locations.
+   Foreign slabs are deliberately kept out of [slab_list], so owner-only
+   sweeps ([slabs], [iter_backed_pages] — the integrity scrubber and
+   divergence oracles) never claim pages this tenant merely borrows. *)
+let map_foreign t ~at slabs =
+  if at mod slab_bytes t <> 0 then
+    invalid_arg "Resource_manager.map_foreign: unaligned map address";
+  List.iteri
+    (fun i (slab : Slab.t) ->
+      if slab.Slab.size <> slab_bytes t then
+        invalid_arg "Resource_manager.map_foreign: slab size mismatch";
+      let vaddr = at + (i * slab_bytes t) in
+      let index = slab_index t vaddr in
+      if Hashtbl.mem t.by_slab_index index then
+        invalid_arg
+          (Printf.sprintf
+             "Resource_manager.map_foreign: slab index %d already mapped" index);
+      Hashtbl.add t.by_slab_index index { slab with Slab.vaddr })
+    slabs
 
 let translate t ~vaddr =
   Option.map

@@ -9,11 +9,18 @@
 type t
 
 val create :
-  ?batch:int -> ?rpc:Kona_rdma.Rpc.t -> controller:Rack_controller.t -> unit -> t
+  ?batch:int ->
+  ?rpc:Kona_rdma.Rpc.t ->
+  ?tenant:string ->
+  controller:Rack_controller.t ->
+  unit ->
+  t
 (** [batch]: how many slabs to request per controller round-trip
     (default 4).  When [rpc] is given, each round-trip is priced as a
     two-sided exchange on that channel (request + controller service +
-    slab-list response). *)
+    slab-list response).  When [tenant] is given, every slab allocation is
+    charged against that tenant's quota at the controller
+    ({!Rack_controller.Quota_exceeded} on rejection). *)
 
 val ensure_backed : t -> addr:int -> len:int -> unit
 (** Guarantee every page of [addr, addr+len) has a backing slab, allocating
@@ -23,7 +30,19 @@ val ensure_backed : t -> addr:int -> len:int -> unit
 val translate : t -> vaddr:int -> (int * int) option
 (** [(node, remote_addr)] for a backed VFMem address. *)
 
+val map_foreign : t -> at:int -> Slab.t list -> unit
+(** Map another tenant's published slabs (in order) into this address
+    space starting at slab-aligned [at]: purely translation entries — the
+    pages stay owned and backed by the publisher.  Foreign slabs are
+    excluded from [slabs]/[iter_backed_pages], so owner-only sweeps (the
+    scrubber, divergence oracles) skip borrowed pages.  Raises
+    [Invalid_argument] on misalignment, a size mismatch, or an index that
+    is already mapped. *)
+
 val slab_of : t -> vaddr:int -> Slab.t option
+
+(** [slabs] lists what this manager allocated for its own tenant (foreign
+    mappings excluded), oldest first. *)
 val slabs : t -> Slab.t list
 val controller_round_trips : t -> int
 

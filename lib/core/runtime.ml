@@ -35,6 +35,8 @@ type config = {
   scrub_interval_ns : int option;
   scrub_budget : int;
   verify_checksums : bool;
+  tenant : string option;
+  stream_base : int;
 }
 
 let default_config =
@@ -58,6 +60,8 @@ let default_config =
     scrub_interval_ns = None;
     scrub_budget = 8;
     verify_checksums = false;
+    tenant = None;
+    stream_base = 0;
   }
 
 (* End-to-end integrity accounting: the detection side feeds from CL-log
@@ -136,6 +140,8 @@ type t = {
   mutable heap_pages_lost : int;
   mutable degraded_reason : string option;
   mutable accesses : int;
+  on_evict : (vpage:int -> dirty:bool -> unit) ref;
+  mutable invalidations_received : int;
 }
 
 (* Publish the whole runtime namespace into [reg].  Everything is pull-style
@@ -190,6 +196,8 @@ let register_metrics t reg =
   c "hierarchy.writebacks" (fun () -> Hierarchy.writebacks t.hierarchy);
   c "directory.fills" (fun () -> Directory.fills t.directory);
   c "directory.writebacks" (fun () -> Directory.writebacks t.directory);
+  c "directory.snoops" (fun () -> Directory.snoops t.directory);
+  c "coherence.invalidations" (fun () -> t.invalidations_received);
   (* Dirty tracking and eviction *)
   g "tracker.lines" (fun () -> Dirty_tracker.lines_tracked t.tracker);
   c "tracker.orphans" (fun () -> Dirty_tracker.orphans t.tracker);
@@ -235,6 +243,7 @@ let register_metrics t reg =
           c ~labels "qp.window_stall_ns" (fun () -> Qp.window_stall_ns qp);
           c ~labels "qp.retransmits" (fun () -> Qp.retransmits qp);
           c ~labels "qp.fault_delay_ns" (fun () -> Qp.fault_delay_ns qp);
+          c ~labels "qp.arb_delay_ns" (fun () -> Qp.arb_delay_ns qp);
           g ~labels "qp.outstanding_peak" (fun () -> Qp.outstanding_peak qp);
           g ~labels "qp.in_flight" (fun () -> Qp.in_flight qp))
     qps;
@@ -487,7 +496,8 @@ let verify_and_repair_page t ~vpage =
         else Scrubber.Clean
       end
 
-let create ?(config = default_config) ?nic ?hub ~controller ~read_local () =
+let create ?(config = default_config) ?nic ?hub ?arbitrate ?replication
+    ~controller ~read_local () =
   let app_clock = Clock.create () in
   let bg_clock = Clock.create () in
   let tracer = Option.map Hub.tracer hub in
@@ -515,11 +525,11 @@ let create ?(config = default_config) ?nic ?hub ~controller ~read_local () =
      signaling. *)
   let fetch_qp =
     Qp.create ~cost:config.rdma ~nic ?sq_depth:config.sq_depth ?inject
-      ~clock:app_clock ()
+      ?arbitrate ~clock:app_clock ()
   in
   let evict_qp =
     Qp.create ~cost:config.rdma ~nic ?sq_depth:config.sq_depth ?inject
-      ~signal_interval:config.signal_interval ~clock:bg_clock ()
+      ?arbitrate ~signal_interval:config.signal_interval ~clock:bg_clock ()
   in
   let rpc =
     (* The control path's SENDs ride the same loss/delay hook as the
@@ -529,22 +539,28 @@ let create ?(config = default_config) ?nic ?hub ~controller ~read_local () =
       ?fail:(Option.map Injector.rpc_timeout injector)
       ?inject ~clock:app_clock ~nic ()
   in
-  let rm = Resource_manager.create ~rpc ~controller () in
+  let rm = Resource_manager.create ~rpc ?tenant:config.tenant ~controller () in
   let fmem =
     Fmem.create ~assoc:config.fmem_assoc ~policy:config.fmem_policy
       ~pages:config.fmem_pages ()
   in
   let directory = Directory.create () in
   let replication =
-    if config.replicas > 0 then Some (Replication.create ~degree:config.replicas ~controller)
-    else None
+    (* A shared instance (multi-tenant rack) takes precedence: mirrors must
+       hold every tenant's writes for a failover to be whole-node. *)
+    match replication with
+    | Some _ as shared -> shared
+    | None ->
+        if config.replicas > 0 then
+          Some (Replication.create ~degree:config.replicas ~controller)
+        else None
   in
   let extra_targets ~node =
     match replication with Some r -> Replication.targets r ~node | None -> []
   in
   let log =
-    Cl_log.create ~capacity:config.log_capacity ~extra_targets ?tracer ~qp:evict_qp
-      ~cost:config.rdma
+    Cl_log.create ~capacity:config.log_capacity ~stream_base:config.stream_base
+      ~extra_targets ?tracer ~qp:evict_qp ~cost:config.rdma
       ~resolve:(fun ~node -> Rack_controller.node controller ~id:node)
       ()
   in
@@ -586,13 +602,19 @@ let create ?(config = default_config) ?nic ?hub ~controller ~read_local () =
     else None
   in
   (* The check_replicas invariant runs after each eviction batch; it needs
-     the full runtime record, which does not exist yet at hook-wiring time. *)
+     the full runtime record, which does not exist yet at hook-wiring time.
+     [on_evict] is the rack's page-departure observation point (shared-
+     segment writers snoop remote readers from it). *)
   let post_evict_ref = ref (fun () -> ()) in
+  let on_evict : (vpage:int -> dirty:bool -> unit) ref =
+    ref (fun ~vpage:_ ~dirty:_ -> ())
+  in
   let caching =
     Caching_handler.create ~cost:config.cost ~fetch_block:config.fetch_block
       ?mce_threshold_ns:config.mce_threshold_ns ?prefetch_qp ?tracer ~fmem ~rm ~fetch_qp
       ~on_victim:(fun ~vpage ~dirty ->
-        Eviction_handler.evict evictor ~vpage ~dirty;
+        let shipped = Eviction_handler.evict evictor ~vpage ~dirty in
+        !on_evict ~vpage ~dirty:shipped;
         !post_evict_ref ())
       ()
   in
@@ -632,6 +654,8 @@ let create ?(config = default_config) ?nic ?hub ~controller ~read_local () =
       heap_pages_lost = 0;
       degraded_reason = None;
       accesses = 0;
+      on_evict;
+      invalidations_received = 0;
     }
   in
   if config.check_replicas then post_evict_ref := (fun () -> check_replicas_now t);
@@ -865,7 +889,8 @@ let drain t =
         | Some victim -> victim.Fmem.dirty_lines
         | None -> Bitmap.create Units.lines_per_page
       in
-      Eviction_handler.evict t.evictor ~vpage ~dirty)
+      let shipped = Eviction_handler.evict t.evictor ~vpage ~dirty in
+      !(t.on_evict) ~vpage ~dirty:shipped)
     pages;
   Cl_log.flush t.log;
   (* Close the integrity loop before any end-of-run oracle looks at the
@@ -985,6 +1010,7 @@ let stats t =
       ("rdma.fetch_wire_bytes", Qp.wire_bytes t.fetch_qp);
       ("directory.fills", Directory.fills t.directory);
       ("directory.writebacks", Directory.writebacks t.directory);
+      ("directory.snoops", Directory.snoops t.directory);
       ("slabs", List.length (Resource_manager.slabs t.rm));
       ("controller.round_trips", Resource_manager.controller_round_trips t.rm);
       ( "faults.injected",
@@ -1026,6 +1052,36 @@ let unrepairable_pages t =
   |> List.sort compare
 
 let detect_latency t = t.integrity.detect_latency
+
+(* ------------------------------------------------------------------ *)
+(* Rack hooks: tenant-level observation and cross-tenant coherence.    *)
+
+let set_on_evict t f = t.on_evict := f
+let set_on_fetch t f = Caching_handler.set_on_fetch t.caching f
+
+(* A remote writer's eviction recalled a page this tenant had fetched
+   (shared read-mostly segment): drop the local copy so the next access
+   re-fetches fresh bytes.  Routed through the normal eviction path — the
+   snoop flushes any CPU-cached lines of the page — then charged one
+   FMem invalidation access. *)
+let invalidate_page t ~vpage =
+  t.invalidations_received <- t.invalidations_received + 1;
+  let dirty =
+    match Fmem.evict t.fmem ~vpage with
+    | Some victim -> victim.Fmem.dirty_lines
+    | None -> Bitmap.create Units.lines_per_page
+  in
+  let (_ : bool) = Eviction_handler.evict t.evictor ~vpage ~dirty in
+  Clock.advance t.bg_clock (int_of_float t.config.cost.Cost_model.fmem_ns)
+
+let invalidations_received t = t.invalidations_received
+
+(* Post one background control message (e.g. a shared-segment invalidation)
+   to [node]: rides the eviction QP, so it pays wire time, contends at the
+   node's ingress scheduler, and [deliver] fires when the background clock
+   reaches its completion. *)
+let post_bg_message t ~node ~len ~deliver =
+  Qp.post t.evict_qp [ Qp.wqe ~signaled:true ~deliver ~node Qp.Write ~len ]
 
 let replication t = t.replication
 let injector t = t.injector

@@ -66,6 +66,16 @@ type config = {
           synchronous demand fetch (and re-read once when a stale read is
           detected), charging one page memcpy to the app clock.  Off by
           default — the paranoid read path *)
+  tenant : string option;
+      (** multi-tenant identity: slab allocations are charged against this
+          tenant's quota at the rack controller
+          ({!Rack_controller.Quota_exceeded} past the cap).  [None]
+          (default) = unmetered *)
+  stream_base : int;
+      (** offset for CL-log sequencer stream ids ([stream_base + node]):
+          tenants sharing memory nodes need disjoint bases so the
+          receivers' per-stream sequencers never interleave two tenants in
+          one sequence space.  Default 0 *)
 }
 
 val default_config : config
@@ -78,6 +88,9 @@ val create :
   ?config:config ->
   ?nic:Kona_rdma.Nic.t ->
   ?hub:Kona_telemetry.Hub.t ->
+  ?arbitrate:
+    (node:int option -> op:Kona_rdma.Qp.op -> len:int -> now:int -> int) ->
+  ?replication:Replication.t ->
   controller:Rack_controller.t ->
   read_local:(addr:int -> len:int -> string) ->
   unit ->
@@ -91,7 +104,17 @@ val create :
     registers the full metric namespace ([fetch.*], [fmem.*], [cllog.*],
     [qp.*{qp=...}], [cache.*{level=...}], [nic.*], ...) in the hub's
     registry.  Use one hub per runtime instance — registering two runtimes
-    in one registry raises on the duplicate names. *)
+    in one registry raises on the duplicate names (the rack passes each
+    tenant a {!Kona_telemetry.Hub.scoped} view instead).
+
+    [arbitrate] is installed on every queue pair this runtime creates (see
+    {!Kona_rdma.Qp.create}): the rack's per-memory-node ingress schedulers
+    use it to queue this tenant's traffic behind other tenants'.
+
+    [replication] shares an externally created replication instance
+    (multi-tenant rack): every tenant's CL-log shipments then target the
+    same mirrors, so one node's failover is whole — it preserves all
+    tenants' data.  Takes precedence over [config.replicas]. *)
 
 val sink : t -> Kona_trace.Access.t -> unit
 (** Feed one application access: runs the cache hierarchy, triggers
@@ -178,6 +201,33 @@ val unrepairable_pages : t -> int list
 val detect_latency : t -> Kona_util.Histogram.t
 (** Virtual-time lag between a bit-flip landing and its detection
     ([integrity.detect_latency_ns]). *)
+
+(** {2 Rack hooks (multi-tenant simulation)} *)
+
+val set_on_fetch : t -> (vpage:int -> unit) -> unit
+(** Observe every synchronous demand fetch (after verification): the rack
+    registers shared-segment sharers with its rack-level directory here. *)
+
+val set_on_evict : t -> (vpage:int -> dirty:bool -> unit) -> unit
+(** Observe every page leaving FMem (capacity victims and [drain]
+    writebacks), after its dirty lines shipped.  [dirty] = the page held
+    dirty FMem lines.  The rack uses it to snoop remote readers when a
+    shared-segment writer evicts. *)
+
+val invalidate_page : t -> vpage:int -> unit
+(** A remote writer recalled [vpage] (shared read-mostly segment): drop
+    this tenant's local copy — CPU-cached lines are snooped and any dirty
+    lines written back — so the next access re-fetches.  Counted in
+    [coherence.invalidations]. *)
+
+val invalidations_received : t -> int
+
+val post_bg_message :
+  t -> node:int -> len:int -> deliver:(unit -> unit) -> unit
+(** Post one background control message of [len] bytes to [node] on the
+    eviction QP: it pays wire time, contends at the node's ingress
+    scheduler ([arbitrate]), and [deliver] fires when the background clock
+    reaches its completion — how the rack prices invalidation traffic. *)
 
 (** {2 Component access (examples, tests, benches)} *)
 

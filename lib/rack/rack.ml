@@ -1,0 +1,413 @@
+module Units = Kona_util.Units
+module Workloads = Kona_workloads.Workloads
+module Heap = Kona_workloads.Heap
+module Access = Kona_trace.Access
+module Hub = Kona_telemetry.Hub
+module Registry = Kona_telemetry.Registry
+module Snapshot = Kona_telemetry.Snapshot
+module Json = Kona_telemetry.Json
+module Directory = Kona_coherence.Directory
+open Kona
+
+type tenant_cfg = {
+  name : string;
+  workload : string;
+  bw_share : int;
+  mem_quota : int option;
+  seed : int;
+}
+
+type config = {
+  scale : Workloads.scale;
+  nodes : int;
+  node_capacity : int;
+  node_gbps : float;
+  replicas : int;
+  faults : Kona_faults.Fault_spec.t;
+  fault_seed : int;
+  shared_pages : int;
+  shared_ops : int;
+  quantum : int;
+  runtime : Runtime.config;
+}
+
+let default_config =
+  {
+    scale = Workloads.Smoke;
+    nodes = 2;
+    node_capacity = Units.mib 128;
+    node_gbps = 1.0;
+    replicas = 0;
+    faults = [];
+    fault_seed = 42;
+    shared_pages = 64;
+    shared_ops = 256;
+    quantum = 256;
+    runtime = Runtime.default_config;
+  }
+
+type tenant_result = {
+  t_cfg : tenant_cfg;
+  t_accesses : int;
+  t_app_ns : int;
+  t_bg_ns : int;
+  t_elapsed_ns : int;
+  t_admitted_bytes : int;
+  t_contended_bytes : int;
+  t_delay_ns : int;
+  t_achieved_gbps : float;
+  t_invalidations : int;
+  t_mismatches : int;
+  t_lost_pages : int;
+  t_degraded : string option;
+  t_fingerprint : string;
+  t_snapshot : Snapshot.t;
+}
+
+type result = {
+  r_tenants : tenant_result array;
+  r_elapsed_ns : int;
+  r_total_admits : int;
+  r_saturated_admits : int;
+  r_snoops : int;
+  r_invalidations_sent : int;
+  r_shared_writes : int;
+  r_shared_reads : int;
+  r_node_crashes : int;
+  r_snapshot : Snapshot.t;
+}
+
+(* The published segment lives at 1 GiB: far above any scaled-down heap
+   (tens of MiB) and aligned for every slab size in use. *)
+let shared_base = 1 lsl 30
+
+(* One replay step: a recorded application access, or a synthetic
+   shared-segment operation (the publisher writes, readers read). *)
+type step = App of Access.t | Shared_write of int | Shared_read of int
+
+let validate cfg tenants =
+  if tenants = [] then invalid_arg "Rack.run: no tenants";
+  if cfg.nodes < 1 then invalid_arg "Rack.run: need at least one node";
+  if cfg.shared_pages < 0 || cfg.shared_ops < 0 then
+    invalid_arg "Rack.run: negative shared-segment parameters";
+  if cfg.quantum < 1 then invalid_arg "Rack.run: quantum must be positive";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun tc ->
+      if tc.bw_share < 1 then
+        invalid_arg
+          (Printf.sprintf "Rack.run: tenant %s: bw_share must be >= 1" tc.name);
+      if Hashtbl.mem seen tc.name then
+        invalid_arg (Printf.sprintf "Rack.run: duplicate tenant name %s" tc.name);
+      Hashtbl.add seen tc.name ();
+      match Workloads.find tc.workload with
+      | _ -> ()
+      | exception Not_found ->
+          invalid_arg
+            (Printf.sprintf "Rack.run: tenant %s: unknown workload %s" tc.name
+               tc.workload))
+    tenants
+
+let run cfg tenants =
+  validate cfg tenants;
+  let tenants = Array.of_list tenants in
+  let n = Array.length tenants in
+  let page = Units.page_size in
+  let seg_pages = if n >= 1 then cfg.shared_pages else 0 in
+  let seg_first = shared_base / page in
+  let in_seg vpage = seg_pages > 0 && vpage >= seg_first && vpage < seg_first + seg_pages in
+  (* -------- rack fabric: controller, nodes, quotas, schedulers -------- *)
+  let controller = Rack_controller.create ~slab_size:(Units.mib 1) () in
+  for id = 0 to cfg.nodes - 1 do
+    Rack_controller.register_node controller
+      (Memory_node.create ~id ~capacity:cfg.node_capacity)
+  done;
+  Array.iter
+    (fun tc ->
+      match tc.mem_quota with
+      | Some bytes -> Rack_controller.set_quota controller ~tenant:tc.name ~bytes
+      | None -> ())
+    tenants;
+  let weights = Array.map (fun tc -> tc.bw_share) tenants in
+  let wfq =
+    Array.init cfg.nodes (fun _ -> Wfq.create ~gbps:cfg.node_gbps ~weights)
+  in
+  let hub = Hub.create () in
+  (* -------- record every tenant's workload against its own heap -------- *)
+  let recorded =
+    Array.map
+      (fun tc ->
+        let spec = Workloads.find tc.workload in
+        let acc = ref [] in
+        let heap =
+          Heap.create
+            ~capacity:(spec.Workloads.heap_capacity cfg.scale)
+            ~sink:(fun ev -> acc := ev :: !acc)
+            ()
+        in
+        spec.Workloads.run cfg.scale ~heap ~seed:tc.seed;
+        (heap, Array.of_list (List.rev !acc)))
+      tenants
+  in
+  let heaps = Array.map fst recorded in
+  let traces = Array.map snd recorded in
+  (* Segment store: rounded up to slab granularity so the publisher's
+     backing slabs are fully representable in the buffer. *)
+  let slab = Rack_controller.slab_size controller in
+  let seg_len = (((seg_pages * page) + slab - 1) / slab * slab) in
+  (* Zero-filled, matching the memory nodes' stores: the divergence oracle
+     compares whole pages, including bytes no woven op ever writes. *)
+  let seg = Bytes.make (max seg_len 0) '\000' in
+  let read_locals =
+    Array.init n (fun i ->
+        fun ~addr ~len ->
+          if seg_pages > 0 && addr >= shared_base then
+            Bytes.sub_string seg (addr - shared_base) len
+          else Heap.peek_bytes heaps.(i) addr len)
+  in
+  (* -------- per-tenant runtimes over the shared fabric -------- *)
+  let replication =
+    if cfg.replicas > 0 then
+      Some (Replication.create ~degree:cfg.replicas ~controller)
+    else None
+  in
+  let runtimes =
+    Array.init n (fun i ->
+        let tc = tenants.(i) in
+        let config =
+          {
+            cfg.runtime with
+            Runtime.tenant = Some tc.name;
+            stream_base = i * 1024;
+            replicas = cfg.replicas;
+            faults = (if i = 0 then cfg.faults else []);
+            fault_seed = cfg.fault_seed;
+          }
+        in
+        let arbitrate ~node ~op:_ ~len ~now =
+          match node with
+          | Some id when id >= 0 && id < cfg.nodes ->
+              Wfq.admit wfq.(id) ~tenant:i ~bytes:len ~now
+          | _ -> 0
+        in
+        Runtime.create ~config
+          ~hub:(Hub.scoped hub ~prefix:(Printf.sprintf "tenant.%d." i))
+          ~arbitrate ?replication ~controller
+          ~read_local:read_locals.(i) ())
+  in
+  (* -------- shared segment: tenant 0 publishes, the rest map -------- *)
+  let rack_dir = Directory.create () in
+  let invalidations_sent = ref 0 in
+  let shared_writes = ref 0 in
+  let shared_reads = ref 0 in
+  let sharer_fills = ref 0 in
+  if seg_pages > 0 then begin
+    let rm0 = Runtime.resource_manager runtimes.(0) in
+    Resource_manager.ensure_backed rm0 ~addr:shared_base ~len:(seg_pages * page);
+    let seg_slabs =
+      Resource_manager.slabs rm0
+      |> List.filter (fun s ->
+             s.Slab.vaddr >= shared_base && s.Slab.vaddr < shared_base + seg_len)
+      |> List.sort (fun a b -> compare a.Slab.vaddr b.Slab.vaddr)
+    in
+    for i = 1 to n - 1 do
+      Resource_manager.map_foreign
+        (Runtime.resource_manager runtimes.(i))
+        ~at:shared_base seg_slabs
+    done;
+    (* demand fetches of segment pages register the fetching tenant as a
+       sharer with the rack directory *)
+    Array.iteri
+      (fun i rt ->
+        Runtime.set_on_fetch rt (fun ~vpage ->
+            if in_seg vpage then begin
+              incr sharer_fills;
+              Directory.on_fill ~sharer:i rack_dir ~line:(vpage - seg_first)
+                ~write:false
+            end))
+      runtimes;
+    (* the publisher's dirty evictions recall every remote reader; the
+       recall is priced as a background control message that contends at
+       the page's home node *)
+    Runtime.set_on_evict runtimes.(0) (fun ~vpage ~dirty ->
+        if dirty && in_seg vpage then
+          let line = vpage - seg_first in
+          let sharers = Directory.snoop_sharers rack_dir ~line in
+          List.iter
+            (fun s ->
+              if s <> 0 then begin
+                incr invalidations_sent;
+                match Resource_manager.translate rm0 ~vaddr:(vpage * page) with
+                | Some (node, _) ->
+                    Runtime.post_bg_message runtimes.(0) ~node ~len:Units.cache_line
+                      ~deliver:(fun () ->
+                        Runtime.invalidate_page runtimes.(s) ~vpage)
+                | None -> ()
+              end)
+            sharers)
+  end;
+  (* -------- rack-level telemetry -------- *)
+  let reg = Hub.registry hub in
+  Array.iteri
+    (fun j w ->
+      let labels = [ ("node", string_of_int j) ] in
+      Registry.counter_fn reg ~labels "rack.node.admits" (fun () ->
+          Wfq.total_admits w);
+      Registry.counter_fn reg ~labels "rack.node.saturated_admits" (fun () ->
+          Wfq.saturated_admits w);
+      Registry.gauge_fn reg ~labels "rack.node.peak_backlog_ns" (fun () ->
+          Wfq.peak_backlog_ns w))
+    wfq;
+  Array.iteri
+    (fun i tc ->
+      let labels = [ ("tenant", tc.name) ] in
+      let sum f = Array.fold_left (fun a w -> a + f (Wfq.tenant_stats w ~tenant:i)) 0 wfq in
+      Registry.gauge_fn reg ~labels "rack.tenant.bw_share" (fun () -> tc.bw_share);
+      Registry.counter_fn reg ~labels "rack.tenant.bytes" (fun () ->
+          sum (fun s -> s.Wfq.bytes));
+      Registry.counter_fn reg ~labels "rack.tenant.contended_bytes" (fun () ->
+          sum (fun s -> s.Wfq.contended_bytes));
+      Registry.counter_fn reg ~labels "rack.tenant.delay_ns" (fun () ->
+          sum (fun s -> s.Wfq.delay_ns)))
+    tenants;
+  Registry.counter_fn reg "rack.dir.fills" (fun () -> Directory.fills rack_dir);
+  Registry.counter_fn reg "rack.dir.snoops" (fun () -> Directory.snoops rack_dir);
+  Registry.counter_fn reg "rack.sharer_fills" (fun () -> !sharer_fills);
+  Registry.counter_fn reg "rack.invalidations_sent" (fun () -> !invalidations_sent);
+  Registry.counter_fn reg "rack.shared.writes" (fun () -> !shared_writes);
+  Registry.counter_fn reg "rack.shared.reads" (fun () -> !shared_reads);
+  (* -------- weave synthetic shared ops into each tenant's trace -------- *)
+  let steps =
+    Array.mapi
+      (fun i trace ->
+        let len = Array.length trace in
+        if seg_pages = 0 || cfg.shared_ops = 0 || len = 0 || n < 2 then
+          Array.map (fun e -> App e) trace
+        else begin
+          let stride = max 1 (len / cfg.shared_ops) in
+          let out = ref [] and k = ref 0 in
+          Array.iteri
+            (fun j e ->
+              out := App e :: !out;
+              if (j + 1) mod stride = 0 && !k < cfg.shared_ops then begin
+                out := (if i = 0 then Shared_write !k else Shared_read !k) :: !out;
+                incr k
+              end)
+            trace;
+          Array.of_list (List.rev !out)
+        end)
+      traces
+  in
+  (* -------- deterministic interleaved replay -------- *)
+  let exec_step i = function
+    | App ev -> Runtime.sink runtimes.(i) ev
+    | Shared_write k ->
+        incr shared_writes;
+        let p = k mod seg_pages in
+        Bytes.fill seg (p * page) Units.cache_line
+          (Char.chr (((k * 37) + 1) land 0xff));
+        Runtime.sink runtimes.(i)
+          (Access.write ~addr:(shared_base + (p * page)) ~len:Units.cache_line);
+        Directory.on_fill ~sharer:0 rack_dir ~line:p ~write:true
+    | Shared_read k ->
+        incr shared_reads;
+        let p = k mod seg_pages in
+        Runtime.sink runtimes.(i)
+          (Access.read ~addr:(shared_base + (p * page)) ~len:Units.cache_line)
+  in
+  let lens = Array.map Array.length steps in
+  let pos = Array.make n 0 in
+  let remaining = ref (Array.fold_left ( + ) 0 lens) in
+  while !remaining > 0 do
+    (* always step the tenant whose virtual clock is furthest behind *)
+    let best = ref (-1) and best_ns = ref max_int in
+    for i = 0 to n - 1 do
+      if pos.(i) < lens.(i) then begin
+        let e = Runtime.elapsed_ns runtimes.(i) in
+        if e < !best_ns then begin
+          best := i;
+          best_ns := e
+        end
+      end
+    done;
+    let i = !best in
+    let budget = ref cfg.quantum in
+    while !budget > 0 && pos.(i) < lens.(i) do
+      exec_step i steps.(i).(pos.(i));
+      pos.(i) <- pos.(i) + 1;
+      decr budget;
+      decr remaining
+    done
+  done;
+  Array.iter Runtime.drain runtimes;
+  (* -------- per-tenant divergence oracle and results -------- *)
+  let tenant_result i =
+    let tc = tenants.(i) in
+    let rt = runtimes.(i) in
+    let heap = heaps.(i) in
+    let unrepairable = Runtime.unrepairable_pages rt in
+    let mismatches = ref 0 and lost = ref 0 in
+    Resource_manager.iter_backed_pages (Runtime.resource_manager rt)
+      (fun ~vpage ~node ~remote_addr ->
+        let base = vpage * page in
+        let private_page =
+          base + page <= Heap.capacity heap
+          && not (Heap.page_poked heap ~page:vpage)
+        in
+        if (private_page || in_seg vpage) && not (List.mem vpage unrepairable)
+        then
+          match
+            Memory_node.peek
+              (Rack_controller.node controller ~id:node)
+              ~addr:remote_addr ~len:page
+          with
+          | remote ->
+              if remote <> read_locals.(i) ~addr:base ~len:page then
+                incr mismatches
+          | exception Memory_node.Crashed _ -> incr lost);
+    let stats_sum f =
+      Array.fold_left (fun a w -> a + f (Wfq.tenant_stats w ~tenant:i)) 0 wfq
+    in
+    let contended_bytes = stats_sum (fun s -> s.Wfq.contended_bytes) in
+    let contended_ns = stats_sum (fun s -> s.Wfq.contended_ns) in
+    let snap =
+      Registry.snapshot
+        (Registry.scoped (Hub.registry hub)
+           ~prefix:(Printf.sprintf "tenant.%d." i))
+    in
+    {
+      t_cfg = tc;
+      t_accesses = lens.(i);
+      t_app_ns = Runtime.app_ns rt;
+      t_bg_ns = Runtime.bg_ns rt;
+      t_elapsed_ns = Runtime.elapsed_ns rt;
+      t_admitted_bytes = stats_sum (fun s -> s.Wfq.bytes);
+      t_contended_bytes = contended_bytes;
+      t_delay_ns = stats_sum (fun s -> s.Wfq.delay_ns);
+      t_achieved_gbps =
+        (if contended_ns = 0 then 0.0
+         else 8.0 *. float_of_int contended_bytes /. float_of_int contended_ns);
+      t_invalidations = Runtime.invalidations_received rt;
+      t_mismatches = !mismatches;
+      t_lost_pages = !lost;
+      t_degraded = Runtime.degraded rt;
+      t_fingerprint = Json.to_string (Snapshot.to_json snap);
+      t_snapshot = snap;
+    }
+  in
+  let r_tenants = Array.init n tenant_result in
+  {
+    r_tenants;
+    r_elapsed_ns =
+      Array.fold_left (fun a r -> max a r.t_elapsed_ns) 0 r_tenants;
+    r_total_admits = Array.fold_left (fun a w -> a + Wfq.total_admits w) 0 wfq;
+    r_saturated_admits =
+      Array.fold_left (fun a w -> a + Wfq.saturated_admits w) 0 wfq;
+    r_snoops = Directory.snoops rack_dir;
+    r_invalidations_sent = !invalidations_sent;
+    r_shared_writes = !shared_writes;
+    r_shared_reads = !shared_reads;
+    r_node_crashes =
+      Array.fold_left (fun a rt -> a + Runtime.node_crashes rt) 0 runtimes;
+    r_snapshot = Hub.snapshot hub;
+  }

@@ -1,0 +1,107 @@
+(** Multi-tenant rack simulation: N tenant runtimes share the memory
+    nodes of one rack under a deterministic virtual clock.
+
+    Each tenant is a full {!Kona.Runtime} driving one Table 2 workload.
+    The rack adds the three things a single-tenant run cannot exhibit:
+
+    - {e contended ingress bandwidth}: every message bound for a memory
+      node — CL-log shipments, demand fetches, replication writes,
+      invalidation recalls — passes the node's {!Wfq} scheduler, and the
+      queueing it imposes lands in the sending tenant's completion
+      latencies (weighted by [bw_share]);
+    - {e admission control}: each tenant's slab allocations are charged
+      against its [mem_quota] at the shared rack controller;
+      {!Kona.Rack_controller.Quota_exceeded} names the offender;
+    - {e cross-tenant shared segments}: tenant 0 publishes a read-mostly
+      heap segment that the others map ({!Kona.Resource_manager.map_foreign});
+      a rack-level {!Kona_coherence.Directory} tracks per-tenant sharers
+      so the writer's evictions recall remote readers, and the recall
+      traffic itself contends at the nodes.
+
+    Execution is record-then-replay: each workload is first recorded
+    against its private heap, then the traces are interleaved by always
+    stepping the tenant whose virtual clock is furthest behind — a
+    deterministic schedule, so the same seeds produce bit-identical
+    per-tenant telemetry ({!tenant_result.t_fingerprint}). *)
+
+type tenant_cfg = {
+  name : string;  (** unique; quota accounting key *)
+  workload : string;  (** a {!Kona_workloads.Workloads.find} slug *)
+  bw_share : int;  (** WFQ weight at every node's ingress (>= 1) *)
+  mem_quota : int option;  (** slab-allocation cap, bytes; [None] = unmetered *)
+  seed : int;  (** workload RNG seed *)
+}
+
+type config = {
+  scale : Kona_workloads.Workloads.scale;
+  nodes : int;  (** memory nodes in the rack *)
+  node_capacity : int;  (** bytes per node *)
+  node_gbps : float;  (** per-node ingress link rate (WFQ wire time) *)
+  replicas : int;
+      (** eviction replication degree, shared across tenants: all
+          tenants' CL-log shipments target the same mirrors, so a
+          node failover is whole — it preserves every tenant's data *)
+  faults : Kona_faults.Fault_spec.t;  (** injected via tenant 0's runtime *)
+  fault_seed : int;
+  shared_pages : int;
+      (** pages in tenant 0's published segment; 0 disables sharing *)
+  shared_ops : int;
+      (** synthetic shared-segment operations woven into each tenant's
+          replay (tenant 0 writes, the rest read) *)
+  quantum : int;  (** accesses per scheduling slice *)
+  runtime : Kona.Runtime.config;
+      (** per-tenant base; the rack overrides [tenant], [stream_base],
+          [replicas], [faults] and [fault_seed] per tenant *)
+}
+
+val default_config : config
+(** 2 nodes x 128 MiB at 1 Gbit/s ingress (low, so smoke runs actually
+    saturate), smoke scale, no replication/faults, a 64-page shared
+    segment with 256 woven ops, 256-access slices. *)
+
+type tenant_result = {
+  t_cfg : tenant_cfg;
+  t_accesses : int;  (** replayed application accesses (woven ops included) *)
+  t_app_ns : int;
+  t_bg_ns : int;
+  t_elapsed_ns : int;
+  t_admitted_bytes : int;  (** payload admitted across all node schedulers *)
+  t_contended_bytes : int;
+  t_delay_ns : int;  (** total WFQ queueing imposed on this tenant *)
+  t_achieved_gbps : float;
+      (** bytes-weighted mean of per-node {!Wfq.achieved_gbps}; 0.0 if
+          this tenant never contended *)
+  t_invalidations : int;  (** shared-segment recalls received *)
+  t_mismatches : int;  (** divergence-oracle failures (must be 0) *)
+  t_lost_pages : int;  (** pages unreachable on crashed nodes *)
+  t_degraded : string option;
+  t_fingerprint : string;
+      (** canonical JSON of this tenant's [tenant.<i>.*] snapshot: equal
+          across same-seed runs (the determinism contract) *)
+  t_snapshot : Kona_telemetry.Snapshot.t;
+}
+
+type result = {
+  r_tenants : tenant_result array;
+  r_elapsed_ns : int;  (** max over tenants *)
+  r_total_admits : int;
+  r_saturated_admits : int;
+  r_snoops : int;  (** rack-directory recalls *)
+  r_invalidations_sent : int;
+  r_shared_writes : int;
+  r_shared_reads : int;
+  r_node_crashes : int;
+  r_snapshot : Kona_telemetry.Snapshot.t;
+      (** the whole hub: every [tenant.<i>.*] namespace plus the
+          [rack.*] fairness/contention counters *)
+}
+
+val run : config -> tenant_cfg list -> result
+(** Runs every tenant to completion (record, replay interleaved, drain)
+    and checks each tenant's divergence oracle: after the final drain,
+    remote memory must equal the tenant's heap on every backed private
+    page, and the shared segment must equal the publisher's view.
+
+    Raises [Invalid_argument] on an empty or misconfigured tenant list
+    and lets {!Kona.Rack_controller.Quota_exceeded} propagate when a
+    tenant overruns its cap. *)

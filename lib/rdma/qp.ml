@@ -2,11 +2,17 @@ open Kona_util
 
 type op = Read | Write
 
-type wqe = { op : op; len : int; signaled : bool; deliver : unit -> unit }
+type wqe = {
+  op : op;
+  len : int;
+  signaled : bool;
+  deliver : unit -> unit;
+  node : int option;
+}
 
-let wqe ?(signaled = false) ?(deliver = fun () -> ()) op ~len =
+let wqe ?(signaled = false) ?(deliver = fun () -> ()) ?node op ~len =
   assert (len >= 0);
-  { op; len; signaled; deliver }
+  { op; len; signaled; deliver; node }
 
 type retry = { rx_timeout_ns : int; retry_limit : int; backoff_cap : int }
 
@@ -29,6 +35,7 @@ type t = {
   sq_depth : int option; (* modeled send-queue depth; None = unbounded *)
   signal_interval : int; (* raise a CQE every Nth signal-requested WQE *)
   inject : (unit -> [ `Drop | `Delay of int ] option) option;
+  arbitrate : (node:int option -> op:op -> len:int -> now:int -> int) option;
   retry : retry;
   sq : pending Queue.t; (* posted, not yet completed (clock-ordered) *)
   cq : int Queue.t; (* completion times of signaled WQEs, ready to reap *)
@@ -46,10 +53,11 @@ type t = {
   mutable outstanding_peak : int;
   mutable retransmits : int;
   mutable fault_delay_ns : int;
+  mutable arb_delay_ns : int;
 }
 
 let create ?(cost = Cost.default) ?nic ?sq_depth ?(signal_interval = 1) ?inject
-    ?(retry = default_retry) ~clock () =
+    ?arbitrate ?(retry = default_retry) ~clock () =
   assert (signal_interval > 0);
   assert (retry.rx_timeout_ns > 0 && retry.retry_limit >= 0 && retry.backoff_cap >= 0);
   (match sq_depth with Some d -> assert (d > 0) | None -> ());
@@ -60,6 +68,7 @@ let create ?(cost = Cost.default) ?nic ?sq_depth ?(signal_interval = 1) ?inject
     sq_depth;
     signal_interval;
     inject;
+    arbitrate;
     retry;
     sq = Queue.create ();
     cq = Queue.create ();
@@ -77,6 +86,7 @@ let create ?(cost = Cost.default) ?nic ?sq_depth ?(signal_interval = 1) ?inject
     outstanding_peak = 0;
     retransmits = 0;
     fault_delay_ns = 0;
+    arb_delay_ns = 0;
   }
 
 let clock t = t.clock
@@ -151,6 +161,18 @@ let post t wqes =
            reliable connection means a retransmit holds back its
            successors. *)
         let fin = ref (max base_finish t.last_completion) in
+        (* Ingress arbitration: a contended memory-node scheduler may defer
+           this WQE's completion (queueing behind other tenants' traffic).
+           The added wait surfaces exactly like a fault delay — later
+           completion, in-order clamp — but is accounted separately. *)
+        (match t.arbitrate with
+        | None -> ()
+        | Some f ->
+            let d = f ~node:w.node ~op:w.op ~len:w.len ~now:!fin in
+            if d > 0 then begin
+              t.arb_delay_ns <- t.arb_delay_ns + d;
+              fin := !fin + d
+            end);
         (match t.inject with
         | None -> ()
         | Some draw ->
@@ -239,3 +261,4 @@ let outstanding_peak t = t.outstanding_peak
 let sq_depth t = t.sq_depth
 let retransmits t = t.retransmits
 let fault_delay_ns t = t.fault_delay_ns
+let arb_delay_ns t = t.arb_delay_ns

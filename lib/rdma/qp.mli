@@ -33,10 +33,13 @@ type wqe = {
   len : int;  (** payload bytes *)
   signaled : bool;
   deliver : unit -> unit;  (** executed when the verb completes *)
+  node : int option;
+      (** destination memory-node logical id, for ingress arbitration *)
 }
 
-val wqe : ?signaled:bool -> ?deliver:(unit -> unit) -> op -> len:int -> wqe
-(** Defaults: unsignaled, no-op delivery. *)
+val wqe :
+  ?signaled:bool -> ?deliver:(unit -> unit) -> ?node:int -> op -> len:int -> wqe
+(** Defaults: unsignaled, no-op delivery, no destination tag. *)
 
 type retry = {
   rx_timeout_ns : int;  (** Retransmission timer for a lost attempt. *)
@@ -59,6 +62,7 @@ val create :
   ?sq_depth:int ->
   ?signal_interval:int ->
   ?inject:(unit -> [ `Drop | `Delay of int ] option) ->
+  ?arbitrate:(node:int option -> op:op -> len:int -> now:int -> int) ->
   ?retry:retry ->
   clock:Kona_util.Clock.t ->
   unit ->
@@ -75,7 +79,13 @@ val create :
 
     [inject] is consulted once per transmission attempt (so a dropped
     attempt draws again for its retransmission); [retry] tunes the
-    retransmission state machine (default {!default_retry}). *)
+    retransmission state machine (default {!default_retry}).
+
+    [arbitrate] is consulted once per WQE with its destination [node] tag
+    and nominal completion time [now]; a positive return value defers the
+    completion by that many ns (rack ingress scheduling: queueing behind
+    other tenants' traffic at a contended memory node).  Accounted in
+    {!arb_delay_ns}, separate from fault delays. *)
 
 val clock : t -> Kona_util.Clock.t
 
@@ -135,3 +145,7 @@ val retransmits : t -> int
 val fault_delay_ns : t -> int
 (** Total completion-time slip from injected drops (backoff waits) and
     delays. *)
+
+val arb_delay_ns : t -> int
+(** Total completion-time slip imposed by the [arbitrate] hook (contended
+    memory-node ingress queueing). *)

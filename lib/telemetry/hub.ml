@@ -8,6 +8,9 @@ let create ?trace_capacity ?sample () =
 
 let registry t = t.registry
 let tracer t = t.tracer
+
+let scoped t ~prefix =
+  { registry = Registry.scoped t.registry ~prefix; tracer = t.tracer }
 let snapshot t = Registry.snapshot t.registry
 
 let write_metrics_json ~path ?meta t = Snapshot.write_json ~path ?meta (snapshot t)

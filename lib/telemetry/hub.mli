@@ -9,6 +9,12 @@ val create : ?trace_capacity:int -> ?sample:int -> unit -> t
 val registry : t -> Registry.t
 val tracer : t -> Tracer.t
 
+val scoped : t -> prefix:string -> t
+(** A view sharing this hub's tracer whose registry prepends [prefix]
+    (see {!Registry.scoped}): the rack hands each tenant runtime a
+    [tenant.<i>.] view so N tenants publish into one comparable
+    namespace without name collisions. *)
+
 val snapshot : t -> Snapshot.t
 
 val write_metrics_json :

@@ -24,9 +24,10 @@ type source =
   | S_hist of Histogram.t
   | S_summary of Stats.t
 
-type t = { tbl : (string, source) Hashtbl.t }
+type t = { tbl : (string, source) Hashtbl.t; prefix : string }
 
-let create () = { tbl = Hashtbl.create 64 }
+let create () = { tbl = Hashtbl.create 64; prefix = "" }
+let scoped t ~prefix = { tbl = t.tbl; prefix = t.prefix ^ prefix }
 
 let valid_name name =
   name <> ""
@@ -56,7 +57,7 @@ let full_name name labels =
       name ^ "{" ^ String.concat "," rendered ^ "}"
 
 let register t name labels source =
-  let fn = full_name name labels in
+  let fn = t.prefix ^ full_name name labels in
   if Hashtbl.mem t.tbl fn then
     invalid_arg (Printf.sprintf "Registry: duplicate metric %S" fn);
   Hashtbl.add t.tbl fn source
@@ -87,21 +88,28 @@ let summary t ?(labels = []) name =
   register t name labels (S_summary s);
   s
 
-let mem t ?(labels = []) name = Hashtbl.mem t.tbl (full_name name labels)
-let size t = Hashtbl.length t.tbl
+let mem t ?(labels = []) name =
+  Hashtbl.mem t.tbl (t.prefix ^ full_name name labels)
+
+let in_scope t name = t.prefix = "" || String.starts_with ~prefix:t.prefix name
+
+let size t =
+  Hashtbl.fold (fun name _ n -> if in_scope t name then n + 1 else n) t.tbl 0
 
 let snapshot t : Snapshot.t =
   Hashtbl.fold
     (fun name source acc ->
-      let value =
-        match source with
-        | S_counter c -> Snapshot.Counter (Counter.value c)
-        | S_counter_fn f -> Snapshot.Counter (f ())
-        | S_gauge g -> Snapshot.Gauge (Gauge.value g)
-        | S_gauge_fn f -> Snapshot.Gauge (f ())
-        | S_hist h -> Snapshot.Hist (Histogram.copy h)
-        | S_summary s -> Snapshot.Summary (Stats.copy s)
-      in
-      (name, value) :: acc)
+      if not (in_scope t name) then acc
+      else
+        let value =
+          match source with
+          | S_counter c -> Snapshot.Counter (Counter.value c)
+          | S_counter_fn f -> Snapshot.Counter (f ())
+          | S_gauge g -> Snapshot.Gauge (Gauge.value g)
+          | S_gauge_fn f -> Snapshot.Gauge (f ())
+          | S_hist h -> Snapshot.Hist (Histogram.copy h)
+          | S_summary s -> Snapshot.Summary (Stats.copy s)
+        in
+        (name, value) :: acc)
     t.tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -34,6 +34,14 @@ type t
 
 val create : unit -> t
 
+val scoped : t -> prefix:string -> t
+(** A view onto the same table that prepends [prefix] to every name it
+    registers and restricts [mem]/[size]/[snapshot] to names under that
+    prefix.  Used for per-tenant scoping ([tenant.0.] etc.): components
+    keep registering their usual names, the rack hands them a scoped view.
+    Prefixes compose ([scoped (scoped r "a.") "b."] registers under
+    ["a.b."]). *)
+
 val counter : t -> ?labels:(string * string) list -> string -> Counter.t
 val counter_fn : t -> ?labels:(string * string) list -> string -> (unit -> int) -> unit
 val gauge : t -> ?labels:(string * string) list -> string -> Gauge.t

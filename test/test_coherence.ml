@@ -217,6 +217,103 @@ let test_directory_counters () =
   check_int "writebacks" 1 (Directory.writebacks d);
   check_int "granted" 1 (Directory.granted_lines d)
 
+let test_directory_sharers () =
+  let d = Directory.create () in
+  Directory.on_fill ~sharer:2 d ~line:5 ~write:false;
+  Directory.on_fill ~sharer:0 d ~line:5 ~write:false;
+  Directory.on_fill ~sharer:2 d ~line:5 ~write:false (* dedup *);
+  Alcotest.(check (list int)) "sorted, deduped" [ 0; 2 ] (Directory.sharers d ~line:5);
+  Alcotest.(check (list int)) "recall returns all sharers" [ 0; 2 ]
+    (Directory.snoop_sharers d ~line:5);
+  Alcotest.(check (list int)) "forgotten after recall" []
+    (Directory.sharers d ~line:5);
+  Alcotest.check state_t "invalid after recall" Directory.Invalid
+    (Directory.state d ~line:5);
+  check_int "recall counts as one snoop" 1 (Directory.snoops d)
+
+(* Model-based property: replay random fill/writeback/snoop sequences
+   against a reference I/S/M map.  After every op [granted_lines] must
+   match the model's population, and a snoop verdict is [`Dirty] exactly
+   when the model holds the line Modified — in particular a line never
+   filled for writing always snoops [`Clean]. *)
+let prop_directory_matches_model =
+  let lines = 8 in
+  let op_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map2 (fun l w -> `Fill (l, w)) (int_bound (lines - 1)) bool;
+          map (fun l -> `Writeback l) (int_bound (lines - 1));
+          map (fun l -> `Snoop l) (int_bound (lines - 1));
+        ])
+  in
+  QCheck.Test.make ~name:"directory tracks the I/S/M model" ~count:300
+    (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 1 60) op_gen))
+    (fun ops ->
+      let d = Directory.create () in
+      let model = Array.make lines Directory.Invalid in
+      let granted_ok () =
+        let pop =
+          Array.fold_left
+            (fun acc s -> if s = Directory.Invalid then acc else acc + 1)
+            0 model
+        in
+        Directory.granted_lines d = pop
+      in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Fill (l, w) ->
+              Directory.on_fill d ~line:l ~write:w;
+              model.(l) <-
+                (if w then Directory.Modified
+                 else
+                   match model.(l) with
+                   | Directory.Modified -> Directory.Modified
+                   | _ -> Directory.Shared);
+              granted_ok ()
+          | `Writeback l ->
+              Directory.on_writeback d ~line:l;
+              model.(l) <- Directory.Invalid;
+              granted_ok ()
+          | `Snoop l ->
+              let verdict = Directory.snoop d ~line:l in
+              let expected =
+                if model.(l) = Directory.Modified then `Dirty else `Clean
+              in
+              model.(l) <- Directory.Invalid;
+              verdict = expected && granted_ok ())
+        ops)
+
+(* A line the CPU never requested for writing can never snoop dirty, no
+   matter how reads, writebacks, and recalls interleave. *)
+let prop_directory_unwritten_snoops_clean =
+  let lines = 4 in
+  let op_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun l -> `Read_fill l) (int_bound (lines - 1));
+          map (fun l -> `Writeback l) (int_bound (lines - 1));
+          map (fun l -> `Snoop l) (int_bound (lines - 1));
+        ])
+  in
+  QCheck.Test.make ~name:"never-written lines always snoop clean" ~count:300
+    (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 1 40) op_gen))
+    (fun ops ->
+      let d = Directory.create () in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Read_fill l ->
+              Directory.on_fill d ~line:l ~write:false;
+              true
+          | `Writeback l ->
+              Directory.on_writeback d ~line:l;
+              true
+          | `Snoop l -> Directory.snoop d ~line:l = `Clean)
+        ops)
+
 let qsuite name props = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) props)
 
 let () =
@@ -248,5 +345,8 @@ let () =
           Alcotest.test_case "transitions" `Quick test_directory_transitions;
           Alcotest.test_case "snoop" `Quick test_directory_snoop;
           Alcotest.test_case "counters" `Quick test_directory_counters;
+          Alcotest.test_case "sharers" `Quick test_directory_sharers;
         ] );
+      qsuite "directory-props"
+        [ prop_directory_matches_model; prop_directory_unwritten_snoops_clean ];
     ]

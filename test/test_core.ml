@@ -64,6 +64,67 @@ let test_controller_oom () =
        false
      with Out_of_memory -> true)
 
+let test_controller_occupancy () =
+  let slab = Units.kib 64 in
+  let c = controller_with_nodes ~capacity:(Units.kib 256) () in
+  check_int "node 0 starts free" (Units.kib 256) (Rack_controller.free_bytes c ~id:0);
+  check_int "node 0 starts unused" 0 (Rack_controller.used_bytes c ~id:0);
+  ignore (Rack_controller.allocate_slab c ~vaddr:0) (* node 0 *);
+  ignore (Rack_controller.allocate_slab c ~vaddr:slab) (* node 1 *);
+  ignore (Rack_controller.allocate_slab c ~vaddr:(2 * slab)) (* node 0 *);
+  check_int "node 0 holds two slabs" (2 * slab) (Rack_controller.used_bytes c ~id:0);
+  check_int "node 0 free shrank" (Units.kib 256 - (2 * slab))
+    (Rack_controller.free_bytes c ~id:0);
+  check_int "node 1 holds one slab" slab (Rack_controller.used_bytes c ~id:1);
+  check_bool "unknown id raises" true
+    (try
+       ignore (Rack_controller.free_bytes c ~id:7);
+       false
+     with Invalid_argument _ -> true)
+
+let test_controller_skips_crashed_nodes () =
+  let c = controller_with_nodes () in
+  Memory_node.crash (Rack_controller.node c ~id:0);
+  let s = Rack_controller.allocate_slab c ~vaddr:0 in
+  check_int "crashed node skipped" 1 s.Slab.node;
+  let s = Rack_controller.allocate_slab c ~vaddr:65536 in
+  check_int "still node 1" 1 s.Slab.node;
+  Rack_controller.replace_node c ~id:0
+    ~node:(Memory_node.create ~id:100 ~capacity:(Units.mib 1));
+  let s = Rack_controller.allocate_slab c ~vaddr:131072 in
+  check_int "round robin resumes on the replacement" 0 s.Slab.node;
+  check_int "replacement charged one slab" (Units.kib 64)
+    (Rack_controller.used_bytes c ~id:0)
+
+let test_controller_quota () =
+  let slab = Units.kib 64 in
+  let c = controller_with_nodes () in
+  Rack_controller.set_quota c ~tenant:"a" ~bytes:(2 * slab);
+  check_bool "cap recorded" true
+    (Rack_controller.quota c ~tenant:"a" = Some (2 * slab));
+  ignore (Rack_controller.allocate_slab ~tenant:"a" c ~vaddr:0);
+  ignore (Rack_controller.allocate_slab ~tenant:"a" c ~vaddr:slab);
+  check_int "charged" (2 * slab) (Rack_controller.tenant_used c ~tenant:"a");
+  (match Rack_controller.allocate_slab ~tenant:"a" c ~vaddr:(2 * slab) with
+  | _ -> Alcotest.fail "allocation past the cap must be rejected"
+  | exception Rack_controller.Quota_exceeded { tenant; quota; used; requested } ->
+      Alcotest.(check string) "names the tenant" "a" tenant;
+      check_int "cap" (2 * slab) quota;
+      check_int "used at rejection" (2 * slab) used;
+      check_int "requested" slab requested);
+  check_int "nothing charged on rejection" (2 * slab)
+    (Rack_controller.tenant_used c ~tenant:"a");
+  (* Other tenants — and unmetered allocations — are unaffected. *)
+  ignore (Rack_controller.allocate_slab ~tenant:"b" c ~vaddr:(3 * slab));
+  ignore (Rack_controller.allocate_slab c ~vaddr:(4 * slab));
+  check_int "uncapped tenant still admitted" slab
+    (Rack_controller.tenant_used c ~tenant:"b");
+  check_bool "negative cap raises" true
+    (try
+       Rack_controller.set_quota c ~tenant:"a" ~bytes:(-1);
+       false
+     with Invalid_argument _ -> true)
+
 let test_resource_manager_batching () =
   let c = controller_with_nodes () in
   let rm = Resource_manager.create ~batch:4 ~controller:c () in
@@ -865,6 +926,10 @@ let () =
           Alcotest.test_case "round robin" `Quick test_controller_round_robin;
           Alcotest.test_case "skips full nodes" `Quick test_controller_skips_full_nodes;
           Alcotest.test_case "oom" `Quick test_controller_oom;
+          Alcotest.test_case "occupancy" `Quick test_controller_occupancy;
+          Alcotest.test_case "skips crashed nodes" `Quick
+            test_controller_skips_crashed_nodes;
+          Alcotest.test_case "quota admission" `Quick test_controller_quota;
         ] );
       ( "resource_manager",
         [

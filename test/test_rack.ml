@@ -1,0 +1,197 @@
+(* Tests for kona_rack: the per-node WFQ ingress scheduler and the
+   multi-tenant rack simulation (contention, shared segments, quotas,
+   determinism, fault composition). *)
+
+open Kona_rack
+module Rack_controller = Kona.Rack_controller
+module Units = Kona_util.Units
+module Fault_spec = Kona_faults.Fault_spec
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Wfq *)
+
+let test_wfq_idle_no_delay () =
+  let w = Wfq.create ~gbps:1.0 ~weights:[| 1; 1 |] in
+  check_int "idle link admits with zero delay" 0
+    (Wfq.admit w ~tenant:0 ~bytes:4096 ~now:0);
+  (* A message arriving after the link drained is also free. *)
+  let later = Wfq.busy_until w + 10 in
+  check_int "drained link admits with zero delay" 0
+    (Wfq.admit w ~tenant:1 ~bytes:4096 ~now:later);
+  check_int "no saturated admits" 0 (Wfq.saturated_admits w);
+  check_int "two admits" 2 (Wfq.total_admits w)
+
+let test_wfq_wire_time () =
+  let w = Wfq.create ~gbps:1.0 ~weights:[| 1 |] in
+  (* 1 Gbit/s = 8 ns per byte. *)
+  check_int "8 ns/byte at 1 Gbit/s" (8 * 4096) (Wfq.wire_ns w ~bytes:4096);
+  let fast = Wfq.create ~gbps:1000.0 ~weights:[| 1 |] in
+  check_int "non-empty floors at 1 ns" 1 (Wfq.wire_ns fast ~bytes:1);
+  check_int "empty message is free" 0 (Wfq.wire_ns w ~bytes:0)
+
+let test_wfq_weighted_shares () =
+  let w = Wfq.create ~gbps:1.0 ~weights:[| 2; 1 |] in
+  (* Both tenants keep the link saturated from t=0: all admits after the
+     first are contended, and the achieved rates must split 2:1. *)
+  for _ = 1 to 200 do
+    ignore (Wfq.admit w ~tenant:0 ~bytes:4096 ~now:0);
+    ignore (Wfq.admit w ~tenant:1 ~bytes:4096 ~now:0)
+  done;
+  let a0 = Wfq.achieved_gbps w ~tenant:0
+  and a1 = Wfq.achieved_gbps w ~tenant:1 in
+  check_bool "both tenants contended" true (a0 > 0.0 && a1 > 0.0);
+  let ratio = a0 /. a1 in
+  check_bool
+    (Printf.sprintf "achieved ratio %.3f tracks the 2:1 weights" ratio)
+    true
+    (ratio > 1.99 && ratio < 2.01);
+  let s1 = Wfq.tenant_stats w ~tenant:1 in
+  check_bool "lighter tenant queues longer" true
+    (s1.Wfq.delay_ns > (Wfq.tenant_stats w ~tenant:0).Wfq.delay_ns);
+  check_bool "backlog accumulated" true (Wfq.peak_backlog_ns w > 0);
+  check_bool "backlog drains with time" true
+    (Wfq.backlog_ns w ~now:(Wfq.busy_until w) = 0)
+
+let test_wfq_rejects_bad_config () =
+  let raises f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  check_bool "empty weights" true
+    (raises (fun () -> Wfq.create ~gbps:1.0 ~weights:[||]));
+  check_bool "zero weight" true
+    (raises (fun () -> Wfq.create ~gbps:1.0 ~weights:[| 1; 0 |]));
+  check_bool "non-positive rate" true
+    (raises (fun () -> Wfq.create ~gbps:0.0 ~weights:[| 1 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Rack *)
+
+let tenants ?(quota0 = None) ?(shares = (2, 1)) () =
+  let s0, s1 = shares in
+  [
+    { Rack.name = "t0"; workload = "kv-uniform"; bw_share = s0;
+      mem_quota = quota0; seed = 42 };
+    { Rack.name = "t1"; workload = "page-rank"; bw_share = s1;
+      mem_quota = None; seed = 43 };
+  ]
+
+let cfg ?(replicas = 0) ?(faults = []) () =
+  { Rack.default_config with Rack.replicas; faults }
+
+let test_rack_two_tenants () =
+  let r = Rack.run (cfg ()) (tenants ()) in
+  let t0 = r.Rack.r_tenants.(0) and t1 = r.Rack.r_tenants.(1) in
+  check_bool "tenant 0 ran" true (t0.Rack.t_accesses > 0);
+  check_bool "tenant 1 ran" true (t1.Rack.t_accesses > 0);
+  check_int "tenant 0 converged" 0 t0.Rack.t_mismatches;
+  check_int "tenant 1 converged" 0 t1.Rack.t_mismatches;
+  (* The 1 Gbit/s links saturate under two smoke tenants... *)
+  check_bool "links saturated" true (r.Rack.r_saturated_admits > 0);
+  (* ...and the achieved bandwidth split tracks the 2:1 shares. *)
+  let ratio = t0.Rack.t_achieved_gbps /. t1.Rack.t_achieved_gbps in
+  check_bool
+    (Printf.sprintf "achieved ratio %.2f within 20%% of 2:1" ratio)
+    true
+    (ratio > 1.6 && ratio < 2.4);
+  (* Shared segment: the writer's evictions recalled the reader. *)
+  check_bool "publisher wrote the segment" true (r.Rack.r_shared_writes > 0);
+  check_bool "reader read the segment" true (r.Rack.r_shared_reads > 0);
+  check_bool "writer evictions snooped the rack directory" true
+    (r.Rack.r_snoops > 0);
+  check_bool "reader received invalidations" true
+    (t1.Rack.t_invalidations > 0);
+  check_int "no crashes without faults" 0 r.Rack.r_node_crashes
+
+let test_rack_determinism () =
+  let fingerprints () =
+    let r = Rack.run (cfg ()) (tenants ()) in
+    Array.map (fun t -> t.Rack.t_fingerprint) r.Rack.r_tenants
+  in
+  let a = fingerprints () and b = fingerprints () in
+  Alcotest.(check (array string))
+    "same seeds give bit-identical per-tenant counters" a b
+
+let test_rack_quota_rejection () =
+  (* One slab's worth of quota cannot back a smoke heap. *)
+  let quota0 = Some (Units.mib 1) in
+  match Rack.run (cfg ()) (tenants ~quota0 ()) with
+  | _ -> Alcotest.fail "tenant 0 must overrun its one-slab quota"
+  | exception Rack_controller.Quota_exceeded { tenant; quota; used; requested } ->
+      Alcotest.(check string) "names the tenant" "t0" tenant;
+      check_bool "cap reported" true (quota > 0);
+      check_bool "rejected once full" true (used + requested > quota)
+
+let test_rack_fault_failover () =
+  let faults = Fault_spec.parse_exn "node-crash@2ms:id=1" in
+  let r = Rack.run (cfg ~replicas:1 ~faults ()) (tenants ()) in
+  check_int "the crash happened" 1 r.Rack.r_node_crashes;
+  Array.iter
+    (fun t ->
+      check_int
+        (Printf.sprintf "%s survived the failover intact" t.Rack.t_cfg.Rack.name)
+        0 t.Rack.t_mismatches;
+      check_int
+        (Printf.sprintf "%s lost no pages" t.Rack.t_cfg.Rack.name)
+        0 t.Rack.t_lost_pages;
+      check_bool "not degraded" true (t.Rack.t_degraded = None))
+    r.Rack.r_tenants
+
+let test_rack_validates_tenants () =
+  let raises f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  check_bool "empty tenant list" true (raises (fun () -> Rack.run (cfg ()) []));
+  check_bool "duplicate names" true
+    (raises (fun () ->
+         Rack.run (cfg ())
+           [
+             { Rack.name = "t"; workload = "kv-uniform"; bw_share = 1;
+               mem_quota = None; seed = 1 };
+             { Rack.name = "t"; workload = "page-rank"; bw_share = 1;
+               mem_quota = None; seed = 2 };
+           ]));
+  check_bool "unknown workload" true
+    (raises (fun () ->
+         Rack.run (cfg ())
+           [
+             { Rack.name = "t"; workload = "no-such-workload"; bw_share = 1;
+               mem_quota = None; seed = 1 };
+           ]));
+  check_bool "non-positive share" true
+    (raises (fun () ->
+         Rack.run (cfg ())
+           [
+             { Rack.name = "t"; workload = "kv-uniform"; bw_share = 0;
+               mem_quota = None; seed = 1 };
+           ]))
+
+let () =
+  Alcotest.run "kona_rack"
+    [
+      ( "wfq",
+        [
+          Alcotest.test_case "idle admits free" `Quick test_wfq_idle_no_delay;
+          Alcotest.test_case "wire time" `Quick test_wfq_wire_time;
+          Alcotest.test_case "weighted shares" `Quick test_wfq_weighted_shares;
+          Alcotest.test_case "rejects bad config" `Quick
+            test_wfq_rejects_bad_config;
+        ] );
+      ( "rack",
+        [
+          Alcotest.test_case "two tenants" `Quick test_rack_two_tenants;
+          Alcotest.test_case "determinism" `Quick test_rack_determinism;
+          Alcotest.test_case "quota rejection" `Quick test_rack_quota_rejection;
+          Alcotest.test_case "fault failover" `Quick test_rack_fault_failover;
+          Alcotest.test_case "validates tenants" `Quick
+            test_rack_validates_tenants;
+        ] );
+    ]
