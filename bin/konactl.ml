@@ -571,9 +571,11 @@ let parse_list ~what ~parse s =
 let nth_cyclic l i default =
   match l with [] -> default | _ -> List.nth l (i mod List.length l)
 
-let cmd_rack tenants_n workloads bw_shares mem_quotas nodes node_gbps
-    shared_pages shared_ops quantum replicas fault_spec fault_seed seed full
-    metrics_json repro_check =
+let cmd_rack tenants_n workloads bw_shares mem_quotas nodes node_cap node_gbps
+    shared_pages shared_ops quantum policy fast_nodes slow_extra_ns
+    hot_threshold migrate_epoch migrate_budget migrate_share rack_ops
+    rack_fmem_pages replicas fault_spec fault_seed seed full metrics_json
+    repro_check =
   if tenants_n < 1 then begin
     Fmt.epr "--tenants must be >= 1@.";
     exit 1
@@ -585,6 +587,13 @@ let cmd_rack tenants_n workloads bw_shares mem_quotas nodes node_gbps
     match mem_quotas with
     | None -> []
     | Some s -> parse_list ~what:"--mem-quota" ~parse:int_of_string s
+  in
+  let ops =
+    match Kona_rack.Rack_ops.parse rack_ops with
+    | Ok ops -> ops
+    | Error msg ->
+        Fmt.epr "bad --rack-ops: %s@." msg;
+        exit 1
   in
   let tenant_cfgs =
     List.init tenants_n (fun i ->
@@ -598,11 +607,18 @@ let cmd_rack tenants_n workloads bw_shares mem_quotas nodes node_gbps
           seed = seed + i;
         })
   in
+  let runtime =
+    if rack_fmem_pages > 0 then
+      { Rack.default_config.Rack.runtime with Runtime.fmem_pages = rack_fmem_pages }
+    else Rack.default_config.Rack.runtime
+  in
   let cfg =
     {
-      Rack.default_config with
       Rack.scale;
       nodes;
+      node_capacity =
+        (if node_cap > 0 then node_cap
+         else Rack.default_config.Rack.node_capacity);
       node_gbps;
       replicas;
       faults = parse_fault_spec fault_spec;
@@ -610,6 +626,15 @@ let cmd_rack tenants_n workloads bw_shares mem_quotas nodes node_gbps
       shared_pages;
       shared_ops;
       quantum;
+      policy;
+      fast_nodes;
+      slow_extra_ns;
+      hot_threshold;
+      migrate_epoch_ns = migrate_epoch;
+      migrate_budget;
+      migrate_share;
+      ops;
+      runtime;
     }
   in
   match Rack.run cfg tenant_cfgs with
@@ -640,6 +665,18 @@ let cmd_rack tenants_n workloads bw_shares mem_quotas nodes node_gbps
          reads, %d snoops, %d invalidations@."
         r.Rack.r_saturated_admits r.Rack.r_total_admits r.Rack.r_shared_writes
         r.Rack.r_shared_reads r.Rack.r_snoops r.Rack.r_invalidations_sent;
+      Fmt.pr
+        "placement: policy %s  %d migration(s) (%a moved, %d declined)  \
+         remote-hit %d.%d%%  hot-hit %d.%d%%@."
+        r.Rack.r_policy r.Rack.r_migrations Units.pp_bytes r.Rack.r_bytes_moved
+        r.Rack.r_failed_moves
+        (r.Rack.r_remote_hit_pml / 10)
+        (r.Rack.r_remote_hit_pml mod 10)
+        (r.Rack.r_hot_hit_pml / 10)
+        (r.Rack.r_hot_hit_pml mod 10);
+      if r.Rack.r_ops_applied > 0 then
+        Fmt.pr "ops: %d applied; drain re-homed %d page(s), %d failure(s)@."
+          r.Rack.r_ops_applied r.Rack.r_drained_pages r.Rack.r_drain_failures;
       if r.Rack.r_node_crashes > 0 then
         Fmt.pr "faults: %d node crash(es) handled@." r.Rack.r_node_crashes;
       let mismatches = ref 0 in
@@ -714,6 +751,18 @@ let cmd_rack tenants_n workloads bw_shares mem_quotas nodes node_gbps
                 ("saturated_admits", Json.Int r.Rack.r_saturated_admits);
                 ("snoops", Json.Int r.Rack.r_snoops);
                 ("invalidations_sent", Json.Int r.Rack.r_invalidations_sent);
+                ("policy", Json.String r.Rack.r_policy);
+                ("migrations", Json.Int r.Rack.r_migrations);
+                ("bytes_moved", Json.Int r.Rack.r_bytes_moved);
+                ("failed_moves", Json.Int r.Rack.r_failed_moves);
+                ("migrator_delay_ns", Json.Int r.Rack.r_migrator_delay_ns);
+                ("fetches", Json.Int r.Rack.r_fetches);
+                ("fetches_fast", Json.Int r.Rack.r_fetches_fast);
+                ("remote_hit_pml", Json.Int r.Rack.r_remote_hit_pml);
+                ("hot_hit_pml", Json.Int r.Rack.r_hot_hit_pml);
+                ("drained_pages", Json.Int r.Rack.r_drained_pages);
+                ("drain_failures", Json.Int r.Rack.r_drain_failures);
+                ("ops_applied", Json.Int r.Rack.r_ops_applied);
                 ( "tenants",
                   Json.List (Array.to_list (Array.map tenant_doc r.Rack.r_tenants)) );
                 ("metrics", Snapshot.to_json r.Rack.r_snapshot);
@@ -725,6 +774,11 @@ let cmd_rack tenants_n workloads bw_shares mem_quotas nodes node_gbps
           close_out oc;
           Fmt.pr "metrics: wrote %s@." path);
       if !mismatches > 0 || !repro_failed then 1
+      else if r.Rack.r_drain_failures > 0 then begin
+        Fmt.pr "ops: DRAIN INCOMPLETE: %d page(s) not re-homed@."
+          r.Rack.r_drain_failures;
+        4
+      end
       else if
         Array.exists
           (fun (t : Rack.tenant_result) -> t.Rack.t_degraded <> None)
@@ -948,6 +1002,15 @@ let rack_mem_quotas =
 let rack_nodes =
   Arg.(value & opt int 2 & info [ "nodes" ] ~doc:"memory nodes in the rack")
 
+let rack_node_cap =
+  Arg.(
+    value & opt int 0
+    & info [ "node-cap" ]
+        ~doc:
+          "per-node capacity in bytes (0 = 128 MiB default); small values \
+           create the capacity pressure that spreads allocations across \
+           tiers")
+
 let rack_node_gbps =
   Arg.(
     value & opt float 1.0
@@ -981,6 +1044,76 @@ let rack_repro_check =
           "run the rack twice with the same seeds and fail unless every \
            tenant's counter snapshot is bit-identical")
 
+let rack_policy =
+  Arg.(
+    value & opt string "first-fit"
+    & info [ "policy" ]
+        ~doc:
+          "placement policy: first-fit (static round-robin, no migration) | \
+           heat (hot pages migrate to the fast tier) | centralized \
+           (MIND-style directory: least-loaded placement + capacity \
+           rebalancing)")
+
+let rack_fast_nodes =
+  Arg.(
+    value & opt int 1
+    & info [ "fast-nodes" ]
+        ~doc:"nodes 0..N-1 form the low-latency tier the heat policy targets")
+
+let rack_slow_extra_ns =
+  Arg.(
+    value & opt int 2000
+    & info [ "slow-extra-ns" ]
+        ~doc:
+          "fixed fabric penalty (ns) added to every message bound for a \
+           slow-tier node; 0 disables tiering")
+
+let rack_hot_threshold =
+  Arg.(
+    value & opt int 2
+    & info [ "hot-threshold" ]
+        ~doc:
+          "decayed heat at/above which a page counts hot (>= 1); fetches \
+           add 2, evictions 1, and heat halves every migrate-epoch, so 2 \
+           means 'fetched again within the current epoch'")
+
+let rack_migrate_epoch =
+  Arg.(
+    value & opt int 1_000_000
+    & info [ "migrate-epoch-ns" ]
+        ~doc:"heat-decay and background-migrator epoch, virtual ns")
+
+let rack_migrate_budget =
+  Arg.(
+    value & opt int 32
+    & info [ "migrate-budget" ] ~doc:"max page moves per migrator epoch")
+
+let rack_migrate_share =
+  Arg.(
+    value & opt int 1
+    & info [ "migrate-share" ]
+        ~doc:
+          "WFQ weight of migration traffic at every node (it contends with \
+           tenants like any other sender)")
+
+let rack_ops_spec =
+  Arg.(
+    value & opt string ""
+    & info [ "rack-ops" ]
+        ~doc:
+          "scheduled rack operations, e.g. \
+           'add@3ms:cap=67108864;drain@5ms:id=1;rebalance@7ms'; drain \
+           failures exit 4")
+
+let rack_fmem_pages =
+  Arg.(
+    value & opt int 0
+    & info [ "fmem-pages" ]
+        ~doc:
+          "per-tenant local cache frames (0 = runtime default); small \
+           values thrash FMem and generate the fetch traffic placement \
+           feeds on")
+
 let cmds =
   [
     Cmd.v (Cmd.info "workloads" ~doc:"list Table 2 workloads")
@@ -1013,9 +1146,12 @@ let cmds =
             per-tenant memory quotas and a cross-tenant shared segment")
       Term.(
         const cmd_rack $ rack_tenants $ rack_workloads $ rack_bw_shares
-        $ rack_mem_quotas $ rack_nodes $ rack_node_gbps $ rack_shared_pages
-        $ rack_shared_ops $ rack_quantum $ replicas $ fault_spec $ fault_seed
-        $ seed $ full $ metrics_json $ rack_repro_check);
+        $ rack_mem_quotas $ rack_nodes $ rack_node_cap $ rack_node_gbps
+        $ rack_shared_pages $ rack_shared_ops $ rack_quantum $ rack_policy
+        $ rack_fast_nodes $ rack_slow_extra_ns $ rack_hot_threshold
+        $ rack_migrate_epoch $ rack_migrate_budget $ rack_migrate_share
+        $ rack_ops_spec $ rack_fmem_pages $ replicas $ fault_spec
+        $ fault_seed $ seed $ full $ metrics_json $ rack_repro_check);
     Cmd.v
       (Cmd.info "soak"
          ~doc:

@@ -2,8 +2,15 @@ open Kona_util
 
 (* One registered node: [logical_id] is the rack-wide identity slabs refer
    to; [backing] is the store currently serving it — swapped on replica
-   failover, so translations outlive the crash of the original hardware. *)
-type slot = { logical_id : int; mutable backing : Memory_node.t }
+   failover, so translations outlive the crash of the original hardware.
+   A draining slot keeps serving existing slabs but takes no new ones;
+   the slot stays registered even after the drain completes so logical
+   ids (and everything indexed by them) remain stable. *)
+type slot = {
+  logical_id : int;
+  mutable backing : Memory_node.t;
+  mutable draining : bool;
+}
 
 exception
   Quota_exceeded of { tenant : string; quota : int; used : int; requested : int }
@@ -26,6 +33,10 @@ type t = {
   used : (string, int) Hashtbl.t; (* tenant -> bytes allocated *)
   mutable next_node : int; (* round-robin cursor *)
   mutable next_slab_id : int;
+  (* placement hook: consulted before the round-robin for every slab;
+     returning a logical id steers the slab there if that node can take
+     it. *)
+  mutable placement : (vaddr:int -> tenant:string option -> int option) option;
 }
 
 let create ?(slab_size = Units.mib 1) () =
@@ -38,6 +49,7 @@ let create ?(slab_size = Units.mib 1) () =
     used = Hashtbl.create 8;
     next_node = 0;
     next_slab_id = 0;
+    placement = None;
   }
 
 let slab_size t = t.slab_size
@@ -47,7 +59,7 @@ let register_node t node =
   if Hashtbl.mem t.index id then
     invalid_arg (Printf.sprintf "Rack_controller: memory node id %d already registered" id);
   Hashtbl.add t.index id (Dynarray.length t.slots);
-  Dynarray.add_last t.slots { logical_id = id; backing = node }
+  Dynarray.add_last t.slots { logical_id = id; backing = node; draining = false }
 
 let nodes t = List.map (fun s -> s.backing) (Dynarray.to_list t.slots)
 
@@ -60,6 +72,9 @@ let slot t ~id =
 let node t ~id = (slot t ~id).backing
 
 let replace_node t ~id ~node = (slot t ~id).backing <- node
+let set_draining t ~id draining = (slot t ~id).draining <- draining
+let draining t ~id = (slot t ~id).draining
+let set_placement t choose = t.placement <- Some choose
 let free_bytes t ~id = Memory_node.free_bytes (slot t ~id).backing
 let used_bytes t ~id = Memory_node.used (slot t ~id).backing
 
@@ -91,37 +106,56 @@ let commit t ~tenant =
   | Some tenant ->
       Hashtbl.replace t.used tenant (tenant_used t ~tenant + t.slab_size)
 
+let usable t s =
+  Memory_node.alive s.backing
+  && (not s.draining)
+  && Memory_node.free_bytes s.backing >= t.slab_size
+
+let grant t ~tenant ~vaddr s =
+  let remote_addr = Memory_node.reserve s.backing ~size:t.slab_size in
+  let slab =
+    {
+      Slab.id = t.next_slab_id;
+      node = s.logical_id;
+      vaddr;
+      remote_addr;
+      size = t.slab_size;
+    }
+  in
+  t.next_slab_id <- t.next_slab_id + 1;
+  commit t ~tenant;
+  slab
+
 let allocate_slab ?tenant t ~vaddr =
   let n = Dynarray.length t.slots in
   if n = 0 then failwith "Rack_controller: no memory nodes registered";
   admit t ~tenant;
-  let rec try_node attempts =
-    if attempts = n then raise Out_of_memory
-    else begin
-      let candidate = Dynarray.get t.slots (t.next_node mod n) in
-      t.next_node <- t.next_node + 1;
-      if
-        Memory_node.alive candidate.backing
-        && Memory_node.free_bytes candidate.backing >= t.slab_size
-      then begin
-        let remote_addr = Memory_node.reserve candidate.backing ~size:t.slab_size in
-        let slab =
-          {
-            Slab.id = t.next_slab_id;
-            node = candidate.logical_id;
-            vaddr;
-            remote_addr;
-            size = t.slab_size;
-          }
-        in
-        t.next_slab_id <- t.next_slab_id + 1;
-        commit t ~tenant;
-        slab
-      end
-      else try_node (attempts + 1)
-    end
+  let preferred =
+    match t.placement with
+    | None -> None
+    | Some choose -> (
+        match choose ~vaddr ~tenant with
+        | None -> None
+        | Some id -> (
+            match Hashtbl.find_opt t.index id with
+            | Some pos ->
+                let s = Dynarray.get t.slots pos in
+                if usable t s then Some s else None
+            | None -> None))
   in
-  try_node 0
+  match preferred with
+  | Some s -> grant t ~tenant ~vaddr s
+  | None ->
+      let rec try_node attempts =
+        if attempts = n then raise Out_of_memory
+        else begin
+          let candidate = Dynarray.get t.slots (t.next_node mod n) in
+          t.next_node <- t.next_node + 1;
+          if usable t candidate then grant t ~tenant ~vaddr candidate
+          else try_node (attempts + 1)
+        end
+      in
+      try_node 0
 
 let total_free t =
   Dynarray.fold_left

@@ -38,6 +38,23 @@ val replace_node : t -> id:int -> node:Memory_node.t -> unit
     mirror takes over the crashed primary's identity).  Raises
     [Invalid_argument] for unknown ids. *)
 
+val set_draining : t -> id:int -> bool -> unit
+(** Mark/unmark logical node [id] as draining: it keeps serving its
+    existing slabs but receives no new allocations.  The slot stays
+    registered after the drain completes, so logical ids (and anything
+    indexed by them) remain stable.  Raises [Invalid_argument] for
+    unknown ids. *)
+
+val draining : t -> id:int -> bool
+
+val set_placement :
+  t -> (vaddr:int -> tenant:string option -> int option) -> unit
+(** Install a placement hook consulted before the round-robin on every
+    slab allocation.  Returning [Some id] steers the slab to that node
+    if it is live, not draining, and has room; [None] (or an unusable
+    choice) falls back to the round-robin.  Quota admission happens
+    before the hook either way. *)
+
 val free_bytes : t -> id:int -> int
 (** Free bytes on the store currently backing logical node [id].  Raises
     [Invalid_argument] for unknown ids. *)

@@ -7,8 +7,13 @@ type t = {
   tenant : string option; (* quota identity for controller allocations *)
   (* slab-grain translation: VFMem slab index -> slab *)
   by_slab_index : (int, Slab.t) Hashtbl.t;
+  (* page-grain overlay written by the migrator: vpage -> (node,
+     page-base remote addr).  Consulted before the slab map, so a moved
+     page translates to its new home while its slab-mates stay put. *)
+  overrides : (int, int * int) Hashtbl.t;
   mutable slab_list : Slab.t list;
   mutable round_trips : int;
+  mutable remaps : int;
 }
 
 let create ?(batch = 4) ?rpc ?tenant ~controller () =
@@ -19,8 +24,10 @@ let create ?(batch = 4) ?rpc ?tenant ~controller () =
     rpc;
     tenant;
     by_slab_index = Hashtbl.create 64;
+    overrides = Hashtbl.create 64;
     slab_list = [];
     round_trips = 0;
+    remaps = 0;
   }
 
 let slab_bytes t = Rack_controller.slab_size t.controller
@@ -83,9 +90,20 @@ let map_foreign t ~at slabs =
     slabs
 
 let translate t ~vaddr =
-  Option.map
-    (fun slab -> (slab.Slab.node, Slab.remote_of_vaddr slab ~vaddr))
-    (slab_of t ~vaddr)
+  match Hashtbl.find_opt t.overrides (vaddr / Units.page_size) with
+  | Some (node, base) -> Some (node, base + (vaddr mod Units.page_size))
+  | None ->
+      Option.map
+        (fun slab -> (slab.Slab.node, Slab.remote_of_vaddr slab ~vaddr))
+        (slab_of t ~vaddr)
+
+let remap_page t ~vpage ~node ~remote_addr =
+  if remote_addr mod Units.page_size <> 0 then
+    invalid_arg "Resource_manager.remap_page: unaligned remote address";
+  Hashtbl.replace t.overrides vpage (node, remote_addr);
+  t.remaps <- t.remaps + 1
+
+let remaps t = t.remaps
 
 let slabs t = List.rev t.slab_list
 let controller_round_trips t = t.round_trips
@@ -96,8 +114,13 @@ let iter_backed_pages t f =
       let pages = slab.Slab.size / Units.page_size in
       let first_page = slab.Slab.vaddr / Units.page_size in
       for i = 0 to pages - 1 do
-        f ~vpage:(first_page + i)
-          ~node:slab.Slab.node
-          ~remote_addr:(slab.Slab.remote_addr + (i * Units.page_size))
+        let vpage = first_page + i in
+        let node, remote_addr =
+          match Hashtbl.find_opt t.overrides vpage with
+          | Some home -> home
+          | None ->
+              (slab.Slab.node, slab.Slab.remote_addr + (i * Units.page_size))
+        in
+        f ~vpage ~node ~remote_addr
       done)
     (slabs t)

@@ -28,7 +28,19 @@ val ensure_backed : t -> addr:int -> len:int -> unit
     allocation. *)
 
 val translate : t -> vaddr:int -> (int * int) option
-(** [(node, remote_addr)] for a backed VFMem address. *)
+(** [(node, remote_addr)] for a backed VFMem address.  A page-grain
+    remap ({!remap_page}) takes precedence over the slab map. *)
+
+val remap_page : t -> vpage:int -> node:int -> remote_addr:int -> unit
+(** Point [vpage]'s translation at a new home — the migrator's hook.
+    [remote_addr] is the page-base address on [node]; subsequent
+    {!translate} and {!iter_backed_pages} calls see the new location.
+    The caller must have copied the bytes (and replicas) first and
+    flushed any staged CL-log entries, which resolve addresses at
+    append time.  Raises [Invalid_argument] on an unaligned address. *)
+
+val remaps : t -> int
+(** Page remaps applied so far. *)
 
 val map_foreign : t -> at:int -> Slab.t list -> unit
 (** Map another tenant's published slabs (in order) into this address

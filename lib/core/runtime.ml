@@ -1076,6 +1076,15 @@ let invalidate_page t ~vpage =
 
 let invalidations_received t = t.invalidations_received
 
+(* Page migration support.  Staged CL-log entries resolve (node, raddr)
+   at append time, so the migrator flushes before any remap; the remap
+   itself is just a translation update — the caller has already copied
+   the bytes (and replicas) to the new home. *)
+let flush_log t = Cl_log.flush t.log
+
+let remap_page t ~vpage ~node ~remote_addr =
+  Resource_manager.remap_page t.rm ~vpage ~node ~remote_addr
+
 (* Post one background control message (e.g. a shared-segment invalidation)
    to [node]: rides the eviction QP, so it pays wire time, contends at the
    node's ingress scheduler, and [deliver] fires when the background clock

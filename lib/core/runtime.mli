@@ -222,6 +222,16 @@ val invalidate_page : t -> vpage:int -> unit
 
 val invalidations_received : t -> int
 
+val flush_log : t -> unit
+(** Flush the CL log's staged buffers.  The migrator calls this before
+    remapping: staged entries resolve (node, raddr) at append time and
+    must land at the pre-move address. *)
+
+val remap_page : t -> vpage:int -> node:int -> remote_addr:int -> unit
+(** Retarget [vpage]'s translation at its new home ([remote_addr] is the
+    page base on logical node [node]).  The caller must have copied the
+    page bytes and replicas first and called {!flush_log}. *)
+
 val post_bg_message :
   t -> node:int -> len:int -> deliver:(unit -> unit) -> unit
 (** Post one background control message of [len] bytes to [node] on the

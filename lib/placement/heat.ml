@@ -1,0 +1,67 @@
+type cell = { mutable value : int; mutable epoch : int }
+
+type t = {
+  epoch_ns : int;
+  cells : (int, cell) Hashtbl.t; (* vpage -> decaying counter *)
+  mutable touches : int;
+}
+
+let create ~epoch_ns =
+  if epoch_ns <= 0 then invalid_arg "Heat.create: non-positive epoch";
+  { epoch_ns; cells = Hashtbl.create 256; touches = 0 }
+
+let epoch_ns t = t.epoch_ns
+
+(* Lazy decay: halve once per epoch elapsed since the cell was last
+   brought current.  A shift by >= 63 would be undefined; past that the
+   counter is simply gone. *)
+let settle t cell ~now =
+  let epoch = now / t.epoch_ns in
+  if epoch > cell.epoch then begin
+    let elapsed = epoch - cell.epoch in
+    cell.value <- (if elapsed >= 63 then 0 else cell.value lsr elapsed);
+    cell.epoch <- epoch
+  end
+
+let touch t ~vpage ~weight ~now =
+  if weight < 0 then invalid_arg "Heat.touch: negative weight";
+  t.touches <- t.touches + 1;
+  match Hashtbl.find_opt t.cells vpage with
+  | Some cell ->
+      settle t cell ~now;
+      cell.value <- cell.value + weight
+  | None ->
+      Hashtbl.add t.cells vpage { value = weight; epoch = now / t.epoch_ns }
+
+let heat t ~vpage ~now =
+  match Hashtbl.find_opt t.cells vpage with
+  | None -> 0
+  | Some cell ->
+      settle t cell ~now;
+      cell.value
+
+let iter t ~now f =
+  let pages =
+    Hashtbl.fold (fun vpage _ acc -> vpage :: acc) t.cells []
+    |> List.sort compare
+  in
+  List.iter
+    (fun vpage ->
+      match Hashtbl.find_opt t.cells vpage with
+      | None -> ()
+      | Some cell ->
+          settle t cell ~now;
+          if cell.value = 0 then Hashtbl.remove t.cells vpage
+          else f ~vpage ~heat:cell.value)
+    pages
+
+let ranked t ~now =
+  let acc = ref [] in
+  iter t ~now (fun ~vpage ~heat -> acc := (vpage, heat) :: !acc);
+  List.sort
+    (fun (p1, h1) (p2, h2) ->
+      if h1 <> h2 then compare h2 h1 else compare p1 p2)
+    !acc
+
+let tracked t = Hashtbl.length t.cells
+let touches t = t.touches

@@ -1,0 +1,39 @@
+(** Per-page heat tracking on a virtual-clock epoch.
+
+    Every demand fetch and eviction of a page bumps its counter; counters
+    decay by halving once per elapsed [epoch_ns] of virtual time.  Decay
+    is lazy — a counter is brought current only when touched or read — so
+    tracking cost is O(1) per event and the table never needs a sweep.
+
+    Determinism: heat is a pure function of the (event, virtual-time)
+    stream, so the same seeds produce the same heat and hence the same
+    migration plans. *)
+
+type t
+
+val create : epoch_ns:int -> t
+(** Raises [Invalid_argument] on a non-positive epoch. *)
+
+val epoch_ns : t -> int
+
+val touch : t -> vpage:int -> weight:int -> now:int -> unit
+(** Fold one access event of [weight] into [vpage]'s counter at virtual
+    time [now] (decaying it first). *)
+
+val heat : t -> vpage:int -> now:int -> int
+(** [vpage]'s counter decayed to [now]; 0 for untracked pages. *)
+
+val iter : t -> now:int -> (vpage:int -> heat:int -> unit) -> unit
+(** Every tracked page with its decayed counter, in increasing [vpage]
+    order (deterministic).  Pages whose counter decayed to 0 are dropped
+    from the table as a side effect. *)
+
+val ranked : t -> now:int -> (int * int) list
+(** [(vpage, heat)] pairs sorted hottest first (ties broken by lower
+    [vpage]) — the migrator's working set. *)
+
+val tracked : t -> int
+(** Pages currently tracked. *)
+
+val touches : t -> int
+(** Total events folded in. *)

@@ -1,0 +1,65 @@
+(** Pluggable rack-scale placement policies.
+
+    A policy answers two questions for the rack controller:
+
+    - {e where does a fresh slab go?} ([choose_node], consulted before the
+      controller's round-robin fallback), and
+    - {e which pages should move this epoch?} ([plan], consulted by the
+      background migrator with the current heat ranking).
+
+    Three implementations ship with the runtime:
+
+    - [first_fit] — today's behavior: no opinion on allocation (the
+      controller round-robins) and never migrates;
+    - [heat_aware] — ships hot pages toward fast (low-latency) nodes and
+      evicts cold pages off them to make room;
+    - [centralized] — a MIND-style central directory: every placement
+      decision goes through one stateful allocator that tracks per-node
+      load and plans capacity-balancing moves.
+
+    Policies must be deterministic: [plan] may depend only on its
+    arguments and state accumulated from previous deterministic calls. *)
+
+type node_info = {
+  ni_node : int;  (** node id, index into the rack's WFQ array *)
+  ni_fast : bool;  (** low-latency tier *)
+  ni_free : int;  (** bytes still unreserved *)
+  ni_capacity : int;  (** total bytes *)
+  ni_draining : bool;  (** excluded from new placement; pages leaving *)
+}
+
+type page_info = {
+  pi_vpage : int;  (** tenant-local virtual page index *)
+  pi_tenant : int;  (** tenant index in the rack *)
+  pi_node : int;  (** node currently holding the page *)
+  pi_heat : int;  (** decayed heat counter *)
+}
+
+type move = {
+  mv_tenant : int;
+  mv_vpage : int;
+  mv_dst : int;  (** destination node id *)
+}
+
+type t = {
+  name : string;
+  choose_node : nodes:node_info list -> tenant:int -> int option;
+      (** Pick a node for a fresh slab; [None] defers to the
+          controller's round-robin. Never returns a draining node. *)
+  plan : nodes:node_info list -> pages:page_info list -> budget:int -> move list;
+      (** Up to [budget] moves for this epoch. [pages] arrives hottest
+          first. Returned moves must target live, non-draining nodes. *)
+  stats : unit -> (string * int) list;
+      (** Policy-internal counters for telemetry/debugging. *)
+}
+
+val first_fit : unit -> t
+val heat_aware : ?hot_threshold:int -> unit -> t
+val centralized : unit -> t
+
+val names : string list
+(** Accepted [--policy] spellings, in presentation order. *)
+
+val find : string -> t
+(** Policy by name ("first-fit" | "heat" | "centralized").
+    Raises [Invalid_argument] on anything else. *)

@@ -7,6 +7,9 @@ module Registry = Kona_telemetry.Registry
 module Snapshot = Kona_telemetry.Snapshot
 module Json = Kona_telemetry.Json
 module Directory = Kona_coherence.Directory
+module Heat = Kona_placement.Heat
+module Placement_policy = Kona_placement.Placement_policy
+module Migrator = Kona_placement.Migrator
 open Kona
 
 type tenant_cfg = {
@@ -28,6 +31,14 @@ type config = {
   shared_pages : int;
   shared_ops : int;
   quantum : int;
+  policy : string;
+  fast_nodes : int;
+  slow_extra_ns : int;
+  hot_threshold : int;
+  migrate_epoch_ns : int;
+  migrate_budget : int;
+  migrate_share : int;
+  ops : Rack_ops.t;
   runtime : Runtime.config;
 }
 
@@ -43,6 +54,14 @@ let default_config =
     shared_pages = 64;
     shared_ops = 256;
     quantum = 256;
+    policy = "first-fit";
+    fast_nodes = 1;
+    slow_extra_ns = 0;
+    hot_threshold = 2;
+    migrate_epoch_ns = 1_000_000;
+    migrate_budget = 32;
+    migrate_share = 1;
+    ops = [];
     runtime = Runtime.default_config;
   }
 
@@ -74,6 +93,18 @@ type result = {
   r_shared_writes : int;
   r_shared_reads : int;
   r_node_crashes : int;
+  r_policy : string;
+  r_migrations : int;
+  r_bytes_moved : int;
+  r_failed_moves : int;
+  r_migrator_delay_ns : int;
+  r_fetches : int;
+  r_fetches_fast : int;
+  r_remote_hit_pml : int;
+  r_hot_hit_pml : int;
+  r_drained_pages : int;
+  r_drain_failures : int;
+  r_ops_applied : int;
   r_snapshot : Snapshot.t;
 }
 
@@ -91,6 +122,29 @@ let validate cfg tenants =
   if cfg.shared_pages < 0 || cfg.shared_ops < 0 then
     invalid_arg "Rack.run: negative shared-segment parameters";
   if cfg.quantum < 1 then invalid_arg "Rack.run: quantum must be positive";
+  (match Placement_policy.find cfg.policy with
+  | (_ : Placement_policy.t) -> ()
+  | exception Invalid_argument msg -> invalid_arg ("Rack.run: " ^ msg));
+  let adds =
+    List.length
+      (List.filter
+         (fun c -> match c.Rack_ops.op with Rack_ops.Add_node _ -> true | _ -> false)
+         cfg.ops)
+  in
+  if cfg.fast_nodes < 0 || cfg.fast_nodes > cfg.nodes + adds then
+    invalid_arg "Rack.run: fast_nodes out of range";
+  if cfg.slow_extra_ns < 0 then invalid_arg "Rack.run: negative slow_extra_ns";
+  if cfg.hot_threshold < 1 then invalid_arg "Rack.run: hot_threshold must be >= 1";
+  if cfg.migrate_epoch_ns < 1 || cfg.migrate_budget < 1 || cfg.migrate_share < 1
+  then invalid_arg "Rack.run: migration parameters must be positive";
+  List.iter
+    (fun c ->
+      match c.Rack_ops.op with
+      | Rack_ops.Drain { id } ->
+          if id < 0 || id >= cfg.nodes + adds then
+            invalid_arg (Printf.sprintf "Rack.run: drain of unknown node %d" id)
+      | Rack_ops.Add_node _ | Rack_ops.Rebalance -> ())
+    cfg.ops;
   let seen = Hashtbl.create 8 in
   List.iter
     (fun tc ->
@@ -128,10 +182,68 @@ let run cfg tenants =
       | Some bytes -> Rack_controller.set_quota controller ~tenant:tc.name ~bytes
       | None -> ())
     tenants;
-  let weights = Array.map (fun tc -> tc.bw_share) tenants in
-  let wfq =
-    Array.init cfg.nodes (fun _ -> Wfq.create ~gbps:cfg.node_gbps ~weights)
+  (* The migrator is an extra WFQ weight slot (index [n]) at every node:
+     its copies queue behind tenant traffic and tenant traffic queues
+     behind its copies.  Idle slots never back-log, so a policy that
+     never migrates leaves the schedule bit-identical. *)
+  let weights =
+    Array.append (Array.map (fun tc -> tc.bw_share) tenants)
+      [| cfg.migrate_share |]
   in
+  (* Nodes added by scheduled ops get ids [cfg.nodes ..]; their
+     schedulers exist from the start (idle until registration). *)
+  let adds =
+    List.length
+      (List.filter
+         (fun c -> match c.Rack_ops.op with Rack_ops.Add_node _ -> true | _ -> false)
+         cfg.ops)
+  in
+  let max_nodes = cfg.nodes + adds in
+  let wfq =
+    Array.init max_nodes (fun _ -> Wfq.create ~gbps:cfg.node_gbps ~weights)
+  in
+  let node_count = ref cfg.nodes in
+  let policy =
+    match cfg.policy with
+    | "heat" -> Placement_policy.heat_aware ~hot_threshold:cfg.hot_threshold ()
+    | name -> Placement_policy.find name
+  in
+  let node_infos () =
+    let rec go id acc =
+      if id < 0 then acc
+      else
+        let store = Rack_controller.node controller ~id in
+        let acc =
+          if Memory_node.alive store then
+            {
+              Placement_policy.ni_node = id;
+              ni_fast = id < cfg.fast_nodes;
+              ni_free = Memory_node.free_bytes store;
+              ni_capacity = Memory_node.capacity store;
+              ni_draining = Rack_controller.draining controller ~id;
+            }
+            :: acc
+          else acc
+        in
+        go (id - 1) acc
+    in
+    go (!node_count - 1) []
+  in
+  let tenant_index = Hashtbl.create 8 in
+  Array.iteri (fun i tc -> Hashtbl.add tenant_index tc.name i) tenants;
+  (* first-fit must reproduce the pre-placement allocator exactly, so
+     only the other policies install the controller hook. *)
+  if policy.Placement_policy.name <> "first-fit" then
+    Rack_controller.set_placement controller (fun ~vaddr:_ ~tenant ->
+        let ti =
+          match tenant with
+          | Some name -> (
+              match Hashtbl.find_opt tenant_index name with
+              | Some i -> i
+              | None -> 0)
+          | None -> 0
+        in
+        policy.Placement_policy.choose_node ~nodes:(node_infos ()) ~tenant:ti);
   let hub = Hub.create () in
   (* -------- record every tenant's workload against its own heap -------- *)
   let recorded =
@@ -186,8 +298,12 @@ let run cfg tenants =
         in
         let arbitrate ~node ~op:_ ~len ~now =
           match node with
-          | Some id when id >= 0 && id < cfg.nodes ->
+          | Some id when id >= 0 && id < max_nodes ->
+              (* Two latency tiers: nodes past [fast_nodes] pay a fixed
+                 fabric penalty on top of WFQ queueing — what the heat
+                 policy optimizes against. *)
               Wfq.admit wfq.(id) ~tenant:i ~bytes:len ~now
+              + (if id >= cfg.fast_nodes then cfg.slow_extra_ns else 0)
           | _ -> 0
         in
         Runtime.create ~config
@@ -201,6 +317,8 @@ let run cfg tenants =
   let shared_writes = ref 0 in
   let shared_reads = ref 0 in
   let sharer_fills = ref 0 in
+  let seg_fill = ref (fun (_ : int) (_ : int) -> ()) in
+  let seg_recall = ref (fun (_ : int) -> ()) in
   if seg_pages > 0 then begin
     let rm0 = Runtime.resource_manager runtimes.(0) in
     Resource_manager.ensure_backed rm0 ~addr:shared_base ~len:(seg_pages * page);
@@ -217,20 +335,19 @@ let run cfg tenants =
     done;
     (* demand fetches of segment pages register the fetching tenant as a
        sharer with the rack directory *)
-    Array.iteri
-      (fun i rt ->
-        Runtime.set_on_fetch rt (fun ~vpage ->
-            if in_seg vpage then begin
-              incr sharer_fills;
-              Directory.on_fill ~sharer:i rack_dir ~line:(vpage - seg_first)
-                ~write:false
-            end))
-      runtimes;
+    seg_fill :=
+      (fun i vpage ->
+        if in_seg vpage then begin
+          incr sharer_fills;
+          Directory.on_fill ~sharer:i rack_dir ~line:(vpage - seg_first)
+            ~write:false
+        end);
     (* the publisher's dirty evictions recall every remote reader; the
        recall is priced as a background control message that contends at
        the page's home node *)
-    Runtime.set_on_evict runtimes.(0) (fun ~vpage ~dirty ->
-        if dirty && in_seg vpage then
+    seg_recall :=
+      (fun vpage ->
+        if in_seg vpage then
           let line = vpage - seg_first in
           let sharers = Directory.snoop_sharers rack_dir ~line in
           List.iter
@@ -246,6 +363,248 @@ let run cfg tenants =
               end)
             sharers)
   end;
+  (* -------- heat feed and fetch attribution -------- *)
+  (* Anything at or above the shared base belongs to the published
+     segment's slabs (including slab-rounding slack that readers map
+     foreign); the migrator leaves that whole range alone — only drain
+     re-homes it, remapping owner and readers together. *)
+  let in_seg_range vpage = seg_pages > 0 && vpage >= seg_first in
+  let heats = Array.init n (fun _ -> Heat.create ~epoch_ns:cfg.migrate_epoch_ns) in
+  let fetch_total = ref 0 and fetch_fast = ref 0 in
+  let hot_total = ref 0 and hot_fast = ref 0 in
+  Array.iteri
+    (fun i rt ->
+      let rm = Runtime.resource_manager rt in
+      Runtime.set_on_fetch rt (fun ~vpage ->
+          let now = Runtime.elapsed_ns rt in
+          Heat.touch heats.(i) ~vpage ~weight:2 ~now;
+          incr fetch_total;
+          let hot = Heat.heat heats.(i) ~vpage ~now >= cfg.hot_threshold in
+          if hot then incr hot_total;
+          (match Resource_manager.translate rm ~vaddr:(vpage * page) with
+          | Some (node, _) when node < cfg.fast_nodes ->
+              incr fetch_fast;
+              if hot then incr hot_fast
+          | _ -> ());
+          !seg_fill i vpage);
+      Runtime.set_on_evict rt (fun ~vpage ~dirty ->
+          Heat.touch heats.(i) ~vpage ~weight:1 ~now:(Runtime.elapsed_ns rt);
+          if i = 0 && dirty then !seg_recall vpage))
+    runtimes;
+  (* -------- migration machinery -------- *)
+  let flush_all_logs () = Array.iter Runtime.flush_log runtimes in
+  (* Read one page, preferring the (possibly failed-over) primary and
+     falling back to any live replica; a copy whose lines fail their
+     at-rest CRCs is not a migration source — the scrubber owns it. *)
+  let read_page_bytes ~node ~addr =
+    let try_store s =
+      if not (Memory_node.alive s) then None
+      else if Memory_node.verify_range s ~addr ~len:page <> [] then None
+      else
+        match Memory_node.peek s ~addr ~len:page with
+        | data -> Some data
+        | exception Memory_node.Crashed _ -> None
+    in
+    match try_store (Rack_controller.node controller ~id:node) with
+    | Some data -> Some data
+    | None -> (
+        match replication with
+        | None -> None
+        | Some r ->
+            List.fold_left
+              (fun acc s -> match acc with Some _ -> acc | None -> try_store s)
+              None
+              (Replication.live_copies r ~controller ~node))
+  in
+  (* Land the page at its new home: primary plus the home's mirrors (at
+     the same offset), so post-move CL-log replication stays coherent.
+     Reserves bypass the controller's quota path on purpose — migration
+     relocates a tenant's bytes, it doesn't grant more. *)
+  let place_page ~dst ~data =
+    let store = Rack_controller.node controller ~id:dst in
+    if (not (Memory_node.alive store)) || Memory_node.free_bytes store < page
+    then None
+    else begin
+      let addr = Memory_node.reserve store ~size:page in
+      Memory_node.write store ~addr ~data;
+      (match replication with
+      | Some r ->
+          List.iter
+            (fun m -> if Memory_node.alive m then Memory_node.write m ~addr ~data)
+            (Replication.targets r ~node:dst)
+      | None -> ());
+      Some addr
+    end
+  in
+  let page_infos ~now =
+    let acc = ref [] in
+    Array.iteri
+      (fun i rt ->
+        Resource_manager.iter_backed_pages (Runtime.resource_manager rt)
+          (fun ~vpage ~node ~remote_addr:_ ->
+            if not (in_seg_range vpage) then
+              acc :=
+                {
+                  Placement_policy.pi_vpage = vpage;
+                  pi_tenant = i;
+                  pi_node = node;
+                  pi_heat = Heat.heat heats.(i) ~vpage ~now;
+                }
+                :: !acc))
+      runtimes;
+    List.sort
+      (fun a b ->
+        if a.Placement_policy.pi_heat <> b.Placement_policy.pi_heat then
+          compare b.Placement_policy.pi_heat a.Placement_policy.pi_heat
+        else
+          compare
+            (a.Placement_policy.pi_tenant, a.Placement_policy.pi_vpage)
+            (b.Placement_policy.pi_tenant, b.Placement_policy.pi_vpage))
+      !acc
+  in
+  let charge ~node ~bytes ~now = Wfq.admit wfq.(node) ~tenant:n ~bytes ~now in
+  let move_page mv =
+    let { Placement_policy.mv_tenant = ti; mv_vpage = vpage; mv_dst = dst } =
+      mv
+    in
+    if in_seg_range vpage then None
+    else
+      let rt = runtimes.(ti) in
+      let rm = Runtime.resource_manager rt in
+      match Resource_manager.translate rm ~vaddr:(vpage * page) with
+      | None -> None
+      | Some (src, _) when src = dst -> None
+      | Some (src, src_addr) -> (
+          match read_page_bytes ~node:src ~addr:src_addr with
+          | None -> None
+          | Some data -> (
+              match place_page ~dst ~data with
+              | None -> None
+              | Some dst_addr ->
+                  Runtime.remap_page rt ~vpage ~node:dst ~remote_addr:dst_addr;
+                  Some src))
+  in
+  let migrator =
+    Migrator.create ~policy ~epoch_ns:cfg.migrate_epoch_ns
+      ~budget:cfg.migrate_budget ~page_bytes:page
+      {
+        Migrator.nodes = node_infos;
+        pages = page_infos;
+        flush_logs = flush_all_logs;
+        move_page;
+        charge;
+      }
+  in
+  (* -------- scheduled rack ops: add / drain / rebalance -------- *)
+  let op_moves = ref 0 and op_failed = ref 0 in
+  let drained_pages = ref 0 and drain_failures = ref 0 in
+  let ops_applied = ref 0 in
+  let exec_add ~capacity =
+    let id = !node_count in
+    Rack_controller.register_node controller
+      (Memory_node.create ~id ~capacity);
+    incr node_count
+  in
+  (* Most-free live non-draining node (node_infos ascending: ties break
+     toward the lower id). *)
+  let choose_rehome () =
+    List.fold_left
+      (fun best ni ->
+        if ni.Placement_policy.ni_draining || ni.Placement_policy.ni_free < page
+        then best
+        else
+          match best with
+          | None -> Some ni
+          | Some b ->
+              if ni.Placement_policy.ni_free > b.Placement_policy.ni_free then
+                Some ni
+              else best)
+      None (node_infos ())
+  in
+  let exec_drain ~now id =
+    Rack_controller.set_draining controller ~id true;
+    flush_all_logs ();
+    (* Every owned page still homed on the node; a crashed-and-failed-
+       over node drains from its promoted mirror (the controller's
+       backing for [id]), or any live replica. *)
+    let victims = ref [] in
+    Array.iteri
+      (fun i rt ->
+        Resource_manager.iter_backed_pages (Runtime.resource_manager rt)
+          (fun ~vpage ~node ~remote_addr ->
+            if node = id then victims := (i, vpage, remote_addr) :: !victims))
+      runtimes;
+    List.iter
+      (fun (_, vpage, addr) ->
+        match read_page_bytes ~node:id ~addr with
+        | None -> incr drain_failures
+        | Some data -> (
+            match choose_rehome () with
+            | None -> incr drain_failures
+            | Some ni -> (
+                let dst = ni.Placement_policy.ni_node in
+                match place_page ~dst ~data with
+                | None -> incr drain_failures
+                | Some dst_addr ->
+                    (* retarget the owner and every foreign mapping that
+                       still points at the drained copy *)
+                    Array.iter
+                      (fun rt ->
+                        let rm = Runtime.resource_manager rt in
+                        match
+                          Resource_manager.translate rm ~vaddr:(vpage * page)
+                        with
+                        | Some (node', addr') when node' = id && addr' = addr
+                          ->
+                            Resource_manager.remap_page rm ~vpage ~node:dst
+                              ~remote_addr:dst_addr
+                        | _ -> ())
+                      runtimes;
+                    incr drained_pages;
+                    ignore (charge ~node:id ~bytes:page ~now);
+                    ignore (charge ~node:dst ~bytes:page ~now))))
+      (List.sort compare !victims)
+  in
+  let exec_rebalance ~now =
+    flush_all_logs ();
+    let balance = Placement_policy.centralized () in
+    List.iter
+      (fun mv ->
+        match move_page mv with
+        | None -> incr op_failed
+        | Some src ->
+            incr op_moves;
+            ignore (charge ~node:src ~bytes:page ~now);
+            ignore
+              (charge ~node:mv.Placement_policy.mv_dst ~bytes:page ~now))
+      (balance.Placement_policy.plan ~nodes:(node_infos ())
+         ~pages:(page_infos ~now) ~budget:cfg.migrate_budget)
+  in
+  let pending_ops =
+    ref
+      (List.stable_sort
+         (fun a b -> compare a.Rack_ops.at_ns b.Rack_ops.at_ns)
+         cfg.ops)
+  in
+  let fire_ops ~now =
+    match !pending_ops with
+    | [] -> ()
+    | _ ->
+        let due, rest =
+          List.partition (fun c -> c.Rack_ops.at_ns <= now) !pending_ops
+        in
+        pending_ops := rest;
+        List.iter
+          (fun c ->
+            incr ops_applied;
+            match c.Rack_ops.op with
+            | Rack_ops.Add_node { capacity } ->
+                exec_add
+                  ~capacity:(Option.value capacity ~default:cfg.node_capacity)
+            | Rack_ops.Drain { id } -> exec_drain ~now id
+            | Rack_ops.Rebalance -> exec_rebalance ~now)
+          due
+  in
   (* -------- rack-level telemetry -------- *)
   let reg = Hub.registry hub in
   Array.iteri
@@ -276,6 +635,29 @@ let run cfg tenants =
   Registry.counter_fn reg "rack.invalidations_sent" (fun () -> !invalidations_sent);
   Registry.counter_fn reg "rack.shared.writes" (fun () -> !shared_writes);
   Registry.counter_fn reg "rack.shared.reads" (fun () -> !shared_reads);
+  let total_moves () = Migrator.migrations migrator + !op_moves in
+  let permille num den = if den = 0 then 0 else num * 1000 / den in
+  Registry.counter_fn reg "placement.migrations" (fun () -> total_moves ());
+  Registry.counter_fn reg "placement.bytes_moved" (fun () ->
+      Migrator.bytes_moved migrator + ((!op_moves + !drained_pages) * page));
+  Registry.counter_fn reg "placement.failed_moves" (fun () ->
+      Migrator.failed migrator + !op_failed);
+  Registry.counter_fn reg "placement.remaps" (fun () ->
+      Array.fold_left
+        (fun a rt -> a + Resource_manager.remaps (Runtime.resource_manager rt))
+        0 runtimes);
+  Registry.counter_fn reg "placement.fetches" (fun () -> !fetch_total);
+  Registry.counter_fn reg "placement.fetches_fast" (fun () -> !fetch_fast);
+  (* permille of demand fetches served by the slow tier — the number the
+     heat policy exists to push down *)
+  Registry.gauge_fn reg "placement.remote_hit_ratio" (fun () ->
+      permille (!fetch_total - !fetch_fast) !fetch_total);
+  Registry.gauge_fn reg "placement.hot_hit_ratio" (fun () ->
+      permille !hot_fast !hot_total);
+  Registry.counter_fn reg "placement.drained_pages" (fun () -> !drained_pages);
+  Registry.counter_fn reg "placement.drain_failures" (fun () ->
+      !drain_failures);
+  Registry.counter_fn reg "placement.ops_applied" (fun () -> !ops_applied);
   (* -------- weave synthetic shared ops into each tenant's trace -------- *)
   let steps =
     Array.mapi
@@ -337,9 +719,17 @@ let run cfg tenants =
       pos.(i) <- pos.(i) + 1;
       decr budget;
       decr remaining
-    done
+    done;
+    (* scheduled ops and the background migrator run on the virtual
+       clock of the tenant just stepped — fully deterministic *)
+    let now = Runtime.elapsed_ns runtimes.(i) in
+    fire_ops ~now;
+    Migrator.tick migrator ~now
   done;
   Array.iter Runtime.drain runtimes;
+  (* ops scheduled past the last replayed access still run (a drain must
+     re-home its pages no matter how short the workload was) *)
+  fire_ops ~now:max_int;
   (* -------- per-tenant divergence oracle and results -------- *)
   let tenant_result i =
     let tc = tenants.(i) in
@@ -409,5 +799,20 @@ let run cfg tenants =
     r_shared_reads = !shared_reads;
     r_node_crashes =
       Array.fold_left (fun a rt -> a + Runtime.node_crashes rt) 0 runtimes;
+    r_policy = policy.Placement_policy.name;
+    r_migrations = Migrator.migrations migrator + !op_moves;
+    r_bytes_moved =
+      Migrator.bytes_moved migrator + ((!op_moves + !drained_pages) * page);
+    r_failed_moves = Migrator.failed migrator + !op_failed;
+    r_migrator_delay_ns = Migrator.charged_ns migrator;
+    r_fetches = !fetch_total;
+    r_fetches_fast = !fetch_fast;
+    r_remote_hit_pml =
+      (if !fetch_total = 0 then 0
+       else (!fetch_total - !fetch_fast) * 1000 / !fetch_total);
+    r_hot_hit_pml = (if !hot_total = 0 then 0 else !hot_fast * 1000 / !hot_total);
+    r_drained_pages = !drained_pages;
+    r_drain_failures = !drain_failures;
+    r_ops_applied = !ops_applied;
     r_snapshot = Hub.snapshot hub;
   }

@@ -49,6 +49,21 @@ type config = {
       (** synthetic shared-segment operations woven into each tenant's
           replay (tenant 0 writes, the rest read) *)
   quantum : int;  (** accesses per scheduling slice *)
+  policy : string;
+      (** placement policy slug ({!Kona_placement.Placement_policy.find}):
+          "first-fit" reproduces the pre-placement allocator exactly and
+          never migrates *)
+  fast_nodes : int;  (** nodes [0, fast_nodes) form the low-latency tier *)
+  slow_extra_ns : int;
+      (** fixed fabric penalty added to every admit at a slow-tier node;
+          0 (the default) disables tiering *)
+  hot_threshold : int;  (** decayed heat at/above which a page counts hot *)
+  migrate_epoch_ns : int;  (** heat-decay and migrator epoch *)
+  migrate_budget : int;  (** max page moves per migrator epoch *)
+  migrate_share : int;
+      (** the migrator's WFQ weight at every node — its copies contend
+          with tenant traffic like any other sender *)
+  ops : Rack_ops.t;  (** scheduled add/drain/rebalance operations *)
   runtime : Kona.Runtime.config;
       (** per-tenant base; the rack overrides [tenant], [stream_base],
           [replicas], [faults] and [fault_seed] per tenant *)
@@ -57,7 +72,9 @@ type config = {
 val default_config : config
 (** 2 nodes x 128 MiB at 1 Gbit/s ingress (low, so smoke runs actually
     saturate), smoke scale, no replication/faults, a 64-page shared
-    segment with 256 woven ops, 256-access slices. *)
+    segment with 256 woven ops, 256-access slices; placement "first-fit"
+    with no latency tiering and no scheduled ops — byte-compatible with
+    the pre-placement rack. *)
 
 type tenant_result = {
   t_cfg : tenant_cfg;
@@ -91,9 +108,28 @@ type result = {
   r_shared_writes : int;
   r_shared_reads : int;
   r_node_crashes : int;
+  r_policy : string;
+  r_migrations : int;  (** pages moved (migrator epochs + rebalance ops) *)
+  r_bytes_moved : int;  (** migration + drain bytes across the fabric *)
+  r_failed_moves : int;  (** planned moves declined (full/dead/unclean) *)
+  r_migrator_delay_ns : int;
+      (** WFQ queueing absorbed by migration traffic — nonzero means the
+          migrator contended with tenants *)
+  r_fetches : int;  (** demand fetches observed rack-wide *)
+  r_fetches_fast : int;  (** of which served by the fast tier *)
+  r_remote_hit_pml : int;
+      (** permille of demand fetches served by the slow tier (lower is
+          better; what the heat policy pushes down) *)
+  r_hot_hit_pml : int;
+      (** permille of hot-page fetches served by the fast tier *)
+  r_drained_pages : int;  (** pages re-homed by drain ops *)
+  r_drain_failures : int;
+      (** drain victims with no readable copy or no destination — the
+          degraded-drain signal (konactl exit 4) *)
+  r_ops_applied : int;
   r_snapshot : Kona_telemetry.Snapshot.t;
       (** the whole hub: every [tenant.<i>.*] namespace plus the
-          [rack.*] fairness/contention counters *)
+          [rack.*] fairness/contention and [placement.*] counters *)
 }
 
 val run : config -> tenant_cfg list -> result

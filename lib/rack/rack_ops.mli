@@ -1,0 +1,29 @@
+(** Scheduled rack-controller operations, parsed from a compact spec
+    string (the placement-era sibling of {!Kona_faults.Fault_spec}):
+
+    {v add@3ms:cap=67108864;drain@5ms:id=1;rebalance@7ms v}
+
+    - [add@T[:cap=BYTES]] — register a fresh memory node (capacity
+      defaults to the rack's [node_capacity]);
+    - [drain@T:id=N] — stop placing on node [N] and re-home every page
+      it holds (composing with failover: a crashed-and-failed-over node
+      drains from its promoted mirror);
+    - [rebalance@T] — one forced capacity-balancing migration pass.
+
+    Times accept the fault-spec duration grammar (bare ns, [us], [ms],
+    [s]). *)
+
+type op =
+  | Add_node of { capacity : int option }
+  | Drain of { id : int }
+  | Rebalance
+
+type clause = { at_ns : int; op : op }
+type t = clause list
+
+val parse : string -> (t, string) result
+val parse_exn : string -> t
+(** Raises [Invalid_argument] with the parse error. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

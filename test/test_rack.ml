@@ -55,6 +55,36 @@ let test_wfq_weighted_shares () =
   check_bool "backlog drains with time" true
     (Wfq.backlog_ns w ~now:(Wfq.busy_until w) = 0)
 
+(* Property: for any rack of >= 3 tenants with arbitrary weights, a
+   saturated link divides its bandwidth in proportion to the weights.
+   Every tenant offers identical demand from t=0, so each pairwise
+   achieved ratio must land within 10% of the weight ratio. *)
+let wfq_fairness_prop =
+  let gen =
+    QCheck2.Gen.(list_size (int_range 3 6) (int_range 1 8))
+  in
+  QCheck2.Test.make ~count:50 ~name:"wfq shares track arbitrary weights" gen
+    (fun weights ->
+      let w = Wfq.create ~gbps:1.0 ~weights:(Array.of_list weights) in
+      let n = List.length weights in
+      for _ = 1 to 300 do
+        for t = 0 to n - 1 do
+          ignore (Wfq.admit w ~tenant:t ~bytes:4096 ~now:0)
+        done
+      done;
+      let achieved = Array.init n (fun t -> Wfq.achieved_gbps w ~tenant:t) in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let want =
+            float_of_int (List.nth weights i) /. float_of_int (List.nth weights j)
+          in
+          let got = achieved.(i) /. achieved.(j) in
+          if abs_float ((got /. want) -. 1.0) > 0.10 then ok := false
+        done
+      done;
+      !ok)
+
 let test_wfq_rejects_bad_config () =
   let raises f =
     try
@@ -142,6 +172,125 @@ let test_rack_fault_failover () =
       check_bool "not degraded" true (t.Rack.t_degraded = None))
     r.Rack.r_tenants
 
+(* ------------------------------------------------------------------ *)
+(* Placement: migration, drain, and their composition with faults.     *)
+
+(* A tiered rack where placement matters: 3 nodes, only node 0 fast,
+   FMem squeezed so the zipf tenant's hot set thrashes through fetches. *)
+let placement_cfg ?(policy = "heat") ?(replicas = 0) ?(faults = []) ?(ops = [])
+    () =
+  {
+    Rack.default_config with
+    Rack.nodes = 3;
+    fast_nodes = 1;
+    slow_extra_ns = 2000;
+    policy;
+    replicas;
+    faults;
+    ops;
+    runtime =
+      { Rack.default_config.Rack.runtime with Kona.Runtime.fmem_pages = 64 };
+  }
+
+let placement_tenants =
+  [
+    { Rack.name = "t0"; workload = "kv-zipf"; bw_share = 1; mem_quota = None;
+      seed = 42 };
+    { Rack.name = "t1"; workload = "kv-uniform"; bw_share = 1; mem_quota = None;
+      seed = 43 };
+  ]
+
+let total_mismatches (r : Rack.result) =
+  Array.fold_left (fun acc t -> acc + t.Rack.t_mismatches) 0 r.Rack.r_tenants
+
+let test_placement_heat_beats_first_fit () =
+  let base = Rack.run (placement_cfg ~policy:"first-fit" ()) placement_tenants in
+  let heat = Rack.run (placement_cfg ~policy:"heat" ()) placement_tenants in
+  check_int "first-fit never migrates" 0 base.Rack.r_migrations;
+  check_bool "heat migrated pages" true (heat.Rack.r_migrations > 0);
+  check_bool
+    (Printf.sprintf "heat lowers the remote-hit ratio (%d < %d permille)"
+       heat.Rack.r_remote_hit_pml base.Rack.r_remote_hit_pml)
+    true
+    (heat.Rack.r_remote_hit_pml < base.Rack.r_remote_hit_pml);
+  check_bool "hot fetches mostly land on the fast tier" true
+    (heat.Rack.r_hot_hit_pml >= 800);
+  (* Migration traffic is charged through the per-node WFQ: the copies
+     queue, and the queueing they absorb (and impose) is visible. *)
+  check_bool "migration traffic contended at the nodes" true
+    (heat.Rack.r_migrator_delay_ns > 0);
+  check_bool "tenants queued longer under migration" true
+    (heat.Rack.r_tenants.(0).Rack.t_delay_ns
+     + heat.Rack.r_tenants.(1).Rack.t_delay_ns
+     > base.Rack.r_tenants.(0).Rack.t_delay_ns
+       + base.Rack.r_tenants.(1).Rack.t_delay_ns);
+  check_int "no divergence under first-fit" 0 (total_mismatches base);
+  check_int "no divergence under migration" 0 (total_mismatches heat)
+
+let test_placement_determinism_per_policy () =
+  List.iter
+    (fun policy ->
+      let fp () =
+        let r = Rack.run (placement_cfg ~policy ()) placement_tenants in
+        Array.map (fun t -> t.Rack.t_fingerprint) r.Rack.r_tenants
+      in
+      Alcotest.(check (array string))
+        (policy ^ " is bit-reproducible") (fp ()) (fp ()))
+    [ "first-fit"; "heat"; "centralized" ]
+
+let test_placement_drain_rehomes () =
+  let ops = Rack_ops.parse_exn "drain@5ms:id=1" in
+  let r = Rack.run (placement_cfg ~ops ()) placement_tenants in
+  check_int "drain applied" 1 r.Rack.r_ops_applied;
+  check_bool "pages re-homed" true (r.Rack.r_drained_pages > 0);
+  check_int "every page found a new home" 0 r.Rack.r_drain_failures;
+  check_int "no divergence across the drain" 0 (total_mismatches r)
+
+let test_placement_add_then_drain () =
+  (* Register a fresh node, then drain one of the originals: re-homed
+     pages can land on the newcomer, and the rack stays convergent. *)
+  let ops = Rack_ops.parse_exn "add@2ms:cap=16777216;drain@4ms:id=2" in
+  let r = Rack.run (placement_cfg ~ops ()) placement_tenants in
+  check_int "both ops applied" 2 r.Rack.r_ops_applied;
+  check_bool "pages re-homed" true (r.Rack.r_drained_pages > 0);
+  check_int "no drain failures" 0 r.Rack.r_drain_failures;
+  check_int "no divergence" 0 (total_mismatches r)
+
+let test_placement_drain_composes_with_failover () =
+  (* Node 1 crashes at 2ms (replica failover promotes its mirror), then
+     a drain of the same node at 4ms re-homes every page off the
+     promoted copy — the crash-mid-drain contract. *)
+  let faults = Fault_spec.parse_exn "node-crash@2ms:id=1" in
+  let ops = Rack_ops.parse_exn "drain@4ms:id=1" in
+  let r =
+    Rack.run (placement_cfg ~replicas:1 ~faults ~ops ()) placement_tenants
+  in
+  check_int "the crash happened" 1 r.Rack.r_node_crashes;
+  check_bool "drain still re-homed pages" true (r.Rack.r_drained_pages > 0);
+  check_int "no page was stranded" 0 r.Rack.r_drain_failures;
+  Array.iter
+    (fun (t : Rack.tenant_result) ->
+      check_int (t.Rack.t_cfg.Rack.name ^ " converged") 0 t.Rack.t_mismatches;
+      check_int (t.Rack.t_cfg.Rack.name ^ " lost nothing") 0
+        t.Rack.t_lost_pages)
+    r.Rack.r_tenants
+
+let test_placement_quota_conserved_by_migration () =
+  (* Migration moves pages the tenant already paid for; a quota sized to
+     the tenant's allocation must not trip as pages migrate. *)
+  let quota = Some (Units.mib 8) in
+  let tenants =
+    [
+      { Rack.name = "t0"; workload = "kv-zipf"; bw_share = 1;
+        mem_quota = quota; seed = 42 };
+      { Rack.name = "t1"; workload = "kv-uniform"; bw_share = 1;
+        mem_quota = None; seed = 43 };
+    ]
+  in
+  let r = Rack.run (placement_cfg ~policy:"heat" ()) tenants in
+  check_bool "pages migrated under the quota" true (r.Rack.r_migrations > 0);
+  check_int "no divergence" 0 (total_mismatches r)
+
 let test_rack_validates_tenants () =
   let raises f =
     try
@@ -184,6 +333,7 @@ let () =
           Alcotest.test_case "weighted shares" `Quick test_wfq_weighted_shares;
           Alcotest.test_case "rejects bad config" `Quick
             test_wfq_rejects_bad_config;
+          QCheck_alcotest.to_alcotest wfq_fairness_prop;
         ] );
       ( "rack",
         [
@@ -193,5 +343,18 @@ let () =
           Alcotest.test_case "fault failover" `Quick test_rack_fault_failover;
           Alcotest.test_case "validates tenants" `Quick
             test_rack_validates_tenants;
+        ] );
+      ( "placement",
+        [
+          Alcotest.test_case "heat beats first-fit" `Quick
+            test_placement_heat_beats_first_fit;
+          Alcotest.test_case "per-policy determinism" `Quick
+            test_placement_determinism_per_policy;
+          Alcotest.test_case "drain re-homes" `Quick test_placement_drain_rehomes;
+          Alcotest.test_case "add then drain" `Quick test_placement_add_then_drain;
+          Alcotest.test_case "drain composes with failover" `Quick
+            test_placement_drain_composes_with_failover;
+          Alcotest.test_case "migration conserves quota" `Quick
+            test_placement_quota_conserved_by_migration;
         ] );
     ]
