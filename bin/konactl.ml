@@ -12,7 +12,13 @@
      konactl soak [--episodes N] [--seed S] [--metrics-json PATH]
                                        randomized corruption episodes vs the
                                        shadow-heap oracle; fail loudly on
-                                       undetected corruption *)
+                                       undetected corruption
+     konactl fuzz [--episodes N] [--ops K] [--seed S] [--replay SPEC]
+                  [--repro-out PATH] [--metrics-json PATH]
+                                       seeded whole-surface scenario fuzzing
+                                       against the cross-subsystem invariant
+                                       registry; failures shrink to minimal
+                                       replayable repro specs (exit 5) *)
 
 open Kona
 module Workloads = Kona_workloads.Workloads
@@ -332,144 +338,72 @@ let cmd_stats workload systems fmem_pages replicas prefetch sq_depth
 
 (* ------------------------------------------------------------------ *)
 (* Chaos soak: N randomized corruption episodes against the shadow-heap
-   oracle.  Every episode draws a crash-free corruption plan (bit flips,
-   torn writes, stale reads, duplicated deliveries) from the master seed,
-   runs the workload with one replica, on-fetch verification and a
-   background scrubber, then checks:
-
-   - the shadow-heap oracle: after drain, remote memory is byte-identical
-     to the application heap on every backed page the runtime did not
-     declare unrepairable — any other divergence is undetected corruption;
-   - detection accounting: every injected torn write, duplicate delivery
-     and stale read was reported, and every armed bit-flip was either
-     found (scrub / fetch verify) or healed by a later clean overwrite;
-   - reproducibility: re-running the same (plan, seed) yields bit-for-bit
-     identical integrity counters. *)
+   oracle, driven through the scenario engine (lib/scenario).  Every
+   episode draws a crash-free corruption plan (bit flips, torn writes,
+   stale reads, duplicated deliveries) from the master seed, renders it
+   as a one-line scenario spec whose clauses are armed up front, and
+   checks the registry's shadow-heap and integrity-accounting invariants
+   plus reproducibility (re-running the same spec yields bit-for-bit
+   identical integrity counters).  The kona.soak.v1 report shape is
+   unchanged from the pre-scenario harness. *)
 
 module Rng = Kona_util.Rng
 module Fault_spec = Kona_faults.Fault_spec
-module Injector = Kona_faults.Injector
+module Scn = Kona_scenario.Spec
+module Scn_gen = Kona_scenario.Gen
+module Episode = Kona_scenario.Episode
+module Invariants = Kona_scenario.Invariants
+module Shrink = Kona_scenario.Shrink
 
-(* One crash-free corruption plan.  Episode 0 always carries a bit-flip
-   clause (CI's soak smoke relies on at least one such plan); later
-   episodes draw a random non-empty subset.  Node crashes are deliberately
-   excluded: re-replication after failover heals corruption outside the
-   detection paths this harness is auditing. *)
-let soak_plan rng ~episode =
+(* One crash-free corruption plan: a random non-empty subset of the
+   probabilistic kinds.  Node crashes are deliberately excluded:
+   re-replication after failover heals corruption outside the detection
+   paths this harness is auditing.  (No episode is special-cased;
+   detection coverage across a seeded batch is asserted by CI over the
+   whole kona.soak.v1 report.) *)
+let soak_plan rng =
   let p lo hi = lo +. Rng.float rng (hi -. lo) in
   let clauses = ref [] in
   let add c = clauses := c :: !clauses in
-  if episode = 0 || Rng.bool rng then
-    add (Printf.sprintf "bit-flip:p=%.4f" (p 0.05 0.3));
+  if Rng.bool rng then add (Printf.sprintf "bit-flip:p=%.4f" (p 0.05 0.3));
   if Rng.bool rng then add (Printf.sprintf "torn-write:p=%.4f" (p 0.05 0.3));
   if Rng.bool rng then add (Printf.sprintf "dup-deliver:p=%.4f" (p 0.05 0.3));
   if Rng.bool rng then add (Printf.sprintf "stale-read:p=%.4f" (p 0.02 0.1));
   if !clauses = [] then add (Printf.sprintf "torn-write:p=%.4f" (p 0.05 0.3));
   String.concat ";" (List.rev !clauses)
 
-type soak_outcome = {
-  so_counters : (string * int) list;  (** [Runtime.integrity_counters] *)
-  so_injected : (string * int) list;  (** [Injector.counters] *)
-  so_divergent : int;
-  so_unrepairable : int list;
-  so_degraded : string option;
-  so_failures : string list;
-}
-
-let soak_episode ~(spec : Workloads.spec) ~plan_str ~fault_seed ~seed
-    ~scrub_interval =
-  let faults =
+(* The soak setup as a scenario: one tenant on 2 x 128 MiB nodes, one
+   replica, a small cache (more eviction traffic to corrupt), on-fetch
+   verification and a background scrubber — all Scenario defaults — with
+   the plan's clauses armed before the replay starts. *)
+let soak_spec ~workload ~plan_str ~fault_seed ~seed ~scrub_interval =
+  let plan =
     match Fault_spec.parse plan_str with
     | Ok p -> p
     | Error msg ->
         Fmt.epr "internal: bad soak plan %S: %s@." plan_str msg;
         exit 1
   in
-  let controller = Rack_controller.create ~slab_size:(Units.mib 1) () in
-  Rack_controller.register_node controller
-    (Memory_node.create ~id:0 ~capacity:(Units.mib 128));
-  Rack_controller.register_node controller
-    (Memory_node.create ~id:1 ~capacity:(Units.mib 128));
-  let hub = Hub.create () in
-  let heap_ref = ref None in
-  let read_local ~addr ~len = Heap.peek_bytes (Option.get !heap_ref) addr len in
-  let config =
-    {
-      Runtime.default_config with
-      fmem_pages = 256 (* small cache: more eviction traffic to corrupt *);
-      replicas = 1;
-      faults;
-      fault_seed;
-      scrub_interval_ns = Some scrub_interval;
-      verify_checksums = true;
-    }
-  in
-  let rt = Runtime.create ~config ~hub ~controller ~read_local () in
-  let heap =
-    Heap.create
-      ~capacity:(spec.Workloads.heap_capacity Workloads.Smoke)
-      ~sink:(Runtime.sink rt) ()
-  in
-  heap_ref := Some heap;
-  spec.Workloads.run Workloads.Smoke ~heap ~seed;
-  Runtime.drain rt;
-  let unrepairable = Runtime.unrepairable_pages rt in
-  let divergent = ref 0 in
-  Resource_manager.iter_backed_pages (Runtime.resource_manager rt)
-    (fun ~vpage ~node ~remote_addr ->
-      let base = vpage * Units.page_size in
-      if
-        base + Units.page_size <= Heap.capacity heap
-        && (not (Heap.page_poked heap ~page:vpage))
-        && not (List.mem vpage unrepairable)
-      then
-        let local = Heap.peek_bytes heap base Units.page_size in
-        let remote =
-          Memory_node.peek
-            (Rack_controller.node controller ~id:node)
-            ~addr:remote_addr ~len:Units.page_size
-        in
-        if local <> remote then incr divergent);
-  let counters = Runtime.integrity_counters rt in
-  let injected =
-    match Runtime.injector rt with
-    | Some i -> Injector.counters i
-    | None -> []
-  in
-  let find k l = try List.assoc k l with Not_found -> 0 in
-  let failures = ref [] in
-  let expect what got want =
-    if got <> want then
-      failures :=
-        Printf.sprintf "%s: %d, expected %d" what got want :: !failures
-  in
-  expect "torn events detected vs injected"
-    (find "integrity.torn_events" counters)
-    (find "torn_writes" injected);
-  expect "duplicate deliveries detected vs injected"
-    (find "seq.duplicates" counters)
-    (find "dup_delivers" injected);
-  expect "stale reads detected vs injected"
-    (find "integrity.stale_reads" counters)
-    (find "stale_reads" injected);
-  expect "armed bit-flips accounted (found + healed)"
-    (find "integrity.flips_armed" counters)
-    (find "integrity.flips_found" counters
-    + find "integrity.healed_overwrite" counters);
-  if !divergent > 0 then
-    failures :=
-      Printf.sprintf
-        "%d page(s) diverged from the shadow heap (undetected corruption)"
-        !divergent
-      :: !failures;
   {
-    so_counters = counters;
-    so_injected = injected;
-    so_divergent = !divergent;
-    so_unrepairable = unrepairable;
-    so_degraded = Runtime.degraded rt;
-    so_failures = List.rev !failures;
+    Scn.setup =
+      {
+        Scn.default_setup with
+        Scn.workloads = [ workload ];
+        seed;
+        fault_seed;
+        scrub_ns = scrub_interval;
+      };
+    ops = List.map (fun c -> Scn.Corrupt c) plan;
   }
+
+let soak_failures (o : Episode.outcome) =
+  List.map
+    (fun v -> Printf.sprintf "%s: %s" v.Invariants.inv v.Invariants.detail)
+    o.Episode.oc_violations
+  @
+  match o.Episode.oc_aborted with
+  | Some a -> [ Printf.sprintf "episode aborted: %s" a ]
+  | None -> []
 
 let cmd_soak workload episodes master_seed scrub_interval repro_check
     metrics_json =
@@ -480,30 +414,38 @@ let cmd_soak workload episodes master_seed scrub_interval repro_check
   let failed = ref false in
   let docs = ref [] in
   for episode = 0 to episodes - 1 do
-    let plan_str = soak_plan rng ~episode in
+    let plan_str = soak_plan rng in
     let fault_seed = Rng.int rng 1_000_000 in
     let seed = Rng.int rng 1_000_000 in
     Fmt.pr "episode %d: plan [%s] fault-seed %d seed %d@." episode plan_str
       fault_seed seed;
-    let o = soak_episode ~spec ~plan_str ~fault_seed ~seed ~scrub_interval in
+    let scenario =
+      soak_spec ~workload:spec.Workloads.name ~plan_str ~fault_seed ~seed
+        ~scrub_interval
+    in
+    let o = Episode.execute scenario in
+    let failures = soak_failures o in
     List.iter
       (fun (k, v) -> if v <> 0 then Fmt.pr "  %-28s %d@." k v)
-      o.so_counters;
-    (match o.so_degraded with
+      o.Episode.oc_integrity;
+    (match o.Episode.oc_degraded with
     | Some r -> Fmt.pr "  degraded (detected, declared): %s@." r
     | None -> ());
-    if o.so_unrepairable <> [] then
+    if o.Episode.oc_unrepairable > 0 then
       Fmt.pr "  unrepairable pages excluded from oracle: %d@."
-        (List.length o.so_unrepairable);
-    (match o.so_failures with
+        o.Episode.oc_unrepairable;
+    (match failures with
     | [] ->
         Fmt.pr "  PASS: zero shadow-heap divergence, all injections accounted@."
     | fs ->
         failed := true;
         List.iter (fun f -> Fmt.pr "  FAIL: %s@." f) fs);
     if repro_check then begin
-      let o2 = soak_episode ~spec ~plan_str ~fault_seed ~seed ~scrub_interval in
-      if o2.so_counters <> o.so_counters then begin
+      let o2 = Episode.execute scenario in
+      if
+        o2.Episode.oc_integrity <> o.Episode.oc_integrity
+        || o2.Episode.oc_fingerprint <> o.Episode.oc_fingerprint
+      then begin
         failed := true;
         Fmt.pr
           "  FAIL: re-run of the same (plan, seed) changed integrity counters@."
@@ -517,11 +459,17 @@ let cmd_soak workload episodes master_seed scrub_interval repro_check
           ("plan", Json.String plan_str);
           ("fault_seed", Json.Int fault_seed);
           ("workload_seed", Json.Int seed);
-          ("divergent_pages", Json.Int o.so_divergent);
-          ("unrepairable_pages", Json.Int (List.length o.so_unrepairable));
-          ("failures", Json.List (List.map (fun f -> Json.String f) o.so_failures));
-          ("integrity", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) o.so_counters));
-          ("injected", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) o.so_injected));
+          ("divergent_pages", Json.Int o.Episode.oc_divergent);
+          ("unrepairable_pages", Json.Int o.Episode.oc_unrepairable);
+          ("failures", Json.List (List.map (fun f -> Json.String f) failures));
+          ( "integrity",
+            Json.Obj
+              (List.map (fun (k, v) -> (k, Json.Int v)) o.Episode.oc_integrity)
+          );
+          ( "injected",
+            Json.Obj
+              (List.map (fun (k, v) -> (k, Json.Int v)) o.Episode.oc_injected)
+          );
         ]
       :: !docs
   done;
@@ -551,6 +499,171 @@ let cmd_soak workload episodes master_seed scrub_interval repro_check
     Fmt.pr "soak: %d episode(s) passed@." episodes;
     0
   end
+
+(* ------------------------------------------------------------------ *)
+(* Autonomous scenario fuzzing (lib/scenario): seeded op sequences over
+   the whole public surface — run slices, crashes, link flaps, corruption
+   clauses, quota changes, shared-segment publish/map traffic, scrub
+   sweeps, node adds/drains, rebalances and migration epochs — checked
+   against the cross-subsystem invariant registry at every op boundary
+   and at episode end.  Every episode is one replayable spec line;
+   failures are delta-debugged to minimal repro specs.  Exit 5 = a named
+   invariant was violated; exit 1 = replay fingerprint mismatch. *)
+
+let first_violation_name spec ~check_end =
+  match (Episode.execute ~check_end spec).Episode.oc_violations with
+  | [] -> None
+  | v :: _ -> Some v.Invariants.inv
+
+let cmd_fuzz episodes ops master_seed replay repro_out metrics_json =
+  match replay with
+  | Some line -> (
+      match Scn.parse line with
+      | Error msg ->
+          Fmt.epr "bad scenario spec: %s@." msg;
+          1
+      | Ok spec ->
+          let o = Episode.execute spec in
+          let o2 = Episode.execute spec in
+          List.iter
+            (fun v ->
+              Fmt.pr "violation [%s] %s@." v.Invariants.inv v.Invariants.detail)
+            o.Episode.oc_violations;
+          (match o.Episode.oc_aborted with
+          | Some a -> Fmt.pr "aborted: %s@." a
+          | None -> ());
+          if
+            o.Episode.oc_fingerprint <> o2.Episode.oc_fingerprint
+            || o.Episode.oc_integrity <> o2.Episode.oc_integrity
+          then begin
+            Fmt.pr
+              "replay: FAILED — two runs of the same spec diverged (broken \
+               determinism)@.";
+            1
+          end
+          else if o.Episode.oc_violations <> [] then begin
+            Fmt.pr "replay: reproduced the invariant violation@.";
+            5
+          end
+          else begin
+            Fmt.pr "replay: PASS fingerprint %s@." o.Episode.oc_fingerprint;
+            0
+          end)
+  | None ->
+      let rng = Rng.create ~seed:master_seed in
+      let failed = ref false in
+      let docs = ref [] in
+      let repro_chan = ref None in
+      let write_repro m =
+        match repro_out with
+        | None -> ()
+        | Some path ->
+            let oc =
+              match !repro_chan with
+              | Some oc -> oc
+              | None ->
+                  let oc = open_out path in
+                  repro_chan := Some oc;
+                  oc
+            in
+            output_string oc (m ^ "\n")
+      in
+      for episode = 0 to episodes - 1 do
+        let ep_seed = Rng.int rng 1_000_000 in
+        let spec = Scn_gen.generate ~seed:ep_seed ~ops in
+        let line = Scn.to_string spec in
+        Fmt.pr "episode %d: seed %d@.  %s@." episode ep_seed line;
+        let o = Episode.execute spec in
+        (match o.Episode.oc_aborted with
+        | Some a -> Fmt.pr "  aborted: %s@." a
+        | None -> ());
+        let repro =
+          match o.Episode.oc_violations with
+          | [] ->
+              Fmt.pr "  PASS fingerprint %s@."
+                (match o.Episode.oc_fingerprint with "" -> "-" | f -> f);
+              ""
+          | vs ->
+              failed := true;
+              List.iter
+                (fun v ->
+                  Fmt.pr "  FAIL [%s] %s@." v.Invariants.inv v.Invariants.detail)
+                vs;
+              (* Boundary-scoped failures shrink against the cheap
+                 boundary-only executor; end-scoped ones need the full
+                 episode per candidate, so spend fewer attempts. *)
+              let boundary_only = o.Episode.oc_result = None in
+              let oracle s =
+                first_violation_name s ~check_end:(not boundary_only)
+              in
+              let max_attempts = if boundary_only then 400 else 48 in
+              let r = Shrink.run ~max_attempts ~oracle spec in
+              let m = Scn.to_string r.Shrink.minimal in
+              Fmt.pr "  shrunk to %d op(s) in %d attempt(s):@.  %s@."
+                (List.length r.Shrink.minimal.Scn.ops)
+                r.Shrink.attempts m;
+              write_repro m;
+              m
+        in
+        docs :=
+          Json.Obj
+            [
+              ("episode", Json.Int episode);
+              ("seed", Json.Int ep_seed);
+              ("spec", Json.String line);
+              ("fingerprint", Json.String o.Episode.oc_fingerprint);
+              ("passed", Json.Bool (o.Episode.oc_violations = []));
+              ( "aborted",
+                Json.String (Option.value ~default:"" o.Episode.oc_aborted) );
+              ( "violations",
+                Json.List
+                  (List.map
+                     (fun v ->
+                       Json.Obj
+                         [
+                           ("invariant", Json.String v.Invariants.inv);
+                           ("detail", Json.String v.Invariants.detail);
+                         ])
+                     o.Episode.oc_violations) );
+              ("repro", Json.String repro);
+            ]
+          :: !docs
+      done;
+      (match !repro_chan with
+      | Some oc ->
+          close_out oc;
+          Fmt.pr "fuzz: wrote minimal repro spec(s) to %s@."
+            (Option.get repro_out)
+      | None -> ());
+      (match metrics_json with
+      | None -> ()
+      | Some path ->
+          let doc =
+            Json.Obj
+              [
+                ("schema", Json.String "kona.fuzz.v1");
+                ("master_seed", Json.Int master_seed);
+                ("ops_per_episode", Json.Int ops);
+                ( "invariants",
+                  Json.List (List.map (fun n -> Json.String n) Invariants.names)
+                );
+                ("passed", Json.Bool (not !failed));
+                ("episodes", Json.List (List.rev !docs));
+              ]
+          in
+          let oc = open_out path in
+          output_string oc (Json.to_string doc);
+          output_char oc '\n';
+          close_out oc;
+          Fmt.pr "fuzz: wrote %s@." path);
+      if !failed then begin
+        Fmt.pr "fuzz: FAILED (invariant violation)@.";
+        5
+      end
+      else begin
+        Fmt.pr "fuzz: %d episode(s), zero invariant violations@." episodes;
+        0
+      end
 
 (* ------------------------------------------------------------------ *)
 (* Multi-tenant rack: N tenant runtimes interleaved over shared memory
@@ -634,6 +747,7 @@ let cmd_rack tenants_n workloads bw_shares mem_quotas nodes node_cap node_gbps
       migrate_budget;
       migrate_share;
       ops;
+      extra_node_slots = 0;
       runtime;
     }
   in
@@ -944,6 +1058,35 @@ let repro_check =
           "re-run every episode with the same (plan, seed) and fail unless \
            the integrity counters are bit-for-bit identical")
 
+let fuzz_episodes =
+  Arg.(
+    value & opt int 10
+    & info [ "episodes" ] ~doc:"number of generated scenario episodes")
+
+let fuzz_ops =
+  Arg.(
+    value & opt int 12
+    & info [ "ops" ] ~doc:"ops per generated episode (before shrinking)")
+
+let fuzz_replay =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"SPEC"
+        ~doc:
+          "instead of generating, execute this scenario spec twice and fail \
+           (exit 1) unless both runs produce bit-identical telemetry \
+           fingerprints; a reproduced invariant violation exits 5")
+
+let fuzz_repro_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "repro-out" ] ~docv:"PATH"
+        ~doc:
+          "write each failing episode's minimal repro spec (one per line, \
+           shrunk by delta debugging) for 'konactl fuzz --replay'")
+
 let metrics_json =
   Arg.(
     value
@@ -1161,6 +1304,18 @@ let cmds =
       Term.(
         const cmd_soak $ soak_workload $ episodes $ seed $ soak_scrub_interval
         $ repro_check $ metrics_json);
+    Cmd.v
+      (Cmd.info "fuzz"
+         ~doc:
+           "autonomous scenario fuzzing: seeded op sequences over the whole \
+            public surface (run slices, crashes, flaps, corruption, quotas, \
+            shared segments, scrubs, rack ops), checked against the \
+            cross-subsystem invariant registry; failing episodes are \
+            delta-debugged to minimal replayable repro specs (exit 5 on \
+            violation, exit 1 on replay mismatch)")
+      Term.(
+        const cmd_fuzz $ fuzz_episodes $ fuzz_ops $ seed $ fuzz_replay
+        $ fuzz_repro_out $ metrics_json);
   ]
 
 let () =

@@ -31,6 +31,7 @@ type config = {
   signal_interval : int;
   faults : Fault_spec.t;
   fault_seed : int;
+  arm_injector : bool;
   check_replicas : bool;
   scrub_interval_ns : int option;
   scrub_budget : int;
@@ -56,6 +57,7 @@ let default_config =
     signal_interval = 1;
     faults = [];
     fault_seed = 42;
+    arm_injector = false;
     check_replicas = false;
     scrub_interval_ns = None;
     scrub_budget = 8;
@@ -508,7 +510,7 @@ let create ?(config = default_config) ?nic ?hub ?arbitrate ?replication
   let nic = match nic with Some n -> n | None -> Kona_rdma.Nic.create () in
   let injector =
     match config.faults with
-    | [] -> None
+    | [] when not config.arm_injector -> None
     | plan -> Some (Injector.create ~seed:config.fault_seed ~plan)
   in
   (* Link flaps become NIC outage windows up front; per-WQE and per-RPC
@@ -664,10 +666,13 @@ let create ?(config = default_config) ?nic ?hub ?arbitrate ?replication
   Cl_log.set_on_report log (fun ~node ~target report ->
       on_delivery_report t ~node ~target report);
   Cl_log.set_on_flip log (fun ~target ~addr ~fresh -> on_flip_armed t ~target ~addr ~fresh);
+  (* Wired whenever an injector exists, not just when corruption is in
+     the create-time plan: [delivery_inject] draws nothing while
+     unarmed, and clauses can now be armed mid-run via [arm_fault]. *)
   (match injector with
-  | Some inj when Injector.corruption_armed inj ->
+  | Some inj ->
       Cl_log.set_inject log (fun ~targets -> Injector.delivery_inject inj ~targets)
-  | Some _ | None -> ());
+  | None -> ());
   (* On-fetch verification: every synchronous demand fetch re-checks the
      remote page's checksums (and repairs on the spot), after the
      stale-read fault decides whether this fetch must burn a retry. *)
@@ -1094,6 +1099,26 @@ let post_bg_message t ~node ~len ~deliver =
 
 let replication t = t.replication
 let injector t = t.injector
+
+(* Scenario-engine adapters: immediate fail-stop crash, on-demand scrub
+   sweep, and mid-run fault arming (the injector must exist — create the
+   runtime with [arm_injector = true] or a non-empty plan). *)
+let crash_node t ~id = handle_node_crash t ~id
+
+let force_scrub t =
+  match t.scrubber with Some s -> Scrubber.force_sweep s | None -> ()
+
+let arm_fault t clause =
+  match t.injector with
+  | None -> invalid_arg "Runtime.arm_fault: runtime created without an injector"
+  | Some inj ->
+      (match clause with
+      | Fault_spec.Link_flap { dur_ns; _ } ->
+          (* The [at_ns] in the clause is relative spec text; a mid-run
+             flap starts now on this runtime's NIC. *)
+          Nic.inject_outage t.nic ~at:(elapsed_ns t) ~duration:dur_ns
+      | _ -> ());
+      Injector.arm inj clause
 let controller t = t.controller
 let node_crashes t = t.node_crashes
 let failover_latency t = t.failover_latency

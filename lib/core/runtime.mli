@@ -50,6 +50,11 @@ type config = {
   fault_seed : int;
       (** seed for the injector's splitmix streams; the same seed and plan
           reproduce bit-identical fault sequences *)
+  arm_injector : bool;
+      (** create the injector even when [faults = []], so clauses can be
+          armed mid-run with {!arm_fault} (scenario engine).  The decision
+          streams are seeded at create, independent of what gets armed, so
+          determinism is preserved.  Off by default *)
   check_replicas : bool;
       (** debug invariant: after every eviction batch (and after [drain]),
           fence the eviction QP and [failwith] if any live mirror diverges
@@ -246,7 +251,28 @@ val replication : t -> Replication.t option
     divergence after [drain]. *)
 
 val injector : t -> Kona_faults.Injector.t option
-(** Present when [config.faults] is non-empty. *)
+(** Present when [config.faults] is non-empty or [config.arm_injector]. *)
+
+(** {2 Scenario-engine adapters}
+
+    Mid-run op hooks for the autonomous scenario engine (lib/scenario):
+    the same machinery fault plans trigger on the virtual clock, exposed
+    as immediate, deterministic actions. *)
+
+val crash_node : t -> id:int -> unit
+(** Fail-stop [id] now: mark it crashed, run the failover control
+    exchange for affected pages, re-replicate or degrade — exactly what
+    a due [node-crash] plan clause does. *)
+
+val force_scrub : t -> unit
+(** Run one complete scrub sweep immediately (no-op when the runtime has
+    no scrubber configured). *)
+
+val arm_fault : t -> Kona_faults.Fault_spec.clause -> unit
+(** Arm one more fault clause mid-run.  Probabilistic kinds combine with
+    already-armed probabilities; [Link_flap] starts a NIC outage of the
+    clause's duration now; [Node_crash] joins the crash calendar.
+    @raise Invalid_argument when the runtime has no injector. *)
 
 val controller : t -> Rack_controller.t
 (** The rack controller passed at [create] (failover retargets logical

@@ -12,14 +12,18 @@ type t = {
   rpc_rng : Rng.t;
   dlv_rng : Rng.t;
   read_rng : Rng.t;
-  p_drop : float;
-  p_delay : float;
-  delay_ns : int;
-  p_rpc : float;
-  p_flip : float;
-  p_torn : float;
-  p_stale : float;
-  p_dup : float;
+  (* Probabilities are mutable so clauses can be armed mid-run (scenario
+     engine); combining rules match [create].  The RNG streams are carved
+     off at [create] independent of the plan, so arming later never
+     perturbs the draw sequence of already-armed categories. *)
+  mutable p_drop : float;
+  mutable p_delay : float;
+  mutable delay_ns : int;
+  mutable p_rpc : float;
+  mutable p_flip : float;
+  mutable p_torn : float;
+  mutable p_stale : float;
+  mutable p_dup : float;
   mutable crashes : (int * int) list; (* (at_ns, id), sorted by time *)
   flaps : (int * int) list;
   mutable node_crashes : int;
@@ -32,6 +36,9 @@ type t = {
   mutable stale_reads : int;
   mutable dup_delivers : int;
 }
+
+(* Independent clauses of the same kind compose as independent events. *)
+let combine p q = 1. -. ((1. -. p) *. (1. -. q))
 
 let create ~seed ~plan =
   let root = Rng.create ~seed in
@@ -47,7 +54,6 @@ let create ~seed ~plan =
   let p_drop = ref 0. and p_delay = ref 0. and delay_ns = ref 0 and p_rpc = ref 0. in
   let p_flip = ref 0. and p_torn = ref 0. and p_stale = ref 0. and p_dup = ref 0. in
   let crashes = ref [] and flaps = ref [] in
-  let combine p q = 1. -. ((1. -. p) *. (1. -. q)) in
   List.iter
     (fun clause ->
       match clause with
@@ -91,6 +97,24 @@ let create ~seed ~plan =
   }
 
 let plan t = t.plan_
+
+let arm t clause =
+  match clause with
+  | Fault_spec.Node_crash { at_ns; id } ->
+      t.crashes <- List.sort compare ((at_ns, id) :: t.crashes)
+  | Fault_spec.Link_flap _ ->
+      (* The NIC outage calendar is installed by the caller (the injector
+         only hands flaps out once, at wiring); record it as injected. *)
+      t.link_flaps_applied <- t.link_flaps_applied + 1
+  | Fault_spec.Rpc_timeout { p } -> t.p_rpc <- combine t.p_rpc p
+  | Fault_spec.Wqe_drop { p } -> t.p_drop <- combine t.p_drop p
+  | Fault_spec.Wqe_delay { p; delay_ns = d } ->
+      t.p_delay <- combine t.p_delay p;
+      t.delay_ns <- max t.delay_ns d
+  | Fault_spec.Bit_flip { p } -> t.p_flip <- combine t.p_flip p
+  | Fault_spec.Torn_write { p } -> t.p_torn <- combine t.p_torn p
+  | Fault_spec.Stale_read { p } -> t.p_stale <- combine t.p_stale p
+  | Fault_spec.Dup_deliver { p } -> t.p_dup <- combine t.p_dup p
 
 let qp_inject t () =
   if t.p_drop = 0. && t.p_delay = 0. then None

@@ -18,6 +18,16 @@ val create : seed:int -> plan:Fault_spec.t -> t
 
 val plan : t -> Fault_spec.t
 
+val arm : t -> Fault_spec.clause -> unit
+(** Arm one more clause mid-run.  Probabilistic kinds combine with any
+    already-armed probability as independent events (same rule as
+    [create]); [Node_crash] is inserted into the pending-crash calendar.
+    [Link_flap] only bumps the injected counter — installing the outage
+    window on the NIC is the caller's job, since flap wiring happens via
+    {!link_flaps} exactly once at create.  The decision streams are
+    carved off at [create] independent of the plan, so arming never
+    perturbs draws already made. *)
+
 (** {2 Hooks} *)
 
 val qp_inject : t -> unit -> [ `Drop | `Delay of int ] option

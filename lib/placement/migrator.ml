@@ -63,6 +63,14 @@ let tick t ~now =
     run_epoch t ~now
   end
 
+let force t ~now =
+  (* An on-demand epoch consumes the current boundary: a subsequent
+     [tick] in the same epoch stays a no-op, so forcing never doubles
+     the migration rate. *)
+  t.last_epoch <- max t.last_epoch (now / t.epoch_ns);
+  t.epochs <- t.epochs + 1;
+  run_epoch t ~now
+
 let migrations t = t.migrations
 let bytes_moved t = t.bytes_moved
 let failed t = t.failed

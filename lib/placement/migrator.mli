@@ -48,6 +48,11 @@ val tick : t -> now:int -> unit
     boundary since the last run; otherwise a no-op.  Call it from the
     simulation's replay loop. *)
 
+val force : t -> now:int -> unit
+(** Run one migration epoch immediately, regardless of epoch boundaries
+    (scenario-engine [migrate-epoch] op).  Consumes the current boundary
+    so a following [tick] in the same epoch stays a no-op. *)
+
 val migrations : t -> int
 (** Pages successfully moved. *)
 

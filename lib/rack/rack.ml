@@ -39,6 +39,7 @@ type config = {
   migrate_budget : int;
   migrate_share : int;
   ops : Rack_ops.t;
+  extra_node_slots : int;
   runtime : Runtime.config;
 }
 
@@ -62,6 +63,7 @@ let default_config =
     migrate_budget = 32;
     migrate_share = 1;
     ops = [];
+    extra_node_slots = 0;
     runtime = Runtime.default_config;
   }
 
@@ -116,6 +118,30 @@ let shared_base = 1 lsl 30
    shared-segment operation (the publisher writes, readers read). *)
 type step = App of Access.t | Shared_write of int | Shared_read of int
 
+(* A paused rack simulation: [start] builds the fabric and recorded
+   traces, [e_step] advances one scheduling slice, [e_finish] drains and
+   runs the oracles.  The op closures are the scenario engine's adapters;
+   the data fields are its invariant accessors. *)
+type engine = {
+  e_tenants : tenant_cfg array;
+  e_controller : Rack_controller.t;
+  e_runtimes : Runtime.t array;
+  e_wfq : Wfq.t array;
+  e_weights : int array;
+  e_node_count : int ref;
+  e_fast_nodes : int;
+  e_drained_pages : int ref;
+  e_drain_failures : int ref;
+  e_now : unit -> int;
+  e_step : unit -> int;
+  e_finish : unit -> result;
+  e_apply : Rack_ops.op -> unit;
+  e_publish : pages:int -> unit;
+  e_shared_round : unit -> unit;
+  e_flush : unit -> unit;
+  e_migrate : unit -> unit;
+}
+
 let validate cfg tenants =
   if tenants = [] then invalid_arg "Rack.run: no tenants";
   if cfg.nodes < 1 then invalid_arg "Rack.run: need at least one node";
@@ -162,14 +188,20 @@ let validate cfg tenants =
                tc.workload))
     tenants
 
-let run cfg tenants =
+let start cfg tenants =
   validate cfg tenants;
   let tenants = Array.of_list tenants in
   let n = Array.length tenants in
   let page = Units.page_size in
-  let seg_pages = if n >= 1 then cfg.shared_pages else 0 in
+  (* Shared-segment state is mutable so publication can happen either up
+     front ([cfg.shared_pages > 0], the historical path) or later through
+     the [publish] engine adapter (scenario ops). *)
+  let seg_pages = ref 0 in
+  let seg = ref Bytes.empty in
   let seg_first = shared_base / page in
-  let in_seg vpage = seg_pages > 0 && vpage >= seg_first && vpage < seg_first + seg_pages in
+  let in_seg vpage =
+    !seg_pages > 0 && vpage >= seg_first && vpage < seg_first + !seg_pages
+  in
   (* -------- rack fabric: controller, nodes, quotas, schedulers -------- *)
   let controller = Rack_controller.create ~slab_size:(Units.mib 1) () in
   for id = 0 to cfg.nodes - 1 do
@@ -198,7 +230,7 @@ let run cfg tenants =
          (fun c -> match c.Rack_ops.op with Rack_ops.Add_node _ -> true | _ -> false)
          cfg.ops)
   in
-  let max_nodes = cfg.nodes + adds in
+  let max_nodes = cfg.nodes + adds + max 0 cfg.extra_node_slots in
   let wfq =
     Array.init max_nodes (fun _ -> Wfq.create ~gbps:cfg.node_gbps ~weights)
   in
@@ -263,18 +295,12 @@ let run cfg tenants =
   in
   let heaps = Array.map fst recorded in
   let traces = Array.map snd recorded in
-  (* Segment store: rounded up to slab granularity so the publisher's
-     backing slabs are fully representable in the buffer. *)
   let slab = Rack_controller.slab_size controller in
-  let seg_len = (((seg_pages * page) + slab - 1) / slab * slab) in
-  (* Zero-filled, matching the memory nodes' stores: the divergence oracle
-     compares whole pages, including bytes no woven op ever writes. *)
-  let seg = Bytes.make (max seg_len 0) '\000' in
   let read_locals =
     Array.init n (fun i ->
         fun ~addr ~len ->
-          if seg_pages > 0 && addr >= shared_base then
-            Bytes.sub_string seg (addr - shared_base) len
+          if !seg_pages > 0 && addr >= shared_base then
+            Bytes.sub_string !seg (addr - shared_base) len
           else Heap.peek_bytes heaps.(i) addr len)
   in
   (* -------- per-tenant runtimes over the shared fabric -------- *)
@@ -319,56 +345,69 @@ let run cfg tenants =
   let sharer_fills = ref 0 in
   let seg_fill = ref (fun (_ : int) (_ : int) -> ()) in
   let seg_recall = ref (fun (_ : int) -> ()) in
-  if seg_pages > 0 then begin
-    let rm0 = Runtime.resource_manager runtimes.(0) in
-    Resource_manager.ensure_backed rm0 ~addr:shared_base ~len:(seg_pages * page);
-    let seg_slabs =
-      Resource_manager.slabs rm0
-      |> List.filter (fun s ->
-             s.Slab.vaddr >= shared_base && s.Slab.vaddr < shared_base + seg_len)
-      |> List.sort (fun a b -> compare a.Slab.vaddr b.Slab.vaddr)
-    in
-    for i = 1 to n - 1 do
-      Resource_manager.map_foreign
-        (Runtime.resource_manager runtimes.(i))
-        ~at:shared_base seg_slabs
-    done;
-    (* demand fetches of segment pages register the fetching tenant as a
-       sharer with the rack directory *)
-    seg_fill :=
-      (fun i vpage ->
-        if in_seg vpage then begin
-          incr sharer_fills;
-          Directory.on_fill ~sharer:i rack_dir ~line:(vpage - seg_first)
-            ~write:false
-        end);
-    (* the publisher's dirty evictions recall every remote reader; the
-       recall is priced as a background control message that contends at
-       the page's home node *)
-    seg_recall :=
-      (fun vpage ->
-        if in_seg vpage then
-          let line = vpage - seg_first in
-          let sharers = Directory.snoop_sharers rack_dir ~line in
-          List.iter
-            (fun s ->
-              if s <> 0 then begin
-                incr invalidations_sent;
-                match Resource_manager.translate rm0 ~vaddr:(vpage * page) with
-                | Some (node, _) ->
-                    Runtime.post_bg_message runtimes.(0) ~node ~len:Units.cache_line
-                      ~deliver:(fun () ->
-                        Runtime.invalidate_page runtimes.(s) ~vpage)
-                | None -> ()
-              end)
-            sharers)
-  end;
+  (* Publish a shared segment: tenant 0 backs it, everyone else maps it
+     foreign.  Runs at start when [cfg.shared_pages > 0], or mid-run via
+     the engine adapter; a second publication is a no-op. *)
+  let publish ~pages =
+    if pages > 0 && !seg_pages = 0 then begin
+      seg_pages := pages;
+      (* Segment store: rounded up to slab granularity so the publisher's
+         backing slabs are fully representable in the buffer.  Zero-
+         filled, matching the memory nodes' stores: the divergence oracle
+         compares whole pages, including bytes no woven op ever writes. *)
+      let seg_len = ((pages * page) + slab - 1) / slab * slab in
+      seg := Bytes.make seg_len '\000';
+      let rm0 = Runtime.resource_manager runtimes.(0) in
+      Resource_manager.ensure_backed rm0 ~addr:shared_base ~len:(pages * page);
+      let seg_slabs =
+        Resource_manager.slabs rm0
+        |> List.filter (fun s ->
+               s.Slab.vaddr >= shared_base && s.Slab.vaddr < shared_base + seg_len)
+        |> List.sort (fun a b -> compare a.Slab.vaddr b.Slab.vaddr)
+      in
+      for i = 1 to n - 1 do
+        Resource_manager.map_foreign
+          (Runtime.resource_manager runtimes.(i))
+          ~at:shared_base seg_slabs
+      done;
+      (* demand fetches of segment pages register the fetching tenant as a
+         sharer with the rack directory *)
+      seg_fill :=
+        (fun i vpage ->
+          if in_seg vpage then begin
+            incr sharer_fills;
+            Directory.on_fill ~sharer:i rack_dir ~line:(vpage - seg_first)
+              ~write:false
+          end);
+      (* the publisher's dirty evictions recall every remote reader; the
+         recall is priced as a background control message that contends at
+         the page's home node *)
+      seg_recall :=
+        (fun vpage ->
+          if in_seg vpage then
+            let line = vpage - seg_first in
+            let sharers = Directory.snoop_sharers rack_dir ~line in
+            List.iter
+              (fun s ->
+                if s <> 0 then begin
+                  incr invalidations_sent;
+                  match Resource_manager.translate rm0 ~vaddr:(vpage * page) with
+                  | Some (node, _) ->
+                      Runtime.post_bg_message runtimes.(0) ~node ~len:Units.cache_line
+                        ~deliver:(fun () ->
+                          Runtime.invalidate_page runtimes.(s) ~vpage)
+                  | None -> ()
+                end)
+              sharers)
+    end
+  in
+  if cfg.shared_pages > 0 then publish ~pages:cfg.shared_pages;
   (* -------- heat feed and fetch attribution -------- *)
   (* Anything at or above the shared base belongs to the published
      segment's slabs (including slab-rounding slack that readers map
      foreign); the migrator leaves that whole range alone — only drain
      re-homes it, remapping owner and readers together. *)
-  let in_seg_range vpage = seg_pages > 0 && vpage >= seg_first in
+  let in_seg_range vpage = !seg_pages > 0 && vpage >= seg_first in
   let heats = Array.init n (fun _ -> Heat.create ~epoch_ns:cfg.migrate_epoch_ns) in
   let fetch_total = ref 0 and fetch_fast = ref 0 in
   let hot_total = ref 0 and hot_fast = ref 0 in
@@ -500,10 +539,14 @@ let run cfg tenants =
   let drained_pages = ref 0 and drain_failures = ref 0 in
   let ops_applied = ref 0 in
   let exec_add ~capacity =
-    let id = !node_count in
-    Rack_controller.register_node controller
-      (Memory_node.create ~id ~capacity);
-    incr node_count
+    (* Every node id needs its WFQ slot (pre-created from [cfg.ops] adds
+       plus [extra_node_slots]); an add past the last slot is refused. *)
+    if !node_count < max_nodes then begin
+      let id = !node_count in
+      Rack_controller.register_node controller
+        (Memory_node.create ~id ~capacity);
+      incr node_count
+    end
   in
   (* Most-free live non-draining node (node_infos ascending: ties break
      toward the lower id). *)
@@ -663,7 +706,7 @@ let run cfg tenants =
     Array.mapi
       (fun i trace ->
         let len = Array.length trace in
-        if seg_pages = 0 || cfg.shared_ops = 0 || len = 0 || n < 2 then
+        if cfg.shared_pages = 0 || cfg.shared_ops = 0 || len = 0 || n < 2 then
           Array.map (fun e -> App e) trace
         else begin
           let stride = max 1 (len / cfg.shared_ops) in
@@ -685,51 +728,54 @@ let run cfg tenants =
     | App ev -> Runtime.sink runtimes.(i) ev
     | Shared_write k ->
         incr shared_writes;
-        let p = k mod seg_pages in
-        Bytes.fill seg (p * page) Units.cache_line
+        let p = k mod !seg_pages in
+        Bytes.fill !seg (p * page) Units.cache_line
           (Char.chr (((k * 37) + 1) land 0xff));
         Runtime.sink runtimes.(i)
           (Access.write ~addr:(shared_base + (p * page)) ~len:Units.cache_line);
         Directory.on_fill ~sharer:0 rack_dir ~line:p ~write:true
     | Shared_read k ->
         incr shared_reads;
-        let p = k mod seg_pages in
+        let p = k mod !seg_pages in
         Runtime.sink runtimes.(i)
           (Access.read ~addr:(shared_base + (p * page)) ~len:Units.cache_line)
   in
   let lens = Array.map Array.length steps in
   let pos = Array.make n 0 in
   let remaining = ref (Array.fold_left ( + ) 0 lens) in
-  while !remaining > 0 do
-    (* always step the tenant whose virtual clock is furthest behind *)
-    let best = ref (-1) and best_ns = ref max_int in
-    for i = 0 to n - 1 do
-      if pos.(i) < lens.(i) then begin
-        let e = Runtime.elapsed_ns runtimes.(i) in
-        if e < !best_ns then begin
-          best := i;
-          best_ns := e
+  (* One scheduling slice: step the tenant whose virtual clock is
+     furthest behind for up to one quantum, then fire due rack ops and
+     tick the migrator on that tenant's clock — fully deterministic.
+     Returns the number of accesses consumed; 0 = replay exhausted. *)
+  let step () =
+    if !remaining <= 0 then 0
+    else begin
+      let best = ref (-1) and best_ns = ref max_int in
+      for i = 0 to n - 1 do
+        if pos.(i) < lens.(i) then begin
+          let e = Runtime.elapsed_ns runtimes.(i) in
+          if e < !best_ns then begin
+            best := i;
+            best_ns := e
+          end
         end
-      end
-    done;
-    let i = !best in
-    let budget = ref cfg.quantum in
-    while !budget > 0 && pos.(i) < lens.(i) do
-      exec_step i steps.(i).(pos.(i));
-      pos.(i) <- pos.(i) + 1;
-      decr budget;
-      decr remaining
-    done;
-    (* scheduled ops and the background migrator run on the virtual
-       clock of the tenant just stepped — fully deterministic *)
-    let now = Runtime.elapsed_ns runtimes.(i) in
-    fire_ops ~now;
-    Migrator.tick migrator ~now
-  done;
-  Array.iter Runtime.drain runtimes;
-  (* ops scheduled past the last replayed access still run (a drain must
-     re-home its pages no matter how short the workload was) *)
-  fire_ops ~now:max_int;
+      done;
+      let i = !best in
+      let budget = ref cfg.quantum in
+      let consumed = ref 0 in
+      while !budget > 0 && pos.(i) < lens.(i) do
+        exec_step i steps.(i).(pos.(i));
+        pos.(i) <- pos.(i) + 1;
+        decr budget;
+        decr remaining;
+        incr consumed
+      done;
+      let now = Runtime.elapsed_ns runtimes.(i) in
+      fire_ops ~now;
+      Migrator.tick migrator ~now;
+      !consumed
+    end
+  in
   (* -------- per-tenant divergence oracle and results -------- *)
   let tenant_result i =
     let tc = tenants.(i) in
@@ -785,34 +831,163 @@ let run cfg tenants =
       t_snapshot = snap;
     }
   in
-  let r_tenants = Array.init n tenant_result in
+  let finished = ref None in
+  let finish () =
+    match !finished with
+    | Some r -> r
+    | None ->
+        Array.iter Runtime.drain runtimes;
+        (* ops scheduled past the last replayed access still run (a drain
+           must re-home its pages no matter how short the workload was) *)
+        fire_ops ~now:max_int;
+        let r_tenants = Array.init n tenant_result in
+        let r =
+          {
+            r_tenants;
+            r_elapsed_ns =
+              Array.fold_left (fun a r -> max a r.t_elapsed_ns) 0 r_tenants;
+            r_total_admits =
+              Array.fold_left (fun a w -> a + Wfq.total_admits w) 0 wfq;
+            r_saturated_admits =
+              Array.fold_left (fun a w -> a + Wfq.saturated_admits w) 0 wfq;
+            r_snoops = Directory.snoops rack_dir;
+            r_invalidations_sent = !invalidations_sent;
+            r_shared_writes = !shared_writes;
+            r_shared_reads = !shared_reads;
+            r_node_crashes =
+              Array.fold_left (fun a rt -> a + Runtime.node_crashes rt) 0 runtimes;
+            r_policy = policy.Placement_policy.name;
+            r_migrations = Migrator.migrations migrator + !op_moves;
+            r_bytes_moved =
+              Migrator.bytes_moved migrator + ((!op_moves + !drained_pages) * page);
+            r_failed_moves = Migrator.failed migrator + !op_failed;
+            r_migrator_delay_ns = Migrator.charged_ns migrator;
+            r_fetches = !fetch_total;
+            r_fetches_fast = !fetch_fast;
+            r_remote_hit_pml =
+              (if !fetch_total = 0 then 0
+               else (!fetch_total - !fetch_fast) * 1000 / !fetch_total);
+            r_hot_hit_pml =
+              (if !hot_total = 0 then 0 else !hot_fast * 1000 / !hot_total);
+            r_drained_pages = !drained_pages;
+            r_drain_failures = !drain_failures;
+            r_ops_applied = !ops_applied;
+            r_snapshot = Hub.snapshot hub;
+          }
+        in
+        finished := Some r;
+        r
+  in
+  let engine_now () =
+    Array.fold_left (fun a rt -> max a (Runtime.elapsed_ns rt)) 0 runtimes
+  in
+  (* Immediate op application for the scenario engine: same executors the
+     scheduled-op calendar uses, run at the rack's current virtual time.
+     Invalid targets (unknown drain id, add past the last WFQ slot) are
+     quietly refused so randomly generated sequences stay total. *)
+  let apply_now op =
+    let now = engine_now () in
+    match op with
+    | Rack_ops.Add_node { capacity } ->
+        if !node_count < max_nodes then begin
+          incr ops_applied;
+          exec_add ~capacity:(Option.value capacity ~default:cfg.node_capacity)
+        end
+    | Rack_ops.Drain { id } ->
+        if id >= 0 && id < !node_count then begin
+          incr ops_applied;
+          exec_drain ~now id
+        end
+    | Rack_ops.Rebalance ->
+        incr ops_applied;
+        exec_rebalance ~now
+  in
+  (* Synthetic shared-segment rounds past the woven ones: ids continue
+     where the weave stopped so payload bytes never repeat. *)
+  let shared_k = ref cfg.shared_ops in
+  let shared_round () =
+    if !seg_pages > 0 then begin
+      let k = !shared_k in
+      incr shared_k;
+      exec_step 0 (Shared_write k);
+      for i = 1 to n - 1 do
+        exec_step i (Shared_read k)
+      done
+    end
+  in
   {
-    r_tenants;
-    r_elapsed_ns =
-      Array.fold_left (fun a r -> max a r.t_elapsed_ns) 0 r_tenants;
-    r_total_admits = Array.fold_left (fun a w -> a + Wfq.total_admits w) 0 wfq;
-    r_saturated_admits =
-      Array.fold_left (fun a w -> a + Wfq.saturated_admits w) 0 wfq;
-    r_snoops = Directory.snoops rack_dir;
-    r_invalidations_sent = !invalidations_sent;
-    r_shared_writes = !shared_writes;
-    r_shared_reads = !shared_reads;
-    r_node_crashes =
-      Array.fold_left (fun a rt -> a + Runtime.node_crashes rt) 0 runtimes;
-    r_policy = policy.Placement_policy.name;
-    r_migrations = Migrator.migrations migrator + !op_moves;
-    r_bytes_moved =
-      Migrator.bytes_moved migrator + ((!op_moves + !drained_pages) * page);
-    r_failed_moves = Migrator.failed migrator + !op_failed;
-    r_migrator_delay_ns = Migrator.charged_ns migrator;
-    r_fetches = !fetch_total;
-    r_fetches_fast = !fetch_fast;
-    r_remote_hit_pml =
-      (if !fetch_total = 0 then 0
-       else (!fetch_total - !fetch_fast) * 1000 / !fetch_total);
-    r_hot_hit_pml = (if !hot_total = 0 then 0 else !hot_fast * 1000 / !hot_total);
-    r_drained_pages = !drained_pages;
-    r_drain_failures = !drain_failures;
-    r_ops_applied = !ops_applied;
-    r_snapshot = Hub.snapshot hub;
+    e_tenants = tenants;
+    e_controller = controller;
+    e_runtimes = runtimes;
+    e_wfq = wfq;
+    e_weights = weights;
+    e_node_count = node_count;
+    e_fast_nodes = cfg.fast_nodes;
+    e_drained_pages = drained_pages;
+    e_drain_failures = drain_failures;
+    e_now = engine_now;
+    e_step = step;
+    e_finish = finish;
+    e_apply = apply_now;
+    e_publish = publish;
+    e_shared_round = shared_round;
+    e_flush = flush_all_logs;
+    e_migrate = (fun () -> Migrator.force migrator ~now:(engine_now ()));
   }
+
+let step e = e.e_step ()
+let finish e = e.e_finish ()
+let now_ns e = e.e_now ()
+let apply_op e op = e.e_apply op
+let publish e ~pages = e.e_publish ~pages
+let shared_round e = e.e_shared_round ()
+let flush_logs e = e.e_flush ()
+let force_migration e = e.e_migrate ()
+let tenant_count e = Array.length e.e_tenants
+let tenant_cfgs e = e.e_tenants
+let runtime e ~tenant = e.e_runtimes.(tenant)
+let controller e = e.e_controller
+let node_count e = !(e.e_node_count)
+let fast_node_count e = e.e_fast_nodes
+let scheduler e ~node = e.e_wfq.(node)
+let scheduler_weights e = e.e_weights
+let drained_pages e = !(e.e_drained_pages)
+let drain_failures e = !(e.e_drain_failures)
+
+let crash_node e ~id =
+  (* The crash rides tenant 0's runtime (same as fault plans): fail-stop
+     is rack-global through the shared controller, and tenant 0 runs the
+     failover control exchange.  The other tenants' translations retarget
+     lazily through the controller's promoted backing. *)
+  if id >= 0 && id < !(e.e_node_count) then
+    Runtime.crash_node e.e_runtimes.(0) ~id
+
+let arm_fault e clause = Runtime.arm_fault e.e_runtimes.(0) clause
+
+let flap_links e ~dur_ns =
+  (* Every tenant owns a NIC port; a rack-level flap outages them all. *)
+  Array.iter
+    (fun rt ->
+      Runtime.arm_fault rt
+        (Kona_faults.Fault_spec.Link_flap
+           { at_ns = Runtime.elapsed_ns rt; dur_ns }))
+    e.e_runtimes
+
+let force_scrub e = Array.iter Runtime.force_scrub e.e_runtimes
+
+let set_tenant_quota e ~tenant ~bytes =
+  if tenant >= 0 && tenant < Array.length e.e_tenants then
+    Rack_controller.set_quota e.e_controller
+      ~tenant:e.e_tenants.(tenant).name ~bytes
+
+let tenant_used e ~tenant =
+  if tenant >= 0 && tenant < Array.length e.e_tenants then
+    Rack_controller.tenant_used e.e_controller ~tenant:e.e_tenants.(tenant).name
+  else 0
+
+let run cfg tenants =
+  let e = start cfg tenants in
+  while e.e_step () > 0 do
+    ()
+  done;
+  e.e_finish ()

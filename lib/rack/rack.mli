@@ -64,6 +64,10 @@ type config = {
       (** the migrator's WFQ weight at every node — its copies contend
           with tenant traffic like any other sender *)
   ops : Rack_ops.t;  (** scheduled add/drain/rebalance operations *)
+  extra_node_slots : int;
+      (** extra pre-created WFQ slots beyond [nodes] plus the adds in
+          [ops], for nodes added mid-run through {!apply_op}; an add with
+          no free slot is refused.  0 (default) for scheduled-ops runs *)
   runtime : Kona.Runtime.config;
       (** per-tenant base; the rack overrides [tenant], [stream_base],
           [replicas], [faults] and [fault_seed] per tenant *)
@@ -140,4 +144,92 @@ val run : config -> tenant_cfg list -> result
 
     Raises [Invalid_argument] on an empty or misconfigured tenant list
     and lets {!Kona.Rack_controller.Quota_exceeded} propagate when a
-    tenant overruns its cap. *)
+    tenant overruns its cap.
+
+    [run] is exactly [start] + [step] to exhaustion + [finish]. *)
+
+(** {2 Stepwise engine}
+
+    The same simulation as {!run}, paused between scheduling slices so a
+    driver (lib/scenario) can interleave rack operations, fault arming
+    and invariant checks with replay.  All adapters are deterministic:
+    the same [config], tenant list and op sequence reproduce the same
+    telemetry bit for bit. *)
+
+type engine
+
+val start : config -> tenant_cfg list -> engine
+(** Build the fabric, record every workload, and pause before the first
+    slice.  Same validation and exceptions as {!run}. *)
+
+val step : engine -> int
+(** Advance one scheduling slice (up to [quantum] accesses on the tenant
+    whose clock is furthest behind, then due scheduled ops and a migrator
+    tick).  Returns accesses consumed; 0 means the replay is exhausted. *)
+
+val finish : engine -> result
+(** Drain every runtime, fire remaining scheduled ops, run the
+    divergence oracles and freeze the result.  Idempotent. *)
+
+val now_ns : engine -> int
+(** The rack's virtual time: max over the tenants' clocks. *)
+
+(** {3 Op adapters} *)
+
+val apply_op : engine -> Rack_ops.op -> unit
+(** Apply an add/drain/rebalance now.  Invalid targets (unknown drain
+    id, add past the last pre-created WFQ slot) are quietly refused so
+    generated op sequences stay total. *)
+
+val crash_node : engine -> id:int -> unit
+(** Fail-stop node [id] now via tenant 0's runtime — the same failover
+    path a scheduled [node-crash] fault clause takes.  Unknown ids are
+    refused. *)
+
+val arm_fault : engine -> Kona_faults.Fault_spec.clause -> unit
+(** Arm a probabilistic fault clause on tenant 0 (the corruption-target
+    tenant, as in fault plans).  Requires the runtimes to carry an
+    injector ([runtime.arm_injector] or a non-empty plan). *)
+
+val flap_links : engine -> dur_ns:int -> unit
+(** Outage every tenant's NIC port for [dur_ns] starting at each
+    tenant's current virtual time. *)
+
+val force_scrub : engine -> unit
+(** Run one full scrub sweep on every runtime configured with one. *)
+
+val force_migration : engine -> unit
+(** Run one migration epoch immediately ({!Kona_placement.Migrator.force}). *)
+
+val publish : engine -> pages:int -> unit
+(** Publish the shared segment mid-run (tenant 0 backs it, others map
+    foreign).  No-op if already published or [pages <= 0]. *)
+
+val shared_round : engine -> unit
+(** One synthetic shared-segment round: tenant 0 writes the next op id,
+    every other tenant reads it.  No-op before {!publish}. *)
+
+val flush_logs : engine -> unit
+(** Flush every tenant's CL log. *)
+
+val set_tenant_quota : engine -> tenant:int -> bytes:int -> unit
+(** Set tenant [tenant]'s memory quota at the rack controller. *)
+
+(** {3 Invariant accessors} *)
+
+val tenant_count : engine -> int
+val tenant_cfgs : engine -> tenant_cfg array
+val runtime : engine -> tenant:int -> Kona.Runtime.t
+val controller : engine -> Kona.Rack_controller.t
+val node_count : engine -> int
+val fast_node_count : engine -> int
+
+val tenant_used : engine -> tenant:int -> int
+(** Bytes currently charged to the tenant at the rack controller. *)
+
+val scheduler : engine -> node:int -> Wfq.t
+val scheduler_weights : engine -> int array
+(** Tenant WFQ weights plus the migrator's slot at index [tenant_count]. *)
+
+val drained_pages : engine -> int
+val drain_failures : engine -> int

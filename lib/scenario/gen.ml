@@ -1,0 +1,129 @@
+module Rng = Kona_util.Rng
+module Units = Kona_util.Units
+module Fault_spec = Kona_faults.Fault_spec
+
+(* Probabilities live on a 1/10000 grid so the canonical %g rendering of
+   a generated clause re-parses to the exact same float — generated
+   specs must round-trip bit-for-bit for replay. *)
+let grid_p rng ~lo ~hi =
+  let lo = int_of_float (lo *. 10000.) and hi = int_of_float (hi *. 10000.) in
+  float_of_int (lo + Rng.int rng (hi - lo + 1)) /. 10000.
+
+let pick rng l = List.nth l (Rng.int rng (List.length l))
+
+let workload_pool = [ "kv-seq"; "kv-uniform"; "kv-zipf" ]
+
+(* Corruption family: single tenant, verification + scrubber on, every
+   probabilistic fault kind in play.  Kept crash/drain/migration-free so
+   the integrity-accounting invariant's detection equalities stay exact
+   (failover and page moves heal corruption outside the detection
+   paths). *)
+let corruption_setup rng =
+  {
+    Spec.default_setup with
+    tenants = 1;
+    nodes = 2;
+    fmem = pick rng [ 128; 256 ];
+    quantum = pick rng [ 128; 256; 512 ];
+    seed = Rng.int rng 1_000_000;
+    fault_seed = Rng.int rng 1_000_000;
+    scrub_ns = pick rng [ 100_000; 200_000; 500_000 ];
+    workloads = [ pick rng workload_pool ];
+    gbps = pick rng [ 0.5; 1.0; 2.0 ];
+  }
+
+let corruption_op rng ~published =
+  match Rng.int rng 10 with
+  | 0 | 1 | 2 ->
+      Spec.Run { n = 256 * (1 + Rng.int rng 8) }
+  | 3 ->
+      Spec.Corrupt (Fault_spec.Bit_flip { p = grid_p rng ~lo:0.02 ~hi:0.2 })
+  | 4 ->
+      Spec.Corrupt (Fault_spec.Torn_write { p = grid_p rng ~lo:0.02 ~hi:0.2 })
+  | 5 ->
+      Spec.Corrupt (Fault_spec.Dup_deliver { p = grid_p rng ~lo:0.02 ~hi:0.2 })
+  | 6 ->
+      Spec.Corrupt (Fault_spec.Stale_read { p = grid_p rng ~lo:0.01 ~hi:0.08 })
+  | 7 -> Spec.Scrub
+  | 8 ->
+      if published then Spec.Shared { rounds = 8 + Rng.int rng 24 }
+      else Spec.Publish { pages = 16 + Rng.int rng 48 }
+  | _ ->
+      Spec.Quota
+        { tenant = 0; bytes = Units.mib (16 + Rng.int rng 48) }
+
+(* Ops family: multi-tenant rack reconfiguration — crash/flap/quota
+   changes, node adds and drains, forced rebalance and migration epochs.
+   Corruption clauses are excluded (their accounting invariant does not
+   survive page moves); at most [replicas] crashes so failover keeps
+   every page reachable and the placement-coherence invariant stays
+   checkable. *)
+let ops_setup rng =
+  let tenants = 1 + Rng.int rng 3 in
+  let nodes = 2 + Rng.int rng 3 in
+  {
+    Spec.default_setup with
+    tenants;
+    nodes;
+    replicas = 1;
+    fmem = pick rng [ 128; 256 ];
+    quantum = pick rng [ 128; 256; 512 ];
+    seed = Rng.int rng 1_000_000;
+    fault_seed = Rng.int rng 1_000_000;
+    workloads =
+      List.init tenants (fun _ -> pick rng workload_pool);
+    shares = List.init tenants (fun _ -> 1 + Rng.int rng 4);
+    quotas = [ 0 ];
+    policy = pick rng [ "first-fit"; "heat"; "centralized" ];
+    fast_nodes = 1 + Rng.int rng nodes;
+    slow_extra_ns = pick rng [ 0; 200; 500 ];
+    gbps = pick rng [ 0.5; 1.0; 2.0; 4.0 ];
+  }
+
+let ops_op rng ~setup ~crashes ~adds ~published =
+  let tenants = setup.Spec.tenants in
+  match Rng.int rng 12 with
+  | 0 | 1 | 2 | 3 ->
+      Spec.Run { n = 256 * (1 + Rng.int rng 8) }
+  | 4 when !crashes < setup.Spec.replicas ->
+      incr crashes;
+      Spec.Crash { id = Rng.int rng setup.Spec.nodes }
+  | 5 -> Spec.Flap { dur_ns = 1_000 * (10 + Rng.int rng 90) }
+  | 6 ->
+      Spec.Quota
+        {
+          tenant = Rng.int rng tenants;
+          bytes = Units.mib (16 + Rng.int rng 48);
+        }
+  | 7 when !adds < 2 ->
+      incr adds;
+      Spec.Add_node
+        {
+          capacity =
+            (if Rng.bool rng then Some (Units.mib (64 + 64 * Rng.int rng 2))
+             else None);
+        }
+  | 8 -> Spec.Drain { id = Rng.int rng setup.Spec.nodes }
+  | 9 -> Spec.Rebalance
+  | 10 -> Spec.Migrate_epoch
+  | _ ->
+      if published then Spec.Shared { rounds = 8 + Rng.int rng 24 }
+      else Spec.Publish { pages = 16 + Rng.int rng 48 }
+
+let generate ~seed ~ops =
+  let rng = Rng.create ~seed in
+  let corruption = Rng.bool rng in
+  let setup = if corruption then corruption_setup rng else ops_setup rng in
+  let crashes = ref 0 and adds = ref 0 and published = ref false in
+  let n = max 1 ops in
+  let op_list =
+    List.init n (fun i ->
+        let op =
+          if i = 0 then Spec.Run { n = 256 * (1 + Rng.int rng 4) }
+          else if corruption then corruption_op rng ~published:!published
+          else ops_op rng ~setup ~crashes ~adds ~published:!published
+        in
+        (match op with Spec.Publish _ -> published := true | _ -> ());
+        op)
+  in
+  { Spec.setup; ops = op_list }

@@ -1,0 +1,35 @@
+(** Cross-subsystem invariant registry.
+
+    Each invariant is a named, documented check over a paused
+    {!Kona_rack.Rack.engine}.  [Boundary] invariants are cheap enough to
+    evaluate after every op; [End] invariants need the frozen
+    {!Kona_rack.Rack.result} (divergence oracles, final counters).  A
+    failing check names the invariant and describes the offending state,
+    so a fuzz report reads as a bug report, not a diff. *)
+
+type scope = Boundary | End
+
+type ctx = {
+  engine : Kona_rack.Rack.engine;
+  spec : Spec.t;  (** guards that depend on what the episode did *)
+  result : Kona_rack.Rack.result option;  (** [Some] only for [End] checks *)
+}
+
+type violation = { inv : string; detail : string }
+
+type t = {
+  name : string;
+  scope : scope;
+  doc : string;
+  check : ctx -> string list;  (** one string per violation, empty = holds *)
+}
+
+val registry : t list
+(** node-accounting, quota-conservation and placement-coherence at every
+    boundary; shadow-heap, integrity-accounting and wfq-bounds at the
+    end of the episode. *)
+
+val names : string list
+
+val check : scope -> ctx -> violation list
+(** Evaluate every registered invariant of [scope] against [ctx]. *)

@@ -1,0 +1,307 @@
+module Units = Kona_util.Units
+module Fault_spec = Kona_faults.Fault_spec
+
+type op =
+  | Run of { n : int }
+  | Crash of { id : int }
+  | Flap of { dur_ns : int }
+  | Corrupt of Fault_spec.clause
+  | Quota of { tenant : int; bytes : int }
+  | Publish of { pages : int }
+  | Shared of { rounds : int }
+  | Scrub
+  | Add_node of { capacity : int option }
+  | Drain of { id : int }
+  | Rebalance
+  | Migrate_epoch
+
+type setup = {
+  tenants : int;
+  nodes : int;
+  node_cap : int;
+  gbps : float;
+  replicas : int;
+  fmem : int;
+  quantum : int;
+  seed : int;
+  fault_seed : int;
+  scrub_ns : int;
+  verify : bool;
+  workloads : string list;
+  shares : int list;
+  quotas : int list;
+  policy : string;
+  fast_nodes : int;
+  slow_extra_ns : int;
+}
+
+type t = { setup : setup; ops : op list }
+
+let default_setup =
+  {
+    tenants = 1;
+    nodes = 2;
+    node_cap = Units.mib 128;
+    gbps = 1.0;
+    replicas = 1;
+    fmem = 256;
+    quantum = 256;
+    seed = 42;
+    fault_seed = 42;
+    scrub_ns = 200_000;
+    verify = true;
+    workloads = [ "kv-seq" ];
+    shares = [ 1 ];
+    quotas = [ 0 ];
+    policy = "first-fit";
+    fast_nodes = 1;
+    slow_extra_ns = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Parsing.  Same conventions as {!Kona_faults.Fault_spec}: clauses are
+   [';']-separated, each clause is [kind[:key=value,...]], durations take
+   ns/us/ms/s suffixes.  Lists use ['|'] so [','] stays the parameter
+   separator. *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let duration_of_string s =
+  let num, mult =
+    let n = String.length s in
+    let split k m = (String.sub s 0 (n - k), m) in
+    if n >= 2 && String.sub s (n - 2) 2 = "ns" then split 2 1
+    else if n >= 2 && String.sub s (n - 2) 2 = "us" then split 2 1_000
+    else if n >= 2 && String.sub s (n - 2) 2 = "ms" then split 2 1_000_000
+    else if n >= 1 && s.[n - 1] = 's' then split 1 1_000_000_000
+    else (s, 1)
+  in
+  match int_of_string_opt num with
+  | Some v when v >= 0 -> v * mult
+  | Some _ | None -> bad "bad duration %S (expected e.g. 500ns, 200us, 2ms, 1s)" s
+
+let ns_to_string ns =
+  if ns mod 1_000_000_000 = 0 && ns > 0 then Printf.sprintf "%ds" (ns / 1_000_000_000)
+  else if ns mod 1_000_000 = 0 && ns > 0 then Printf.sprintf "%dms" (ns / 1_000_000)
+  else if ns mod 1_000 = 0 && ns > 0 then Printf.sprintf "%dus" (ns / 1_000)
+  else Printf.sprintf "%dns" ns
+
+let int_of_field ~key s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> bad "bad integer %S for %s" s key
+
+let pos_of_field ~key s =
+  let v = int_of_field ~key s in
+  if v < 1 then bad "%s must be >= 1 (got %d)" key v;
+  v
+
+let nonneg_of_field ~key s =
+  let v = int_of_field ~key s in
+  if v < 0 then bad "%s must be >= 0 (got %d)" key v;
+  v
+
+(* "kind[:k=v,...]" -> (kind, assoc, raw clause).  The raw clause is kept
+   so corrupt ops can be re-parsed by Fault_spec verbatim. *)
+let split_clause s =
+  let head, params =
+    match String.index_opt s ':' with
+    | Some i ->
+        ( String.sub s 0 i,
+          String.split_on_char ',' (String.sub s (i + 1) (String.length s - i - 1)) )
+    | None -> (s, [])
+  in
+  let kv p =
+    match String.index_opt p '=' with
+    | Some i -> (String.sub p 0 i, String.sub p (i + 1) (String.length p - i - 1))
+    | None -> bad "bad parameter %S (expected key=value)" p
+  in
+  (head, List.map kv (List.filter (fun p -> p <> "") params))
+
+let field params key =
+  match List.assoc_opt key params with
+  | Some v -> v
+  | None -> bad "missing required parameter %s=" key
+
+let known kind params ks =
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem k ks) then bad "unknown parameter %s for %s" k kind)
+    params
+
+let int_list ~key s =
+  match
+    String.split_on_char '|' s
+    |> List.filter (fun x -> x <> "")
+    |> List.map (fun x -> nonneg_of_field ~key x)
+  with
+  | [] -> bad "%s: empty list" key
+  | l -> l
+
+let string_list ~key s =
+  match String.split_on_char '|' s |> List.filter (fun x -> x <> "") with
+  | [] -> bad "%s: empty list" key
+  | l -> l
+
+let parse_setup clause =
+  let kind, params = split_clause clause in
+  if kind <> "setup" then bad "spec must start with a setup: clause, got %S" kind;
+  known "setup" params
+    [ "tenants"; "nodes"; "cap"; "gbps"; "replicas"; "fmem"; "quantum"; "seed";
+      "fseed"; "scrub"; "verify"; "workloads"; "shares"; "quotas"; "policy";
+      "fast"; "slowns" ];
+  let get key f default =
+    match List.assoc_opt key params with Some v -> f v | None -> default
+  in
+  let s =
+    {
+      tenants = get "tenants" (pos_of_field ~key:"tenants") default_setup.tenants;
+      nodes = get "nodes" (pos_of_field ~key:"nodes") default_setup.nodes;
+      node_cap = get "cap" (pos_of_field ~key:"cap") default_setup.node_cap;
+      gbps =
+        get "gbps"
+          (fun v ->
+            match float_of_string_opt v with
+            | Some g when g > 0. -> g
+            | Some _ | None -> bad "bad gbps %S (expected a positive float)" v)
+          default_setup.gbps;
+      replicas = get "replicas" (nonneg_of_field ~key:"replicas") default_setup.replicas;
+      fmem = get "fmem" (pos_of_field ~key:"fmem") default_setup.fmem;
+      quantum = get "quantum" (pos_of_field ~key:"quantum") default_setup.quantum;
+      seed = get "seed" (nonneg_of_field ~key:"seed") default_setup.seed;
+      fault_seed = get "fseed" (nonneg_of_field ~key:"fseed") default_setup.fault_seed;
+      scrub_ns = get "scrub" duration_of_string default_setup.scrub_ns;
+      verify =
+        get "verify"
+          (fun v ->
+            match v with
+            | "0" -> false
+            | "1" -> true
+            | _ -> bad "bad verify %S (expected 0 or 1)" v)
+          default_setup.verify;
+      workloads = get "workloads" (string_list ~key:"workloads") default_setup.workloads;
+      shares = get "shares" (int_list ~key:"shares") default_setup.shares;
+      quotas = get "quotas" (int_list ~key:"quotas") default_setup.quotas;
+      policy = get "policy" (fun v -> v) default_setup.policy;
+      fast_nodes = get "fast" (nonneg_of_field ~key:"fast") default_setup.fast_nodes;
+      slow_extra_ns = get "slowns" duration_of_string default_setup.slow_extra_ns;
+    }
+  in
+  List.iter
+    (fun share -> if share < 1 then bad "shares entries must be >= 1 (got %d)" share)
+    s.shares;
+  s
+
+let parse_op clause =
+  let kind, params = split_clause clause in
+  match kind with
+  | "run" ->
+      known kind params [ "n" ];
+      Run { n = pos_of_field ~key:"n" (field params "n") }
+  | "crash" ->
+      known kind params [ "id" ];
+      Crash { id = nonneg_of_field ~key:"id" (field params "id") }
+  | "flap" ->
+      known kind params [ "dur" ];
+      let dur_ns = duration_of_string (field params "dur") in
+      if dur_ns < 1 then bad "flap dur must be positive";
+      Flap { dur_ns }
+  | "quota" ->
+      known kind params [ "t"; "bytes" ];
+      Quota
+        {
+          tenant = nonneg_of_field ~key:"t" (field params "t");
+          bytes = nonneg_of_field ~key:"bytes" (field params "bytes");
+        }
+  | "publish" ->
+      known kind params [ "pages" ];
+      Publish { pages = pos_of_field ~key:"pages" (field params "pages") }
+  | "shared" ->
+      known kind params [ "rounds" ];
+      Shared { rounds = pos_of_field ~key:"rounds" (field params "rounds") }
+  | "scrub" ->
+      known kind params [];
+      Scrub
+  | "add" ->
+      known kind params [ "cap" ];
+      Add_node
+        {
+          capacity =
+            (match List.assoc_opt "cap" params with
+            | Some v -> Some (pos_of_field ~key:"cap" v)
+            | None -> None);
+        }
+  | "drain" ->
+      known kind params [ "id" ];
+      Drain { id = nonneg_of_field ~key:"id" (field params "id") }
+  | "rebalance" ->
+      known kind params [];
+      Rebalance
+  | "migrate-epoch" ->
+      known kind params [];
+      Migrate_epoch
+  | _ -> (
+      (* Not a scenario op: a fault clause in Fault_spec grammar, armed
+         mid-sequence.  Scheduled kinds have dedicated scenario ops
+         (crash:, flap:) that act at the op's position in the sequence
+         rather than at an absolute virtual time. *)
+      match Fault_spec.parse clause with
+      | Ok [ (Fault_spec.Node_crash _ | Fault_spec.Link_flap _) ] ->
+          bad "scheduled fault %S not allowed here (use crash:id=/flap:dur=)" clause
+      | Ok [ c ] -> Corrupt c
+      | Ok _ -> bad "expected exactly one clause in %S" clause
+      | Error msg -> bad "unknown op %S (%s)" clause msg)
+
+let parse s =
+  match
+    let clauses =
+      String.split_on_char ';' s |> List.map String.trim
+      |> List.filter (fun c -> c <> "")
+    in
+    match clauses with
+    | [] -> bad "empty spec (expected setup:...[;op...])"
+    | setup :: ops -> { setup = parse_setup setup; ops = List.map parse_op ops }
+  with
+  | spec -> Ok spec
+  | exception Bad msg -> Error msg
+
+let parse_exn s =
+  match parse s with Ok t -> t | Error msg -> invalid_arg ("Scenario spec: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering: canonical and total — every setup field is always emitted,
+   so [parse (to_string t) = Ok t] holds structurally. *)
+
+let setup_to_string s =
+  Printf.sprintf
+    "setup:tenants=%d,nodes=%d,cap=%d,gbps=%g,replicas=%d,fmem=%d,quantum=%d,seed=%d,fseed=%d,scrub=%s,verify=%d,workloads=%s,shares=%s,quotas=%s,policy=%s,fast=%d,slowns=%s"
+    s.tenants s.nodes s.node_cap s.gbps s.replicas s.fmem s.quantum s.seed
+    s.fault_seed (ns_to_string s.scrub_ns)
+    (if s.verify then 1 else 0)
+    (String.concat "|" s.workloads)
+    (String.concat "|" (List.map string_of_int s.shares))
+    (String.concat "|" (List.map string_of_int s.quotas))
+    s.policy s.fast_nodes
+    (ns_to_string s.slow_extra_ns)
+
+let op_to_string = function
+  | Run { n } -> Printf.sprintf "run:n=%d" n
+  | Crash { id } -> Printf.sprintf "crash:id=%d" id
+  | Flap { dur_ns } -> Printf.sprintf "flap:dur=%s" (ns_to_string dur_ns)
+  | Corrupt c -> Fault_spec.to_string [ c ]
+  | Quota { tenant; bytes } -> Printf.sprintf "quota:t=%d,bytes=%d" tenant bytes
+  | Publish { pages } -> Printf.sprintf "publish:pages=%d" pages
+  | Shared { rounds } -> Printf.sprintf "shared:rounds=%d" rounds
+  | Scrub -> "scrub"
+  | Add_node { capacity = None } -> "add"
+  | Add_node { capacity = Some c } -> Printf.sprintf "add:cap=%d" c
+  | Drain { id } -> Printf.sprintf "drain:id=%d" id
+  | Rebalance -> "rebalance"
+  | Migrate_epoch -> "migrate-epoch"
+
+let to_string t =
+  String.concat ";" (setup_to_string t.setup :: List.map op_to_string t.ops)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,88 @@
+(** Scenario grammar: one line describes one whole episode.
+
+    A spec is a [';']-separated clause list.  The first clause is the
+    setup (rack shape, workloads, seeds); every following clause is one
+    op, applied in sequence order between replay slices:
+
+    {v
+    setup:tenants=2,nodes=3,...;run:n=512;bit-flip:p=0.1;drain:id=1;run:n=512
+    v}
+
+    Ops cover the whole public surface:
+
+    - [run:n=N] — replay at least [N] recorded workload accesses
+      (interleaved across tenants in scheduler quanta);
+    - [crash:id=N] — fail-stop memory node [N] now (failover/degrade);
+    - [flap:dur=D] — outage every tenant's NIC port for [D];
+    - any probabilistic {!Kona_faults.Fault_spec} clause
+      ([bit-flip:p=0.1], [torn-write:p=...], [stale-read:p=...],
+      [dup-deliver:p=...], [wqe-drop:p=...], [wqe-delay:p=...,ns=...],
+      [rpc-timeout:p=...]) — armed on tenant 0 from this point on;
+    - [quota:t=I,bytes=B] — reset tenant [I]'s memory quota (clamped to
+      its current usage at execution, so admission stays well-defined);
+    - [publish:pages=N] — tenant 0 publishes an [N]-page shared segment,
+      the others map it foreign;
+    - [shared:rounds=N] — [N] synthetic shared-segment rounds (tenant 0
+      writes, the rest read);
+    - [scrub] — force one full scrub sweep on every runtime;
+    - [add[:cap=B]] / [drain:id=N] / [rebalance] — rack reconfiguration
+      ops applied immediately;
+    - [migrate-epoch] — force one placement-migrator epoch.
+
+    Durations accept ns/us/ms/s suffixes; lists (workloads, shares,
+    quotas) use ['|'] so [','] stays the parameter separator.  Rendering
+    is canonical and total: [parse (to_string t) = Ok t]. *)
+
+type op =
+  | Run of { n : int }
+  | Crash of { id : int }
+  | Flap of { dur_ns : int }
+  | Corrupt of Kona_faults.Fault_spec.clause  (** probabilistic kinds only *)
+  | Quota of { tenant : int; bytes : int }
+  | Publish of { pages : int }
+  | Shared of { rounds : int }
+  | Scrub
+  | Add_node of { capacity : int option }
+  | Drain of { id : int }
+  | Rebalance
+  | Migrate_epoch
+
+type setup = {
+  tenants : int;
+  nodes : int;
+  node_cap : int;  (** bytes per memory node *)
+  gbps : float;  (** per-node ingress rate *)
+  replicas : int;
+  fmem : int;  (** per-tenant local-cache pages *)
+  quantum : int;  (** accesses per scheduling slice *)
+  seed : int;  (** workload seed base (tenant [i] gets [seed + i]) *)
+  fault_seed : int;
+  scrub_ns : int;  (** background scrub interval; 0 = no scrubber *)
+  verify : bool;  (** on-fetch checksum verification *)
+  workloads : string list;  (** cyclic per tenant *)
+  shares : int list;  (** cyclic per tenant, all >= 1 *)
+  quotas : int list;  (** cyclic per tenant; 0 = unmetered *)
+  policy : string;  (** placement policy slug *)
+  fast_nodes : int;
+  slow_extra_ns : int;
+}
+
+type t = { setup : setup; ops : op list }
+
+val default_setup : setup
+(** Single tenant on 2 x 128 MiB nodes, kv-seq, one replica, 256-page
+    cache, 200 us scrub, verification on, first-fit placement. *)
+
+val parse : string -> (t, string) result
+val parse_exn : string -> t
+(** Raises [Invalid_argument] with the parse error. *)
+
+val to_string : t -> string
+(** Canonical one-line rendering ([parse (to_string t) = Ok t]). *)
+
+val pp : Format.formatter -> t -> unit
+
+val ns_to_string : int -> string
+val duration_of_string : string -> int
+(** Shared duration helpers (same grammar as {!Kona_faults.Fault_spec}).
+    [duration_of_string] raises on malformed input. *)

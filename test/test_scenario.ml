@@ -1,0 +1,419 @@
+(* Tests for kona_scenario: the episode grammar (round-trip property
+   over every op kind), the seeded generator, the deterministic episode
+   executor with its invariant registry, and the delta-debugging
+   shrinker (including a planted cross-subsystem bug that must converge
+   to a <= 3-op repro). *)
+
+open Kona_scenario
+module Rack = Kona_rack.Rack
+module Fault_spec = Kona_faults.Fault_spec
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Grammar *)
+
+(* Every op kind — scenario ops, every probabilistic fault clause, and
+   every rack op — composed in one spec string. *)
+let kitchen_sink =
+  "setup:tenants=2,nodes=3,cap=8388608,gbps=2,replicas=1,fmem=64,quantum=128,\
+   seed=1,fseed=2,scrub=100us,verify=1,workloads=kv-seq|kv-uniform,\
+   shares=2|1,quotas=0|1048576,policy=heat,fast=2,slowns=500ns;run:n=100;\
+   crash:id=1;flap:dur=20us;bit-flip:p=0.25;torn-write:p=0.1;\
+   stale-read:p=0.05;dup-deliver:p=0.2;wqe-drop:p=0.1;wqe-delay:p=0.1,ns=500;\
+   rpc-timeout:p=0.05;quota:t=1,bytes=2097152;publish:pages=8;\
+   shared:rounds=4;scrub;add;add:cap=4194304;drain:id=2;rebalance;\
+   migrate-epoch"
+
+let test_parse_kitchen_sink () =
+  let t = Spec.parse_exn kitchen_sink in
+  check_int "tenants" 2 t.Spec.setup.Spec.tenants;
+  check_int "nodes" 3 t.Spec.setup.Spec.nodes;
+  check_int "scrub" 100_000 t.Spec.setup.Spec.scrub_ns;
+  Alcotest.(check (list string))
+    "workloads"
+    [ "kv-seq"; "kv-uniform" ]
+    t.Spec.setup.Spec.workloads;
+  check_int "ops" 19 (List.length t.Spec.ops);
+  (match t.Spec.ops with
+  | Spec.Run { n = 100 } :: Spec.Crash { id = 1 } :: Spec.Flap { dur_ns = 20_000 } :: _
+    ->
+      ()
+  | _ -> Alcotest.fail "unexpected head ops");
+  (match List.rev t.Spec.ops with
+  | Spec.Migrate_epoch :: Spec.Rebalance :: Spec.Drain { id = 2 }
+    :: Spec.Add_node { capacity = Some 4194304 }
+    :: Spec.Add_node { capacity = None } :: Spec.Scrub :: _ ->
+      ()
+  | _ -> Alcotest.fail "unexpected tail ops");
+  (* canonical rendering re-parses to the same value *)
+  check_bool "round-trips" true (Spec.parse_exn (Spec.to_string t) = t)
+
+let test_parse_defaults () =
+  let t = Spec.parse_exn "setup:" in
+  check_bool "defaults" true (t.Spec.setup = Spec.default_setup);
+  check_int "no ops" 0 (List.length t.Spec.ops)
+
+let test_parse_errors () =
+  let bad s =
+    match Spec.parse s with Ok _ -> false | Error _ -> true
+  in
+  check_bool "must start with setup" true (bad "run:n=5");
+  check_bool "scheduled crash clause rejected" true
+    (bad "setup:;node-crash@1ms:id=0");
+  check_bool "scheduled flap clause rejected" true
+    (bad "setup:;link-flap@1ms:dur=2ms");
+  check_bool "unknown op" true (bad "setup:;frobnicate");
+  check_bool "unknown setup key" true (bad "setup:bogus=1");
+  check_bool "bad duration" true (bad "setup:scrub=fast");
+  check_bool "zero tenants" true (bad "setup:tenants=0");
+  check_bool "empty share" true (bad "setup:shares=0")
+
+(* Random well-formed specs survive a print/parse round trip.  Numeric
+   fields are drawn from grids whose canonical rendering re-parses
+   exactly (probabilities as k/1000, gbps as k/10). *)
+let spec_gen =
+  let open QCheck.Gen in
+  let prob = map (fun k -> float_of_int k /. 1000.) (int_range 1 999) in
+  let corrupt =
+    oneof
+      [
+        map (fun p -> Fault_spec.Rpc_timeout { p }) prob;
+        map (fun p -> Fault_spec.Wqe_drop { p }) prob;
+        map2 (fun p delay_ns -> Fault_spec.Wqe_delay { p; delay_ns }) prob
+          (int_range 1 100_000);
+        map (fun p -> Fault_spec.Bit_flip { p }) prob;
+        map (fun p -> Fault_spec.Torn_write { p }) prob;
+        map (fun p -> Fault_spec.Stale_read { p }) prob;
+        map (fun p -> Fault_spec.Dup_deliver { p }) prob;
+      ]
+  in
+  let op =
+    oneof
+      [
+        map (fun n -> Spec.Run { n = n + 1 }) (int_bound 5000);
+        map (fun id -> Spec.Crash { id }) (int_bound 7);
+        map (fun d -> Spec.Flap { dur_ns = d + 1 }) (int_bound 1_000_000);
+        map (fun c -> Spec.Corrupt c) corrupt;
+        map2
+          (fun tenant bytes -> Spec.Quota { tenant; bytes })
+          (int_bound 3) (int_bound 100_000_000);
+        map (fun p -> Spec.Publish { pages = p + 1 }) (int_bound 100);
+        map (fun r -> Spec.Shared { rounds = r + 1 }) (int_bound 100);
+        pure Spec.Scrub;
+        map
+          (fun c -> Spec.Add_node { capacity = Option.map (( + ) 1) c })
+          (opt (int_bound 100_000_000));
+        map (fun id -> Spec.Drain { id }) (int_bound 7);
+        pure Spec.Rebalance;
+        pure Spec.Migrate_epoch;
+      ]
+  in
+  let setup =
+    let pool = [ "kv-seq"; "kv-uniform"; "kv-zipf"; "page-rank" ] in
+    let* tenants = int_range 1 4 in
+    let* nodes = int_range 1 5 in
+    let* node_cap = int_range 1 200_000_000 in
+    let* gbps = map (fun k -> float_of_int k /. 10.) (int_range 1 100) in
+    let* replicas = int_range 0 2 in
+    let* fmem = int_range 1 1024 in
+    let* quantum = int_range 1 4096 in
+    let* seed = int_bound 1_000_000 in
+    let* fault_seed = int_bound 1_000_000 in
+    let* scrub_ns = int_bound 10_000_000 in
+    let* verify = bool in
+    let* workloads = list_size (int_range 1 4) (oneofl pool) in
+    let* shares = list_size (int_range 1 4) (int_range 1 9) in
+    let* quotas = list_size (int_range 1 4) (int_bound 100_000_000) in
+    let* policy = oneofl [ "first-fit"; "heat"; "centralized" ] in
+    let* fast_nodes = int_bound 5 in
+    let+ slow_extra_ns = int_bound 10_000 in
+    {
+      Spec.tenants;
+      nodes;
+      node_cap;
+      gbps;
+      replicas;
+      fmem;
+      quantum;
+      seed;
+      fault_seed;
+      scrub_ns;
+      verify;
+      workloads;
+      shares;
+      quotas;
+      policy;
+      fast_nodes;
+      slow_extra_ns;
+    }
+  in
+  QCheck.Gen.map2
+    (fun setup ops -> { Spec.setup; ops })
+    setup
+    (QCheck.Gen.list_size (QCheck.Gen.int_bound 20) op)
+
+let prop_spec_roundtrip =
+  QCheck.Test.make ~name:"scenario specs round-trip through to_string/parse"
+    ~count:300
+    (QCheck.make
+       ~print:(fun t -> Spec.to_string t)
+       spec_gen)
+    (fun t -> Spec.parse_exn (Spec.to_string t) = t)
+
+(* ------------------------------------------------------------------ *)
+(* Generator *)
+
+let test_generate_deterministic () =
+  let a = Gen.generate ~seed:5 ~ops:12 in
+  let b = Gen.generate ~seed:5 ~ops:12 in
+  check_bool "same seed, same spec" true (a = b);
+  check_string "same rendering" (Spec.to_string a) (Spec.to_string b);
+  let c = Gen.generate ~seed:6 ~ops:12 in
+  check_bool "different seed, different spec" true (a <> c)
+
+let test_generate_round_trips () =
+  for seed = 0 to 24 do
+    let t = Gen.generate ~seed ~ops:12 in
+    check_int "op count" 12 (List.length t.Spec.ops);
+    (match t.Spec.ops with
+    | Spec.Run _ :: _ -> ()
+    | _ -> Alcotest.fail "first op must be a run slice");
+    if Spec.parse_exn (Spec.to_string t) <> t then
+      Alcotest.failf "seed %d does not round-trip: %s" seed (Spec.to_string t)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Executor + invariants *)
+
+let small_setup =
+  {
+    Spec.default_setup with
+    Spec.node_cap = Kona_util.Units.mib 32;
+    fmem = 64;
+  }
+
+let test_execute_deterministic () =
+  let spec =
+    {
+      Spec.setup = small_setup;
+      ops =
+        [
+          Spec.Run { n = 512 };
+          Spec.Corrupt (Fault_spec.Bit_flip { p = 0.2 });
+          Spec.Publish { pages = 8 };
+          Spec.Shared { rounds = 4 };
+          Spec.Scrub;
+          Spec.Run { n = 512 };
+        ];
+    }
+  in
+  let a = Episode.execute spec in
+  let b = Episode.execute spec in
+  check_bool "no violations" true (Episode.passed a);
+  check_bool "not aborted" true (a.Episode.oc_aborted = None);
+  check_bool "fingerprint nonempty" true (a.Episode.oc_fingerprint <> "");
+  check_string "bit-identical fingerprints" a.Episode.oc_fingerprint
+    b.Episode.oc_fingerprint;
+  check_bool "bit-identical integrity counters" true
+    (a.Episode.oc_integrity = b.Episode.oc_integrity);
+  (* the armed clause actually injected and was accounted *)
+  check_bool "bit flips armed" true
+    (List.assoc "integrity.flips_armed" a.Episode.oc_integrity > 0)
+
+let test_execute_rack_ops () =
+  let spec =
+    {
+      Spec.setup =
+        { small_setup with Spec.tenants = 2; workloads = [ "kv-seq" ] };
+      ops =
+        [
+          Spec.Run { n = 512 };
+          Spec.Add_node { capacity = None };
+          Spec.Quota { tenant = 1; bytes = Kona_util.Units.mib 24 };
+          Spec.Drain { id = 0 };
+          Spec.Run { n = 512 };
+          Spec.Crash { id = 1 };
+          Spec.Flap { dur_ns = 20_000 };
+          Spec.Rebalance;
+          Spec.Migrate_epoch;
+        ];
+    }
+  in
+  let o = Episode.execute spec in
+  check_bool "not aborted" true (o.Episode.oc_aborted = None);
+  (match o.Episode.oc_violations with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "unexpected violation [%s] %s" v.Invariants.inv
+        v.Invariants.detail);
+  match o.Episode.oc_result with
+  | None -> Alcotest.fail "expected a finished episode"
+  | Some r ->
+      check_int "crash happened" 1 r.Rack.r_node_crashes;
+      check_bool "drain moved pages" true (r.Rack.r_drained_pages > 0);
+      check_int "ops applied" 3 r.Rack.r_ops_applied
+
+let test_registry_names () =
+  List.iter
+    (fun n ->
+      check_bool (n ^ " registered") true (List.mem n Invariants.names))
+    [
+      "node-accounting";
+      "quota-conservation";
+      "placement-coherence";
+      "shadow-heap";
+      "integrity-accounting";
+      "wfq-bounds";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker *)
+
+(* Pure syntactic oracle: fails iff the sequence still holds a crash op
+   and at least two scrubs.  ddmin must strip everything else. *)
+let test_shrink_syntactic () =
+  let ops =
+    [
+      Spec.Run { n = 4096 };
+      Spec.Scrub;
+      Spec.Publish { pages = 16 };
+      Spec.Crash { id = 0 };
+      Spec.Run { n = 512 };
+      Spec.Scrub;
+      Spec.Rebalance;
+      Spec.Scrub;
+      Spec.Flap { dur_ns = 1_000_000 };
+      Spec.Run { n = 256 };
+    ]
+  in
+  let spec = { Spec.setup = Spec.default_setup; ops } in
+  let oracle t =
+    let crashes =
+      List.length
+        (List.filter (function Spec.Crash _ -> true | _ -> false) t.Spec.ops)
+    in
+    let scrubs =
+      List.length
+        (List.filter (function Spec.Scrub -> true | _ -> false) t.Spec.ops)
+    in
+    if crashes >= 1 && scrubs >= 2 then Some "synthetic" else None
+  in
+  let r = Shrink.run ~oracle spec in
+  check_int "minimal op count" 3 (List.length r.Shrink.minimal.Spec.ops);
+  check_bool "still fails" true (oracle r.Shrink.minimal = Some "synthetic");
+  (* numeric-field phase: a failing run op halves down to n=1 *)
+  let spec2 =
+    {
+      Spec.setup = Spec.default_setup;
+      ops = [ Spec.Run { n = 4096 }; Spec.Scrub ];
+    }
+  in
+  let oracle2 t =
+    if List.exists (function Spec.Run _ -> true | _ -> false) t.Spec.ops then
+      Some "run-present"
+    else None
+  in
+  let r2 = Shrink.run ~oracle:oracle2 spec2 in
+  check_bool "single minimal op" true
+    (r2.Shrink.minimal.Spec.ops = [ Spec.Run { n = 1 } ])
+
+let test_shrink_requires_failure () =
+  let spec = { Spec.setup = Spec.default_setup; ops = [ Spec.Scrub ] } in
+  check_bool "passing spec rejected" true
+    (try
+       ignore (Shrink.run ~oracle:(fun _ -> None) spec);
+       false
+     with Invalid_argument _ -> true)
+
+(* Planted cross-subsystem bug: on every migrate-epoch op, leak one slab
+   straight out of the rack controller (charged to tenant t0 but owned
+   by no resource manager) — exactly the accounting drift the
+   quota-conservation invariant exists to catch.  The shrinker must take
+   a 16-op failing sequence down to a <= 3-op repro that still trips the
+   same named invariant. *)
+let planted_ops =
+  [
+    Spec.Run { n = 256 };
+    Spec.Scrub;
+    Spec.Quota { tenant = 0; bytes = Kona_util.Units.mib 24 };
+    Spec.Run { n = 256 };
+    Spec.Scrub;
+    Spec.Publish { pages = 8 };
+    Spec.Run { n = 512 };
+    Spec.Quota { tenant = 0; bytes = Kona_util.Units.mib 26 };
+    Spec.Migrate_epoch;
+    Spec.Run { n = 256 };
+    Spec.Scrub;
+    Spec.Shared { rounds = 4 };
+    Spec.Run { n = 256 };
+    Spec.Scrub;
+    Spec.Run { n = 256 };
+    Spec.Scrub;
+  ]
+
+let plant _i op engine =
+  match op with
+  | Spec.Migrate_epoch ->
+      ignore
+        (Kona.Rack_controller.allocate_slab ~tenant:"t0"
+           (Rack.controller engine) ~vaddr:0x5000_0000)
+  | _ -> ()
+
+let test_planted_bug_shrinks () =
+  let spec = { Spec.setup = small_setup; ops = planted_ops } in
+  check_bool "at least 15 ops" true (List.length spec.Spec.ops >= 15);
+  let oracle t =
+    match (Episode.execute ~plant ~check_end:false t).Episode.oc_violations with
+    | [] -> None
+    | v :: _ -> Some v.Invariants.inv
+  in
+  check_bool "planted bug detected" true
+    (oracle spec = Some "quota-conservation");
+  let r = Shrink.run ~oracle spec in
+  check_bool
+    (Printf.sprintf "minimal repro has <= 3 ops (got %d)"
+       (List.length r.Shrink.minimal.Spec.ops))
+    true
+    (List.length r.Shrink.minimal.Spec.ops <= 3);
+  check_bool "minimal repro still trips quota-conservation" true
+    (oracle r.Shrink.minimal = Some "quota-conservation");
+  (* the repro is a replayable spec line *)
+  check_bool "repro round-trips" true
+    (Spec.parse_exn (Spec.to_string r.Shrink.minimal) = r.Shrink.minimal)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "kona_scenario"
+    [
+      ( "grammar",
+        [
+          Alcotest.test_case "kitchen sink" `Quick test_parse_kitchen_sink;
+          Alcotest.test_case "defaults" `Quick test_parse_defaults;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          QCheck_alcotest.to_alcotest ~long:false prop_spec_roundtrip;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+          Alcotest.test_case "round-trips" `Quick test_generate_round_trips;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "deterministic fingerprints" `Quick
+            test_execute_deterministic;
+          Alcotest.test_case "rack ops" `Quick test_execute_rack_ops;
+          Alcotest.test_case "registry names" `Quick test_registry_names;
+        ] );
+      ( "shrinker",
+        [
+          Alcotest.test_case "syntactic ddmin" `Quick test_shrink_syntactic;
+          Alcotest.test_case "requires a failing spec" `Quick
+            test_shrink_requires_failure;
+          Alcotest.test_case "planted bug to minimal repro" `Quick
+            test_planted_bug_shrinks;
+        ] );
+    ]
