@@ -1,0 +1,114 @@
+(* Membership and recovery under partitions: sweep lease duration x
+   partition length under a seeded asymmetric partition (the node stays
+   alive, its links drop) and report what the failure detector did:
+   detection latency at each death declaration, false positives (the
+   partitioned node was healthy all along), fencing rejects when its
+   stale deliveries replay at heal, and failover latency when a mirror
+   was promoted.
+
+   The headline trade-off: a short lease detects real failures quickly
+   but declares a partitioned-but-alive node dead (false positive) as
+   soon as the window outlives twice the lease; a long lease tolerates
+   longer partitions at the price of detection latency.  Either way the
+   fencing epoch keeps the returning node's stale writes out — zero
+   divergence on every row. *)
+
+open Kona
+module Workloads = Kona_workloads.Workloads
+module Heap = Kona_workloads.Heap
+module Units = Kona_util.Units
+module Histogram = Kona_util.Histogram
+module Membership = Kona_membership.Membership
+module Fault_spec = Kona_faults.Fault_spec
+
+let artifact_path = "BENCH_recovery.json"
+
+let run_one ~heartbeat_ns ~lease_ns ~partition_us =
+  let faults =
+    Fault_spec.parse_exn
+      (* node 0 is where placement homes the working set first — a
+         partition there actually cuts in-flight deliveries *)
+      (Printf.sprintf "partition@200us:dur=%dus,nodes=0" partition_us)
+  in
+  let config =
+    {
+      Runtime.default_config with
+      (* a small cache keeps the log shipping all run long, so stale
+         in-flight deliveries exist for the fence to reject *)
+      fmem_pages = 64;
+      replicas = 1;
+      faults;
+      fault_seed = 11;
+      heartbeat_ns = Some heartbeat_ns;
+      lease_ns;
+    }
+  in
+  let controller = Rack_controller.create ~slab_size:(Units.mib 1) () in
+  Rack_controller.register_node controller
+    (Memory_node.create ~id:0 ~capacity:(Units.mib 128));
+  Rack_controller.register_node controller
+    (Memory_node.create ~id:1 ~capacity:(Units.mib 128));
+  let heap_ref = ref None in
+  let read_local ~addr ~len = Heap.peek_bytes (Option.get !heap_ref) addr len in
+  let rt = Runtime.create ~config ~controller ~read_local () in
+  let spec = Workloads.find "kv-uniform" in
+  let heap =
+    Heap.create
+      ~capacity:(spec.Workloads.heap_capacity Workloads.Smoke)
+      ~sink:(Runtime.sink rt) ()
+  in
+  heap_ref := Some heap;
+  spec.Workloads.run Workloads.Smoke ~heap ~seed:42;
+  Runtime.drain rt;
+  (match Runtime.replication rt with
+  | Some r -> assert (Replication.divergent_mirrors r ~controller = 0)
+  | None -> ());
+  rt
+
+let run () =
+  Report.with_artifact ~path:artifact_path (fun () ->
+      Report.section "Recovery: lease detection under asymmetric partitions";
+      let rows =
+        List.concat_map
+          (fun (heartbeat_ns, lease_ns) ->
+            List.map
+              (fun partition_us ->
+                let rt = run_one ~heartbeat_ns ~lease_ns ~partition_us in
+                let m = Option.get (Runtime.membership rt) in
+                let detect = Membership.detect_latency m in
+                let fo = Runtime.failover_latency rt in
+                [
+                  Report.ns heartbeat_ns;
+                  Report.ns lease_ns;
+                  Printf.sprintf "%dus" partition_us;
+                  string_of_int (Runtime.partitions_started rt);
+                  string_of_int (Runtime.declared_dead rt);
+                  string_of_int (Runtime.false_positives rt);
+                  (if Histogram.count detect = 0 then "-"
+                   else Report.ns (Histogram.percentile detect 50.));
+                  (if Histogram.count fo = 0 then "-"
+                   else Report.ns (Histogram.percentile fo 50.));
+                  string_of_int (Runtime.fencing_rejects rt);
+                  string_of_int (Runtime.post_fence_writes rt);
+                  (match Runtime.degraded rt with
+                  | Some _ -> "degraded"
+                  | None -> "ok");
+                ])
+              [ 150; 2_000; 5_000 ])
+          [ (10_000, 50_000); (100_000, 1_000_000) ]
+      in
+      Report.table
+        ~header:
+          [
+            "heartbeat"; "lease"; "partition"; "windows"; "dead"; "false+";
+            "detect p50"; "failover p50"; "fence rejects"; "post-fence wr";
+            "status";
+          ]
+        rows;
+      Report.note
+        "windows outliving 2x the lease declare a healthy node dead (false+):";
+      Report.note
+        "failover promotes its mirror and the fencing epoch rejects the";
+      Report.note
+        "returning node's stale deliveries — zero divergence on every row;";
+      Report.note "artifact mirrored to %s" artifact_path)

@@ -6,11 +6,13 @@
      dune exec bench/main.exe -- --quick      -- smoke scale (CI-fast)
 
    Experiment ids: table2 fig2 fig7 fig8 fig9 fig11 sec61 ablate faults
-   integrity micro (fig2 includes fig3; fig9 includes fig10; ablate
-   covers the design-choice studies: associativity, prefetching, huge
-   pages, replication, batching; faults sweeps replication degree x
-   crash time under the fault injector; integrity sweeps bit-flip rate
-   x scrub interval and writes its own BENCH_integrity.json).
+   recovery integrity micro (fig2 includes fig3; fig9 includes fig10;
+   ablate covers the design-choice studies: associativity, prefetching,
+   huge pages, replication, batching; faults sweeps replication degree x
+   crash time under the fault injector; recovery sweeps membership lease
+   x partition duration and writes its own BENCH_recovery.json;
+   integrity sweeps bit-flip rate x scrub interval and writes its own
+   BENCH_integrity.json).
 
    Every run also writes BENCH_telemetry.json: one JSON line per printed
    table row (see Report), closed by full runtime-telemetry snapshots of a
@@ -25,7 +27,7 @@ module Snapshot = Kona_telemetry.Snapshot
 
 let all_ids =
   [ "table2"; "fig2"; "fig7"; "fig8"; "fig9"; "fig11"; "sec61"; "ablate"; "system";
-    "faults"; "integrity"; "rack"; "placement"; "micro" ]
+    "faults"; "recovery"; "integrity"; "rack"; "placement"; "micro" ]
 
 let artifact_path = "BENCH_telemetry.json"
 
@@ -150,6 +152,7 @@ let () =
     | "ablate" -> Bench_ablation.run ~scale ()
     | "system" -> Bench_system.run ~scale ()
     | "faults" -> Bench_faults.run ()
+    | "recovery" -> Bench_recovery.run ()
     | "integrity" -> Bench_integrity.run ()
     | "rack" -> Bench_rack.run ~scale ()
     | "placement" -> Bench_placement.run ~scale ()

@@ -27,6 +27,7 @@ module Units = Kona_util.Units
 module Amp = Kona_trace.Amplification
 module Window = Kona_trace.Window
 module Vm_runtime = Kona_baselines.Vm_runtime
+module Backoff = Kona_util.Backoff
 module Hub = Kona_telemetry.Hub
 module Json = Kona_telemetry.Json
 module Snapshot = Kona_telemetry.Snapshot
@@ -102,6 +103,18 @@ let parse_fault_spec = function
           Fmt.epr "bad --fault-spec: %s@." msg;
           exit 1)
 
+(* One retry/backoff policy for every resending layer (QP retransmission,
+   RPC resend) across both runtimes — [--retry-max]/[--backoff-base-ns]
+   override the shared defaults rather than any per-layer knob. *)
+let backoff_of ~retry_max ~backoff_base_ns =
+  let c = Backoff.default in
+  let c =
+    match retry_max with Some n -> Backoff.with_retry_max c n | None -> c
+  in
+  match backoff_base_ns with
+  | Some b -> Backoff.with_base_ns c b
+  | None -> c
+
 (* Execute [spec] on one runtime with a fresh rack and its own telemetry
    hub; verifies remote-memory integrity after the final drain.  [faults]
    (kona only) is the injection plan: node crashes trigger failover when
@@ -109,7 +122,7 @@ let parse_fault_spec = function
    crashed nodes, reporting them as degradation instead of divergence. *)
 let run_one ~(spec : Workloads.spec) ~scale ~seed ~fmem_pages ~replicas
     ~prefetch ~sq_depth ~signal_interval ~faults ~fault_seed ~check_replicas
-    ~scrub_interval ~verify_checksums system =
+    ~scrub_interval ~verify_checksums ~backoff ~heartbeat_ns ~lease_ns system =
   let controller = Rack_controller.create ~slab_size:(Units.mib 1) () in
   Rack_controller.register_node controller
     (Memory_node.create ~id:0 ~capacity:(Units.mib 128));
@@ -134,6 +147,9 @@ let run_one ~(spec : Workloads.spec) ~scale ~seed ~fmem_pages ~replicas
             check_replicas;
             scrub_interval_ns = scrub_interval;
             verify_checksums;
+            backoff;
+            heartbeat_ns;
+            lease_ns;
           }
         in
         let rt = Runtime.create ~config ~hub ~controller ~read_local () in
@@ -157,6 +173,7 @@ let run_one ~(spec : Workloads.spec) ~scale ~seed ~fmem_pages ~replicas
             cache_pages = fmem_pages;
             sq_depth;
             signal_interval;
+            backoff;
           }
         in
         let vm = Vm_runtime.create ~config ~hub ~profile ~controller ~read_local () in
@@ -285,17 +302,19 @@ let exit_status results =
 
 let cmd_run workload systems fmem_pages replicas prefetch sq_depth
     signal_interval fault_spec fault_seed check_replicas scrub_interval
-    verify_checksums seed metrics_json trace full =
+    verify_checksums retry_max backoff_base_ns heartbeat_ns lease_ns seed
+    metrics_json trace full =
   let scale = scale_of full in
   let spec =
     match specs_of (Some workload) with [ s ] -> s | _ -> assert false
   in
   let faults = parse_fault_spec fault_spec in
+  let backoff = backoff_of ~retry_max ~backoff_base_ns in
   let results =
     List.map
       (run_one ~spec ~scale ~seed ~fmem_pages ~replicas ~prefetch ~sq_depth
          ~signal_interval ~faults ~fault_seed ~check_replicas ~scrub_interval
-         ~verify_checksums)
+         ~verify_checksums ~backoff ~heartbeat_ns ~lease_ns)
       (systems_of systems)
   in
   List.iter
@@ -313,17 +332,19 @@ let cmd_run workload systems fmem_pages replicas prefetch sq_depth
 
 let cmd_stats workload systems fmem_pages replicas prefetch sq_depth
     signal_interval fault_spec fault_seed check_replicas scrub_interval
-    verify_checksums seed metrics_json trace full =
+    verify_checksums retry_max backoff_base_ns heartbeat_ns lease_ns seed
+    metrics_json trace full =
   let scale = scale_of full in
   let spec =
     match specs_of (Some workload) with [ s ] -> s | _ -> assert false
   in
   let faults = parse_fault_spec fault_spec in
+  let backoff = backoff_of ~retry_max ~backoff_base_ns in
   let results =
     List.map
       (run_one ~spec ~scale ~seed ~fmem_pages ~replicas ~prefetch ~sq_depth
          ~signal_interval ~faults ~fault_seed ~check_replicas ~scrub_interval
-         ~verify_checksums)
+         ~verify_checksums ~backoff ~heartbeat_ns ~lease_ns)
       (systems_of systems)
   in
   List.iter
@@ -687,8 +708,8 @@ let nth_cyclic l i default =
 let cmd_rack tenants_n workloads bw_shares mem_quotas nodes node_cap node_gbps
     shared_pages shared_ops quantum policy fast_nodes slow_extra_ns
     hot_threshold migrate_epoch migrate_budget migrate_share rack_ops
-    rack_fmem_pages replicas fault_spec fault_seed seed full metrics_json
-    repro_check =
+    rack_fmem_pages replicas fault_spec fault_seed retry_max backoff_base_ns
+    heartbeat_ns lease_ns seed full metrics_json repro_check =
   if tenants_n < 1 then begin
     Fmt.epr "--tenants must be >= 1@.";
     exit 1
@@ -721,9 +742,17 @@ let cmd_rack tenants_n workloads bw_shares mem_quotas nodes node_cap node_gbps
         })
   in
   let runtime =
-    if rack_fmem_pages > 0 then
-      { Rack.default_config.Rack.runtime with Runtime.fmem_pages = rack_fmem_pages }
-    else Rack.default_config.Rack.runtime
+    let base = Rack.default_config.Rack.runtime in
+    {
+      base with
+      Runtime.fmem_pages =
+        (if rack_fmem_pages > 0 then rack_fmem_pages
+         else base.Runtime.fmem_pages);
+      backoff = backoff_of ~retry_max ~backoff_base_ns;
+      (* honoured on tenant 0 only — one membership authority per rack *)
+      heartbeat_ns;
+      lease_ns;
+    }
   in
   let cfg =
     {
@@ -991,7 +1020,8 @@ let fault_spec =
         ~doc:
           "inject faults (kona only): ';'-separated clauses of \
            $(b,kind[@time][:key=value,...]).  Kinds: $(b,node-crash@T:id=N), \
-           $(b,link-flap@T:dur=D), $(b,rpc-timeout:p=P), $(b,wqe-drop:p=P), \
+           $(b,link-flap@T:dur=D), $(b,partition@T:dur=D,nodes=A|B), \
+           $(b,rpc-timeout:p=P), $(b,wqe-drop:p=P), \
            $(b,wqe-delay:p=P,ns=D), $(b,bit-flip:p=P), $(b,torn-write:p=P), \
            $(b,stale-read:p=P), $(b,dup-deliver:p=P).  Times/durations take \
            ns/us/ms/s suffixes, e.g. 'node-crash@2ms:id=1;bit-flip:p=0.1'")
@@ -1029,6 +1059,45 @@ let verify_checksums =
           "kona only: verify per-cache-line checksums of the remote page on \
            every synchronous demand fetch (stale reads are detected and \
            re-read)")
+
+let retry_max_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "retry-max" ] ~docv:"N"
+        ~doc:
+          "unified retry budget: cap both QP retransmissions and RPC \
+           resends at $(docv) attempts (default: layer defaults, 7 and 5)")
+
+let backoff_base_ns_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "backoff-base-ns" ] ~docv:"NS"
+        ~doc:
+          "first retry backoff step in virtual nanoseconds, doubled per \
+           attempt up to the cap, for every resending layer (default 8000)")
+
+let heartbeat_ns_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "heartbeat-ns" ] ~docv:"NS"
+        ~doc:
+          "kona only: lease-based membership — memory nodes heartbeat the \
+           failure detector every $(docv) virtual nanoseconds, and failover \
+           is triggered by lease expiry instead of the synchronous crash \
+           hook (default: off, legacy detection)")
+
+let lease_ns_opt =
+  Arg.(
+    value
+    & opt int Runtime.default_config.Runtime.lease_ns
+    & info [ "lease-ns" ] ~docv:"NS"
+        ~doc:
+          "membership lease duration: a node is suspected when its last \
+           heartbeat is older than $(docv) and declared dead at twice that \
+           age; meaningful only with $(b,--heartbeat-ns) (default 200000)")
 
 let seed =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"workload RNG seed")
@@ -1271,15 +1340,17 @@ let cmds =
       Term.(
         const cmd_run $ workload_req $ system $ fmem_pages $ replicas $ prefetch
         $ sq_depth $ signal_interval $ fault_spec $ fault_seed $ check_replicas
-        $ scrub_interval_opt $ verify_checksums $ seed $ metrics_json
-        $ trace_out $ full);
+        $ scrub_interval_opt $ verify_checksums $ retry_max_opt
+        $ backoff_base_ns_opt $ heartbeat_ns_opt $ lease_ns_opt $ seed
+        $ metrics_json $ trace_out $ full);
     Cmd.v
       (Cmd.info "stats"
          ~doc:"run a workload and print the full telemetry table per system")
       Term.(
         const cmd_stats $ workload_req $ system $ fmem_pages $ replicas
         $ prefetch $ sq_depth $ signal_interval $ fault_spec $ fault_seed
-        $ check_replicas $ scrub_interval_opt $ verify_checksums $ seed
+        $ check_replicas $ scrub_interval_opt $ verify_checksums $ retry_max_opt
+        $ backoff_base_ns_opt $ heartbeat_ns_opt $ lease_ns_opt $ seed
         $ metrics_json $ trace_out $ full);
     Cmd.v
       (Cmd.info "rack"
@@ -1294,7 +1365,8 @@ let cmds =
         $ rack_fast_nodes $ rack_slow_extra_ns $ rack_hot_threshold
         $ rack_migrate_epoch $ rack_migrate_budget $ rack_migrate_share
         $ rack_ops_spec $ rack_fmem_pages $ replicas $ fault_spec
-        $ fault_seed $ seed $ full $ metrics_json $ rack_repro_check);
+        $ fault_seed $ retry_max_opt $ backoff_base_ns_opt $ heartbeat_ns_opt
+        $ lease_ns_opt $ seed $ full $ metrics_json $ rack_repro_check);
     Cmd.v
       (Cmd.info "soak"
          ~doc:

@@ -54,6 +54,7 @@ type config = {
   page_bytes : int;
   sq_depth : int option;
   signal_interval : int;
+  backoff : Backoff.config;
 }
 
 let default_config =
@@ -67,6 +68,7 @@ let default_config =
     page_bytes = Units.page_size;
     sq_depth = None;
     signal_interval = 1;
+    backoff = Backoff.default;
   }
 
 type t = {
@@ -178,12 +180,15 @@ let create ?(config = default_config) ?nic ?hub ~profile ~controller ~read_local
       tlb = Tlb.create ();
       rm =
         Resource_manager.create
-          ~rpc:(Kona_rdma.Rpc.create ~cost:config.rdma ~clock:app_clock ~nic ())
+          ~rpc:
+            (Kona_rdma.Rpc.create ~cost:config.rdma ~backoff:config.backoff
+               ~clock:app_clock ~nic ())
           ~controller ();
       controller;
       nic;
       evict_qp =
         Qp.create ~cost:config.rdma ~nic ?sq_depth:config.sq_depth
+          ~retry:(Qp.retry_of config.backoff)
           ~signal_interval:config.signal_interval ~clock:bg_clock ();
       tracer;
       fetch_latency = Histogram.create ();

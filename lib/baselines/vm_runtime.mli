@@ -45,6 +45,9 @@ type config = {
       (** eviction QP send-queue window; [None] = unbounded (default). *)
   signal_interval : int;
       (** selective signaling on the eviction QP (1 = every WQE, default). *)
+  backoff : Kona_util.Backoff.config;
+      (** stack-wide retry/backoff policy for the eviction QP and the
+          control-path RPC (default {!Kona_util.Backoff.default}). *)
 }
 
 val default_config : config

@@ -23,6 +23,10 @@ type t = {
       (* dup-deliver fault: shipments to replay at the next flush *)
   mutable inject :
     (targets:int -> Kona_faults.Injector.delivery_fault option) option;
+  (* Partition gate: consulted at each delivery's completion time with
+     the physical target id; returning true means the gate captured
+     [fire] (the runtime defers it until the partition heals). *)
+  mutable gate : (node:int -> fire:(unit -> unit) -> bool) option;
   mutable on_report :
     (node:int -> target:Memory_node.t -> Memory_node.report -> unit) option;
   mutable on_flip : (target:Memory_node.t -> addr:int -> fresh:bool -> unit) option;
@@ -60,6 +64,7 @@ let create ?(capacity = 512) ?(stream_base = 0)
     seq_tx = Sequencer.Tx.create ();
     pending_dups = Hashtbl.create 4;
     inject = None;
+    gate = None;
     on_report = None;
     on_flip = None;
     lines_logged = 0;
@@ -95,7 +100,9 @@ let staged_count t node = Option.value ~default:0 (Hashtbl.find_opt t.staged nod
 let set_inject t f = t.inject <- Some f
 let set_on_report t f = t.on_report <- Some f
 let set_on_flip t f = t.on_flip <- Some f
+let set_gate t f = t.gate <- Some f
 let bump_epoch t = Sequencer.Tx.bump_epoch t.seq_tx
+let advance_epoch t ~to_ = Sequencer.Tx.advance_epoch t.seq_tx ~to_
 let epoch t = Sequencer.Tx.epoch t.seq_tx
 
 let wire_of entries =
@@ -124,9 +131,9 @@ let tamper_entry (e : Memory_node.log_entry) =
   done;
   { e with Memory_node.data = Bytes.to_string data }
 
-(* Delivery closure: classify + verify + apply on the target, then arm
+(* Delivery body: classify + verify + apply on the target, then arm
    any at-rest bit flip the injector scheduled for this copy. *)
-let deliver t ~node ~target ~entries ~delivery ~lines ~flip () =
+let deliver_now t ~node ~target ~entries ~delivery ~lines ~flip =
   try
     let report = Memory_node.receive_log ~delivery target entries in
     (match t.on_report with Some f -> f ~node ~target report | None -> ());
@@ -149,6 +156,15 @@ let deliver t ~node ~target ~entries ~delivery ~lines ~flip () =
        and surfaced as graceful degradation. *)
     t.lost_deliveries <- t.lost_deliveries + 1;
     t.lost_lines <- t.lost_lines + lines
+
+(* Delivery closure fired at WQE completion: a partition gate may capture
+   it — the runtime stashes [fire] and replays it, stamp intact, when the
+   partition heals (where a fenced target then rejects it as stale). *)
+let deliver t ~node ~target ~entries ~delivery ~lines ~flip () =
+  let fire () = deliver_now t ~node ~target ~entries ~delivery ~lines ~flip in
+  match t.gate with
+  | Some gate when gate ~node:(Memory_node.id target) ~fire -> ()
+  | Some _ | None -> fire ()
 
 (* Take one node's staged entries off the buffer and build the WQEs
    shipping them to the primary and its mirrors — without posting, so a

@@ -71,9 +71,21 @@ val set_on_flip : t -> (target:Memory_node.t -> addr:int -> fresh:bool -> unit) 
 (** Observe every armed at-rest bit flip ([fresh] = the line verified
     clean beforehand) — the oracle's arming registry. *)
 
+val set_gate : t -> (node:int -> fire:(unit -> unit) -> bool) -> unit
+(** Install the partition gate, consulted at each delivery's completion
+    time with the {e physical} target id.  Returning [true] means the
+    gate captured [fire]: the runtime defers the delivery (stamp intact)
+    until the partition heals, at which point a fenced target rejects it
+    as stale — the split-brain write path. *)
+
 val bump_epoch : t -> unit
 (** Start a new delivery epoch (called after failover): stragglers
     stamped with the old epoch are rejected as stale by receivers. *)
+
+val advance_epoch : t -> to_:int -> unit
+(** Adopt the rack-global fencing epoch (monotone no-op when already at
+    or past it): a membership-triggered failover anywhere in the rack
+    broadcasts its epoch to every tenant's sender. *)
 
 val epoch : t -> int
 

@@ -2,6 +2,7 @@ open Kona_util
 open Kona_integrity
 
 exception Crashed of int
+exception Fenced of int
 
 type t = {
   node_id : int;
@@ -10,6 +11,14 @@ type t = {
   seq_rx : Sequencer.Rx.t;
   mutable brk : int;
   mutable is_alive : bool;
+  (* Fencing (split-brain prevention): once a store is displaced by a
+     membership-triggered failover it carries the fencing epoch that
+     displaced it.  Shipments stamped with an older epoch are stale
+     writes from the pre-failover configuration and are rejected whole;
+     the trusted write path refuses outright. *)
+  mutable fence : int option;
+  mutable fenced_rejects : int;
+  mutable post_fence_writes : int;
   mutable lines_received : int;
   mutable logs_received : int;
 }
@@ -23,6 +32,9 @@ let create ~id ~capacity =
     seq_rx = Sequencer.Rx.create ();
     brk = 0;
     is_alive = true;
+    fence = None;
+    fenced_rejects = 0;
+    post_fence_writes = 0;
     lines_received = 0;
     logs_received = 0;
   }
@@ -34,7 +46,18 @@ let free_bytes t = capacity t - t.brk
 let alive t = t.is_alive
 let crash t = t.is_alive <- false
 
+let set_fence t ~epoch =
+  match t.fence with
+  | Some e when e >= epoch -> ()
+  | _ -> t.fence <- Some epoch
+
+let fenced t = t.fence <> None
+let fence_epoch t = t.fence
+let fenced_rejects t = t.fenced_rejects
+let post_fence_writes t = t.post_fence_writes
+
 let check_alive t = if not t.is_alive then raise (Crashed t.node_id)
+let check_fence t = match t.fence with Some _ -> raise (Fenced t.node_id) | None -> ()
 
 let reserve t ~size =
   check_alive t;
@@ -59,6 +82,7 @@ let check t addr len =
 
 let write t ~addr ~data =
   check t addr (String.length data);
+  check_fence t;
   Bytes.blit_string data 0 t.store addr (String.length data);
   Checksums.record t.chk ~store:t.store ~addr ~len:(String.length data)
 
@@ -90,6 +114,25 @@ type report = {
 let receive_log ?delivery t entries =
   check_alive t;
   t.logs_received <- t.logs_received + 1;
+  (* The fence check comes before sequence observation: a rejected stale
+     shipment must not perturb the receiver's per-stream cursors.  An
+     unstamped shipment carries no epoch proof, so a fenced store rejects
+    it too. *)
+  let fence_rejected =
+    match (t.fence, delivery) with
+    | Some fence_epoch, Some { epoch; _ } -> epoch < fence_epoch
+    | Some _, None -> true
+    | None, _ -> false
+  in
+  if fence_rejected then begin
+    t.fenced_rejects <- t.fenced_rejects + 1;
+    { verdict = Sequencer.Rx.Stale_epoch; applied_lines = 0; rejected = []; healed = [] }
+  end
+  else begin
+  (* A shipment at or above the fencing epoch reaching a fenced store is
+     structurally a post-fence write — it is applied below (dropping
+     bytes silently would be worse) but counted, so the
+     no-post-fence-write invariant trips. *)
   let verdict =
     match delivery with
     | None -> Sequencer.Rx.Ok
@@ -131,12 +174,15 @@ let receive_log ?delivery t entries =
           done;
           t.lines_received <- t.lines_received + nlines)
         entries;
+      if t.fence <> None then
+        t.post_fence_writes <- t.post_fence_writes + !applied;
       {
         verdict;
         applied_lines = !applied;
         rejected = List.rev !rejected;
         healed = List.rev !healed;
       }
+  end
 
 let lines_received t = t.lines_received
 let logs_received t = t.logs_received

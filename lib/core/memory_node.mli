@@ -16,6 +16,10 @@ exception Crashed of int
 (** Raised (with the node id) by every data-path operation on a crashed
     node. *)
 
+exception Fenced of int
+(** Raised (with the node id) by the trusted write path on a fenced
+    store: a displaced ex-primary must not accept new bytes. *)
+
 val create : id:int -> capacity:int -> t
 val id : t -> int
 val capacity : t -> int
@@ -31,6 +35,29 @@ val free_bytes : t -> int
 
 val alive : t -> bool
 val crash : t -> unit
+
+(** {2 Fencing (split-brain prevention)}
+
+    When membership declares a node dead and fails over, the displaced
+    store is {e fenced} with the new configuration's fencing epoch.  A
+    fenced store may still be alive behind a partition — the false-
+    positive case — so its data paths reject rather than trust:
+    shipments stamped below the fencing epoch (and unstamped ones) are
+    dropped whole and counted in [fenced_rejects]; the trusted [write]
+    path raises {!Fenced}; any lines a stamped-current shipment does
+    land on a fenced store are counted in [post_fence_writes] (the
+    no-post-fence-write invariant checks it stays 0). *)
+
+val set_fence : t -> epoch:int -> unit
+(** Fence at [epoch]; monotone (a lower epoch never unfences). *)
+
+val fenced : t -> bool
+val fence_epoch : t -> int option
+val fenced_rejects : t -> int
+(** Stale shipments rejected by the fence — one per delivery attempt. *)
+
+val post_fence_writes : t -> int
+(** Lines applied to this store while fenced (should always be 0). *)
 
 val reserve : t -> size:int -> int
 (** Carve out a slab-sized region; returns its node-local base offset.

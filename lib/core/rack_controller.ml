@@ -10,6 +10,11 @@ type slot = {
   logical_id : int;
   mutable backing : Memory_node.t;
   mutable draining : bool;
+  (* Stores that used to serve this slot, newest first: failover swaps
+     the backing but a falsely-declared-dead predecessor may still be
+     live behind a partition — fencing and the at-most-one-primary
+     invariant need to find it. *)
+  mutable former : Memory_node.t list;
 }
 
 exception
@@ -33,6 +38,16 @@ type t = {
   used : (string, int) Hashtbl.t; (* tenant -> bytes allocated *)
   mutable next_node : int; (* round-robin cursor *)
   mutable next_slab_id : int;
+  (* Backing-store id mint: replicas and promoted mirrors get their
+     physical ids here so they can never collide with a logical id
+     registered by a rack op.  [minted] remembers every id handed out —
+     registering one of them later is a hard error, not a collision. *)
+  mutable next_backing_id : int;
+  minted : (int, unit) Hashtbl.t;
+  (* Rack-global fencing epoch, monotone: bumped on every membership-
+     triggered failover and stamped through every tenant's sequencer so
+     a fenced store can reject stale cross-tenant writes uniformly. *)
+  mutable fencing_epoch : int;
   (* placement hook: consulted before the round-robin for every slab;
      returning a logical id steers the slab there if that node can take
      it. *)
@@ -49,6 +64,9 @@ let create ?(slab_size = Units.mib 1) () =
     used = Hashtbl.create 8;
     next_node = 0;
     next_slab_id = 0;
+    next_backing_id = 1_000;
+    minted = Hashtbl.create 8;
+    fencing_epoch = 0;
     placement = None;
   }
 
@@ -58,8 +76,29 @@ let register_node t node =
   let id = Memory_node.id node in
   if Hashtbl.mem t.index id then
     invalid_arg (Printf.sprintf "Rack_controller: memory node id %d already registered" id);
+  if Hashtbl.mem t.minted id then
+    invalid_arg
+      (Printf.sprintf
+         "Rack_controller: node id %d was minted for a replica backing store \
+          (mint_backing_id); registering it as a logical node would alias two \
+          physical stores"
+         id);
   Hashtbl.add t.index id (Dynarray.length t.slots);
-  Dynarray.add_last t.slots { logical_id = id; backing = node; draining = false }
+  Dynarray.add_last t.slots
+    { logical_id = id; backing = node; draining = false; former = [] }
+
+(* Physical ids for replica/mirror stores: skip every registered logical
+   id so a rack-op [add@T] and a re-replication can never mint the same
+   id, whatever order they land in. *)
+let mint_backing_id t =
+  while Hashtbl.mem t.index t.next_backing_id || Hashtbl.mem t.minted t.next_backing_id
+  do
+    t.next_backing_id <- t.next_backing_id + 1
+  done;
+  let id = t.next_backing_id in
+  Hashtbl.add t.minted id ();
+  t.next_backing_id <- t.next_backing_id + 1;
+  id
 
 let nodes t = List.map (fun s -> s.backing) (Dynarray.to_list t.slots)
 
@@ -71,7 +110,46 @@ let slot t ~id =
 
 let node t ~id = (slot t ~id).backing
 
-let replace_node t ~id ~node = (slot t ~id).backing <- node
+let replace_node t ~id ~node =
+  let s = slot t ~id in
+  s.former <- s.backing :: s.former;
+  s.backing <- node
+
+let former_backings t ~id = (slot t ~id).former
+let logical_ids t = List.map (fun s -> s.logical_id) (Dynarray.to_list t.slots)
+
+(* Physical-store lookups: membership leases and fencing follow the
+   store, not the logical slot — a displaced ex-backing keeps its
+   physical id while the slot's backing moves on. *)
+let find_physical t ~id =
+  Dynarray.fold_left
+    (fun acc s ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if Memory_node.id s.backing = id then Some s.backing
+          else List.find_opt (fun n -> Memory_node.id n = id) s.former)
+    None t.slots
+
+let logical_backed_by t ~physical =
+  Dynarray.fold_left
+    (fun acc s ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if Memory_node.id s.backing = physical then Some s.logical_id
+          else None)
+    None t.slots
+
+let all_physical t =
+  List.concat_map
+    (fun s -> s.backing :: s.former)
+    (Dynarray.to_list t.slots)
+let bump_fencing_epoch t =
+  t.fencing_epoch <- t.fencing_epoch + 1;
+  t.fencing_epoch
+
+let fencing_epoch t = t.fencing_epoch
 let set_draining t ~id draining = (slot t ~id).draining <- draining
 let draining t ~id = (slot t ~id).draining
 let set_placement t choose = t.placement <- Some choose

@@ -24,7 +24,16 @@ val create : ?slab_size:int -> unit -> t
 val slab_size : t -> int
 
 val register_node : t -> Memory_node.t -> unit
-(** Raises [Invalid_argument] if the node's id is already registered. *)
+(** Raises [Invalid_argument] if the node's id is already registered, or
+    was minted for a replica backing store by {!mint_backing_id} (the two
+    id spaces must never alias a store). *)
+
+val mint_backing_id : t -> int
+(** Allocate a physical id for a replica/mirror backing store.  Ids are
+    handed out from 1000 upward, skipping every registered logical id,
+    and each minted id is remembered: {!register_node} refuses it
+    afterwards, so rack-op node adds and re-replication can never mint
+    colliding ids regardless of order. *)
 
 val nodes : t -> Memory_node.t list
 (** Current backings, in registration order. *)
@@ -35,8 +44,41 @@ val node : t -> id:int -> Memory_node.t
 
 val replace_node : t -> id:int -> node:Memory_node.t -> unit
 (** Failover: make [node] the backing of logical id [id] (the promoted
-    mirror takes over the crashed primary's identity).  Raises
-    [Invalid_argument] for unknown ids. *)
+    mirror takes over the crashed primary's identity).  The displaced
+    store is remembered in the slot's former-backing list (see
+    {!former_backings}).  Raises [Invalid_argument] for unknown ids. *)
+
+val former_backings : t -> id:int -> Memory_node.t list
+(** Stores that previously backed logical node [id], newest first.  A
+    falsely-declared-dead predecessor may still be live behind a
+    partition; fencing and the at-most-one-primary invariant inspect
+    this list. *)
+
+val logical_ids : t -> int list
+(** Registered logical node ids, in registration order. *)
+
+val find_physical : t -> id:int -> Memory_node.t option
+(** The store with physical id [id], whether it currently backs a slot or
+    was displaced by a failover (former backing).  Membership leases and
+    fencing follow the store, not the slot. *)
+
+val logical_backed_by : t -> physical:int -> int option
+(** The logical slot the store with physical id [physical] currently
+    backs, if any ([None] for formers, mirrors and unknown ids). *)
+
+val all_physical : t -> Memory_node.t list
+(** Every store the controller knows of: current backings and former
+    (displaced) backings, in registration order, formers newest first —
+    the fencing counters are summed over this list. *)
+
+val bump_fencing_epoch : t -> int
+(** Advance the rack-global fencing epoch (monotone) and return the new
+    value.  Called once per membership-triggered failover; the new epoch
+    fences the displaced store and is stamped through every tenant's
+    CL-log sequencer. *)
+
+val fencing_epoch : t -> int
+(** Current rack-global fencing epoch (0 until the first failover). *)
 
 val set_draining : t -> id:int -> bool -> unit
 (** Mark/unmark logical node [id] as draining: it keeps serving its

@@ -1,8 +1,8 @@
 type t = {
   degree : int;
+  controller : Rack_controller.t; (* the id mint — see fresh_replica_id *)
   mirrors : (int, Memory_node.t list) Hashtbl.t; (* primary id -> mirrors *)
   mutable failovers : int;
-  mutable next_replica_id : int; (* fresh ids for re-replication targets *)
 }
 
 let create ~degree ~controller =
@@ -12,27 +12,36 @@ let create ~degree ~controller =
     (fun primary ->
       let id = Memory_node.id primary in
       let copies =
-        List.init degree (fun k ->
+        List.init degree (fun _ ->
             Memory_node.create
-              ~id:(1000 + (id * 10) + k)
+              ~id:(Rack_controller.mint_backing_id controller)
               ~capacity:(Memory_node.capacity primary))
       in
       Hashtbl.replace mirrors id copies)
     (Rack_controller.nodes controller);
-  { degree; mirrors; failovers = 0; next_replica_id = 2000 }
+  { degree; controller; mirrors; failovers = 0 }
 
 let degree t = t.degree
 
 let targets t ~node =
   match Hashtbl.find_opt t.mirrors node with Some l -> l | None -> []
 
-let fresh_replica_id t =
-  let id = t.next_replica_id in
-  t.next_replica_id <- id + 1;
-  id
+(* All replica ids come from the controller's mint: a rack-op node add
+   and a re-replication can interleave arbitrarily without ever minting
+   the same id (the old local counter at 2000 collided once rack-op adds
+   pushed logical ids into its range). *)
+let fresh_replica_id t = Rack_controller.mint_backing_id t.controller
 
 let add_mirror t ~node mirror =
   Hashtbl.replace t.mirrors node (targets t ~node @ [ mirror ])
+
+(* Scrap a half-cloned mirror: when the re-replication source dies before
+   the clone completes, the incomplete copy must not stay promotable — a
+   later failover onto it would serve partial data.  Any still-live full
+   mirror holds everything the scrapped copy did. *)
+let remove_mirror t ~node ~id =
+  Hashtbl.replace t.mirrors node
+    (List.filter (fun m -> Memory_node.id m <> id) (targets t ~node))
 
 (* Promote the first live mirror of [node]: it inherits the crashed
    backing's reservation mark (so existing slab translations stay valid)

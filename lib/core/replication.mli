@@ -33,13 +33,19 @@ val failover : t -> controller:Rack_controller.t -> node:int -> Memory_node.t op
 val add_mirror : t -> node:int -> Memory_node.t -> unit
 (** Attach a (re-replicated) mirror to logical node [node]. *)
 
+val remove_mirror : t -> node:int -> id:int -> unit
+(** Detach the mirror with physical id [id] from logical node [node].
+    Used to scrap a half-cloned mirror when its re-replication source
+    dies mid-copy: an incomplete copy must never become promotable. *)
+
 val crash_mirror : t -> id:int -> int option
 (** If [id] names one of the mirrors, fail-stop and remove it, returning
     the logical id of the primary that lost a replica; [None] otherwise. *)
 
 val fresh_replica_id : t -> int
-(** A node id (2000+) never used by primaries or initial mirrors, for
-    re-replication targets. *)
+(** A backing-store id for a re-replication target, minted by the rack
+    controller ({!Rack_controller.mint_backing_id}) so it can never
+    collide with a logical node id registered by a rack op. *)
 
 val live_copies : t -> controller:Rack_controller.t -> node:int -> Memory_node.t list
 (** Every live copy of logical node [node]'s data — the current primary

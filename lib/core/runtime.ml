@@ -14,6 +14,8 @@ module Fault_spec = Kona_faults.Fault_spec
 module Injector = Kona_faults.Injector
 module Sequencer = Kona_integrity.Sequencer
 module Scrubber = Kona_integrity.Scrubber
+module Membership = Kona_membership.Membership
+module Recovery = Kona_membership.Recovery
 
 type config = {
   cost : Cost_model.t;
@@ -38,6 +40,9 @@ type config = {
   verify_checksums : bool;
   tenant : string option;
   stream_base : int;
+  backoff : Backoff.config;
+  heartbeat_ns : int option;
+  lease_ns : int;
 }
 
 let default_config =
@@ -64,6 +69,9 @@ let default_config =
     verify_checksums = false;
     tenant = None;
     stream_base = 0;
+    backoff = Backoff.default;
+    heartbeat_ns = None;
+    lease_ns = 200_000;
   }
 
 (* End-to-end integrity accounting: the detection side feeds from CL-log
@@ -136,6 +144,19 @@ type t = {
   recovery_latency : Histogram.t;
   integrity : integrity_state;
   mutable scrubber : Scrubber.t option; (* tied after [t] exists *)
+  mutable membership : Membership.t option; (* tied after [t] exists *)
+  recovery : Recovery.t;
+  (* Asymmetric partitions: physical node id -> heal virtual time.  A
+     partitioned node is healthy but unreachable — heartbeats miss and
+     CL-log deliveries are deferred (below) instead of lost. *)
+  partition_until : (int, int) Hashtbl.t;
+  mutable deferred : (int * (unit -> unit)) list; (* (heal_ns, fire), FIFO *)
+  mutable partitions_started : int;
+  mutable deferred_deliveries : int;
+  mutable deferred_flushed : int;
+  (* Rack broadcast hook: a membership failover's fencing epoch is pushed
+     through here so every tenant's sender adopts it. *)
+  on_fence : (epoch:int -> unit) ref;
   mutable node_crashes : int;
   mutable recovery_bytes : int;
   mutable heap_pages_restored : int;
@@ -145,6 +166,21 @@ type t = {
   on_evict : (vpage:int -> dirty:bool -> unit) ref;
   mutable invalidations_received : int;
 }
+
+(* Fencing counters are summed over every store the controller knows of
+   (current and former backings): rejects land on displaced ex-primaries,
+   which only the former lists still reach. *)
+let fencing_rejects t =
+  List.fold_left
+    (fun acc n -> acc + Memory_node.fenced_rejects n)
+    0
+    (Rack_controller.all_physical t.controller)
+
+let post_fence_writes t =
+  List.fold_left
+    (fun acc n -> acc + Memory_node.post_fence_writes n)
+    0
+    (Rack_controller.all_physical t.controller)
 
 (* Publish the whole runtime namespace into [reg].  Everything is pull-style
    ([counter_fn]/[gauge_fn] over existing component tallies) except the fetch
@@ -276,8 +312,35 @@ let register_metrics t reg =
           | None -> 0))
     [
       "node_crashes"; "link_flaps"; "rpc_timeouts"; "wqe_drops"; "wqe_delays";
-      "bit_flips"; "torn_writes"; "stale_reads"; "dup_delivers";
+      "bit_flips"; "torn_writes"; "stale_reads"; "dup_delivers"; "partitions";
     ];
+  (* Membership, fencing, partitions, interruptible recovery (PR 9) *)
+  let mem f = match t.membership with Some m -> f m | None -> 0 in
+  c "membership.heartbeats" (fun () -> mem Membership.heartbeats);
+  c "membership.suspicions" (fun () -> mem Membership.suspicions);
+  c "membership.suspicions_cleared" (fun () -> mem Membership.suspicions_cleared);
+  c "membership.declared_dead" (fun () -> mem Membership.declared_dead);
+  c "membership.false_positives" (fun () -> mem Membership.false_positives);
+  (match t.membership with
+  | Some m ->
+      Registry.histogram_ref reg "membership.detect_latency_ns"
+        (Membership.detect_latency m)
+  | None -> ());
+  g "fencing.epoch" (fun () -> Rack_controller.fencing_epoch t.controller);
+  c "fencing.rejects" (fun () -> fencing_rejects t);
+  c "fencing.post_fence_writes" (fun () -> post_fence_writes t);
+  c "partition.started" (fun () -> t.partitions_started);
+  c "partition.deferred" (fun () -> t.deferred_deliveries);
+  c "partition.flushed" (fun () -> t.deferred_flushed);
+  g "partition.active" (fun () ->
+      let now = max (Clock.now t.app_clock) (Clock.now t.bg_clock) in
+      Hashtbl.fold
+        (fun _ heal acc -> if now < heal then acc + 1 else acc)
+        t.partition_until 0);
+  c "recovery.steps" (fun () -> Recovery.steps t.recovery);
+  c "recovery.tasks" (fun () -> Recovery.enqueued t.recovery);
+  c "recovery.tasks_completed" (fun () -> Recovery.completed t.recovery);
+  c "recovery.tasks_cancelled" (fun () -> Recovery.cancelled t.recovery);
   c "cllog.lost_writes" (fun () -> Cl_log.lost_deliveries t.log);
   c "cllog.lost_lines" (fun () -> Cl_log.lost_lines t.log);
   Registry.histogram_ref reg "failover.latency_ns" t.failover_latency;
@@ -480,7 +543,7 @@ let verify_and_repair_page t ~vpage =
                        Clock.advance t.bg_clock
                          (Kona_rdma.Cost.memcpy_ns t.config.rdma
                             ~bytes:Units.cache_line)
-                     with Memory_node.Crashed _ -> ())
+                     with Memory_node.Crashed _ | Memory_node.Fenced _ -> ())
                 | None ->
                     incr unrepairable;
                     ist.unrepairable_lines <- ist.unrepairable_lines + 1;
@@ -496,6 +559,208 @@ let verify_and_repair_page t ~vpage =
         if !unrepairable > 0 then Scrubber.Unrepairable !unrepairable
         else if !repaired > 0 then Scrubber.Repaired !repaired
         else Scrubber.Clean
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Partitions, membership and interruptible recovery (PR 9).           *)
+
+let partitioned t ~id ~at =
+  match Hashtbl.find_opt t.partition_until id with
+  | Some heal -> at < heal
+  | None -> false
+
+let start_partition t ~dur_ns ~ids =
+  let now = elapsed_ns t in
+  t.partitions_started <- t.partitions_started + 1;
+  (match t.tracer with
+  | Some tr ->
+      Tracer.instant tr "faults.partition"
+        ~args:[ ("dur_ns", dur_ns); ("nodes", List.length ids) ]
+  | None -> ());
+  List.iter
+    (fun id ->
+      let heal = now + dur_ns in
+      let cur = Option.value (Hashtbl.find_opt t.partition_until id) ~default:0 in
+      Hashtbl.replace t.partition_until id (max cur heal))
+    ids
+
+(* Replay deferred deliveries whose partition has healed, in defer order
+   (List.partition is stable, and the deferred list is appended FIFO). *)
+let flush_healed_deferred t ~now =
+  match t.deferred with
+  | [] -> ()
+  | _ ->
+      let due, later = List.partition (fun (heal, _) -> heal <= now) t.deferred in
+      t.deferred <- later;
+      List.iter
+        (fun (_, fire) ->
+          t.deferred_flushed <- t.deferred_flushed + 1;
+          fire ())
+        due
+
+(* End-of-run msync: every partition heals eventually, so [drain] lands
+   all deferred deliveries regardless of their heal time — fenced targets
+   reject theirs as stale. *)
+let flush_deferred_all t =
+  let all = t.deferred in
+  t.deferred <- [];
+  List.iter
+    (fun (_, fire) ->
+      t.deferred_flushed <- t.deferred_flushed + 1;
+      fire ())
+    all
+
+(* Restore the replication degree as a resumable task: one 1 MiB chunk
+   posted per [Recovery.step].  The source is re-read from the controller
+   every step, so a second failover mid-clone switches source instead of
+   raising; a dead source scraps the half-cloned mirror (an incomplete
+   copy must never become promotable) and completes — the next failover
+   re-plans from whichever full mirror survives. *)
+let enqueue_re_replication t ~replication ~logical =
+  let chunk = 1 lsl 20 in
+  let state = ref `Init in
+  ignore
+    (Recovery.enqueue t.recovery
+       ~name:(Printf.sprintf "re-replicate:%d" logical)
+       (fun ~now:_ ->
+         let source () =
+           match Rack_controller.node t.controller ~id:logical with
+           | primary when Memory_node.alive primary -> Some primary
+           | _ -> None
+           | exception Invalid_argument _ -> None
+         in
+         match !state with
+         | `Init -> (
+             match source () with
+             | None -> `Done (* nothing live to clone from; re-planned later *)
+             | Some primary ->
+                 let used = Memory_node.used primary in
+                 let mirror =
+                   Memory_node.create
+                     ~id:(Replication.fresh_replica_id replication)
+                     ~capacity:(Memory_node.capacity primary)
+                 in
+                 Memory_node.adopt_reservations mirror ~brk:used;
+                 Replication.add_mirror replication ~node:logical mirror;
+                 let t0 = Clock.now t.bg_clock in
+                 if used = 0 then begin
+                   Histogram.add t.recovery_latency 0;
+                   `Done
+                 end
+                 else begin
+                   state := `Copy (mirror, used, ref 0, t0);
+                   `Again
+                 end)
+         | `Copy (mirror, used, next, t0) -> (
+             match source () with
+             | None ->
+                 Replication.remove_mirror replication ~node:logical
+                   ~id:(Memory_node.id mirror);
+                 `Done
+             | Some primary ->
+                 let off = !next * chunk in
+                 let len = min chunk (used - off) in
+                 let nchunks = (used + chunk - 1) / chunk in
+                 let last = !next = nchunks - 1 in
+                 incr next;
+                 Qp.post t.evict_qp
+                   [
+                     Qp.wqe ~signaled:last
+                       ~deliver:(fun () ->
+                         (try
+                            Memory_node.write mirror ~addr:off
+                              ~data:(Memory_node.peek primary ~addr:off ~len);
+                            t.recovery_bytes <- t.recovery_bytes + len
+                          with
+                         | Memory_node.Crashed _ | Memory_node.Fenced _ -> ());
+                         if last then begin
+                           Histogram.add t.recovery_latency
+                             (Clock.now t.bg_clock - t0);
+                           match t.tracer with
+                           | Some tr ->
+                               Tracer.instant tr
+                                 ~args:[ ("node", logical); ("bytes", used) ]
+                                 "faults.re_replicated"
+                           | None -> ()
+                         end)
+                       Qp.Write ~len;
+                   ];
+                 if last then `Done else `Again)))
+
+(* Membership declared the store with physical id [phys] dead: run the
+   failover control exchange with the rack controller, fence the
+   displaced store at a fresh rack-global epoch, broadcast the epoch,
+   and queue re-replication.  One bounded attempt per recovery step —
+   an unreachable controller retries next step instead of burying the
+   engine in a synchronous retry loop. *)
+let run_failover_attempt t ~logical ~phys =
+  let emit name args =
+    match t.tracer with Some tr -> Tracer.instant tr ~args name | None -> ()
+  in
+  match t.replication with
+  | None ->
+      note_degraded t
+        (Printf.sprintf
+           "memory node %d declared dead with no replicas configured" logical);
+      `Done
+  | Some r -> (
+      let t0 = Clock.now t.app_clock in
+      match
+        Rpc.call t.rpc ~request_bytes:64 ~response_bytes:64
+          (fun () -> Replication.failover r ~controller:t.controller ~node:logical)
+          ()
+      with
+      | exception (Rpc.Timeout_exhausted _ | Qp.Retry_exhausted _) -> `Retry
+      | None ->
+          Histogram.add t.failover_latency (Clock.now t.app_clock - t0);
+          note_degraded t
+            (Printf.sprintf
+               "memory node %d declared dead with no live mirror to promote"
+               logical);
+          `Done
+      | Some promoted ->
+          Histogram.add t.failover_latency (Clock.now t.app_clock - t0);
+          emit "faults.failover"
+            [ ("node", logical); ("promoted", Memory_node.id promoted) ];
+          (* Fence the displaced store: it may be alive behind a
+             partition (false positive), and its epoch comparison is what
+             rejects the split-brain writes when the partition heals. *)
+          let epoch = Rack_controller.bump_fencing_epoch t.controller in
+          (match Rack_controller.find_physical t.controller ~id:phys with
+          | Some displaced -> Memory_node.set_fence displaced ~epoch
+          | None -> ());
+          Cl_log.advance_epoch t.log ~to_:epoch;
+          !(t.on_fence) ~epoch;
+          (* The promoted store owes heartbeats now. *)
+          (match t.membership with
+          | Some m ->
+              Membership.track m ~id:(Memory_node.id promoted) ~now:(elapsed_ns t)
+          | None -> ());
+          enqueue_re_replication t ~replication:r ~logical;
+          `Done)
+
+let schedule_failover t ~phys =
+  match Rack_controller.logical_backed_by t.controller ~physical:phys with
+  | None -> () (* a former backing or mirror: already displaced *)
+  | Some logical ->
+      let name = Printf.sprintf "failover:%d" logical in
+      if not (List.mem name (Recovery.pending t.recovery)) then begin
+        let attempts = ref 0 in
+        ignore
+          (Recovery.enqueue t.recovery ~name (fun ~now:_ ->
+               match run_failover_attempt t ~logical ~phys with
+               | `Done -> `Done
+               | `Retry ->
+                   incr attempts;
+                   if !attempts >= 3 then begin
+                     note_degraded t
+                       (Printf.sprintf
+                          "failover of memory node %d failed: rack controller \
+                           unreachable after %d recovery steps"
+                          logical !attempts);
+                     `Done
+                   end
+                   else `Again))
       end
 
 let create ?(config = default_config) ?nic ?hub ?arbitrate ?replication
@@ -525,19 +790,20 @@ let create ?(config = default_config) ?nic ?hub ?arbitrate ?replication
   (* Demand fetches stay signal-every-WQE (they are synchronous); the
      background paths take both the send-queue window and selective
      signaling. *)
+  let retry = Qp.retry_of config.backoff in
   let fetch_qp =
     Qp.create ~cost:config.rdma ~nic ?sq_depth:config.sq_depth ?inject
-      ?arbitrate ~clock:app_clock ()
+      ?arbitrate ~retry ~clock:app_clock ()
   in
   let evict_qp =
     Qp.create ~cost:config.rdma ~nic ?sq_depth:config.sq_depth ?inject
-      ?arbitrate ~signal_interval:config.signal_interval ~clock:bg_clock ()
+      ?arbitrate ~retry ~signal_interval:config.signal_interval ~clock:bg_clock ()
   in
   let rpc =
     (* The control path's SENDs ride the same loss/delay hook as the
        data QPs, so wqe-drop plans can kill a control exchange outright
        (surfaced as the underlying transport error, not a timeout). *)
-    Kona_rdma.Rpc.create ~cost:config.rdma
+    Kona_rdma.Rpc.create ~cost:config.rdma ~backoff:config.backoff
       ?fail:(Option.map Injector.rpc_timeout injector)
       ?inject ~clock:app_clock ~nic ()
   in
@@ -600,7 +866,7 @@ let create ?(config = default_config) ?nic ?hub ?arbitrate ?replication
     if config.prefetch then
       Some
         (Qp.create ~cost:config.rdma ~nic ?sq_depth:config.sq_depth ?inject
-           ~signal_interval:config.signal_interval ~clock:bg_clock ())
+           ~retry ~signal_interval:config.signal_interval ~clock:bg_clock ())
     else None
   in
   (* The check_replicas invariant runs after each eviction batch; it needs
@@ -650,6 +916,14 @@ let create ?(config = default_config) ?nic ?hub ?arbitrate ?replication
       recovery_latency = Histogram.create ();
       integrity = create_integrity_state ();
       scrubber = None;
+      membership = None;
+      recovery = Recovery.create ();
+      partition_until = Hashtbl.create 4;
+      deferred = [];
+      partitions_started = 0;
+      deferred_deliveries = 0;
+      deferred_flushed = 0;
+      on_fence = ref (fun ~epoch:_ -> ());
       node_crashes = 0;
       recovery_bytes = 0;
       heap_pages_restored = 0;
@@ -712,6 +986,39 @@ let create ?(config = default_config) ?nic ?hub ?arbitrate ?replication
       t.scrubber <-
         Some (Scrubber.create ~interval_ns:interval ~budget:config.scrub_budget ~scan ~check)
   | None -> ());
+  (* Partition gate: a delivery completing inside a partition window of
+     its physical target is captured and deferred until heal time. *)
+  Cl_log.set_gate log (fun ~node ~fire ->
+      if partitioned t ~id:node ~at:(elapsed_ns t) then begin
+        let heal = Hashtbl.find t.partition_until node in
+        t.deferred_deliveries <- t.deferred_deliveries + 1;
+        t.deferred <- t.deferred @ [ (heal, fire) ];
+        true
+      end
+      else false);
+  (* Lease-based membership: failover is triggered by lease expiry, not
+     by the crash hook — a partitioned node and a crashed one look the
+     same here, which is what makes false positives possible. *)
+  (match config.heartbeat_ns with
+  | None -> ()
+  | Some heartbeat_ns ->
+      let reachable ~id ~at =
+        (match Rack_controller.find_physical controller ~id with
+        | Some n -> Memory_node.alive n
+        | None -> false)
+        && not (partitioned t ~id ~at)
+      in
+      let m =
+        Membership.create ~heartbeat_ns ~lease_ns:config.lease_ns ~reachable
+          ~on_dead:(fun ~id ~at:_ -> schedule_failover t ~phys:id)
+          ~charge:(fun ~ns -> Clock.advance bg_clock ns)
+          ()
+      in
+      (* Initial backings carry their logical ids as physical ids. *)
+      List.iter
+        (fun id -> Membership.track m ~id ~now:0)
+        (Rack_controller.logical_ids controller);
+      t.membership <- Some m);
   (match hub with Some h -> register_metrics t (Hub.registry h) | None -> ());
   t
 
@@ -769,12 +1076,45 @@ let re_replicate t ~replication ~node =
         Qp.post t.evict_qp wqes
       end
 
-(* A scheduled node crash fired.  Fail-stop the target, then run the
-   control-plane failover exchange with the rack controller: promote a
-   live mirror (§4.5, failure mode 3) and start background re-replication.
+(* Membership mode: a crash is only a fail-stop — failover waits for the
+   lease to expire, exactly like a partition, because the detector cannot
+   tell the two apart.  Mirror crashes still queue re-replication
+   directly: mirrors hold no leases. *)
+let handle_node_crash_leased t ~id =
+  t.node_crashes <- t.node_crashes + 1;
+  let emit name args =
+    match t.tracer with Some tr -> Tracer.instant tr ~args name | None -> ()
+  in
+  match Rack_controller.find_physical t.controller ~id with
+  | Some store ->
+      Memory_node.crash store;
+      emit "faults.node_crash" [ ("node", id) ]
+  | None -> (
+      match t.replication with
+      | Some r -> (
+          match Replication.crash_mirror r ~id with
+          | Some primary_id ->
+              emit "faults.mirror_crash" [ ("node", id); ("primary", primary_id) ];
+              enqueue_re_replication t ~replication:r ~logical:primary_id
+          | None ->
+              note_degraded t
+                (Printf.sprintf "fault plan crashed unknown memory node %d" id))
+      | None ->
+          note_degraded t
+            (Printf.sprintf "fault plan crashed unknown memory node %d" id))
+
+(* A scheduled node crash fired.  Without membership (legacy omniscient
+   detection): fail-stop the target, then run the control-plane failover
+   exchange with the rack controller synchronously — promote a live
+   mirror (§4.5, failure mode 3) and start background re-replication.
    Without a live mirror the runtime degrades — the node's data is lost,
    and subsequent CL-log deliveries to it are counted, not raised. *)
-let handle_node_crash t ~id =
+let rec handle_node_crash t ~id =
+  match t.membership with
+  | Some _ -> handle_node_crash_leased t ~id
+  | None -> handle_node_crash_legacy t ~id
+
+and handle_node_crash_legacy t ~id =
   t.node_crashes <- t.node_crashes + 1;
   let note_degraded reason = note_degraded t reason in
   let emit name args =
@@ -842,16 +1182,25 @@ let handle_node_crash t ~id =
             (Printf.sprintf "fault plan crashed unknown memory node %d" id))
 
 (* Polled as the clocks advance (every access sink and drain): fire node
-   crashes whose scheduled virtual time has been reached.  O(1) when the
-   plan has none pending. *)
+   crashes and partitions whose scheduled virtual time has been reached,
+   replay deliveries whose partition healed, evaluate heartbeat leases,
+   and advance the in-flight recovery task one bounded step.  O(1) when
+   nothing is pending. *)
 let poll_faults t =
+  let now = elapsed_ns t in
   (match t.injector with
   | None -> ()
   | Some inj ->
       if Injector.crashes_pending inj > 0 then
+        List.iter (fun id -> handle_node_crash t ~id) (Injector.due_node_crashes inj ~now);
+      if Injector.partitions_pending inj > 0 then
         List.iter
-          (fun id -> handle_node_crash t ~id)
-          (Injector.due_node_crashes inj ~now:(elapsed_ns t)));
+          (fun (dur_ns, ids) -> start_partition t ~dur_ns ~ids)
+          (Injector.due_partitions inj ~now));
+  flush_healed_deferred t ~now;
+  (match t.membership with Some m -> Membership.tick m ~now | None -> ());
+  (match Recovery.step t.recovery ~now with
+  | `Idle | `Stepped _ | `Finished _ -> ());
   (* The scrubber shares the poll: cheap when no sweep is due. *)
   match t.scrubber with
   | Some s -> Scrubber.tick s ~now:(elapsed_ns t)
@@ -898,6 +1247,20 @@ let drain t =
       !(t.on_evict) ~vpage ~dirty:shipped)
     pages;
   Cl_log.flush t.log;
+  (* Final membership evaluation, then drive interruptible recovery to
+     completion: queued failovers fence their displaced stores before
+     the deferred (partition-captured) deliveries below land on them. *)
+  (match t.membership with Some m -> Membership.tick m ~now:(elapsed_ns t) | None -> ());
+  let rec pump () =
+    match Recovery.step t.recovery ~now:(elapsed_ns t) with
+    | `Idle -> ()
+    | `Stepped _ | `Finished _ -> pump ()
+  in
+  pump ();
+  Qp.wait_idle t.evict_qp;
+  (* Every partition heals by msync: land all deferred deliveries —
+     fenced targets reject theirs as stale (the split-brain writes). *)
+  flush_deferred_all t;
   (* Close the integrity loop before any end-of-run oracle looks at the
      rack: a forced full sweep verifies (and repairs) every backed page,
      including quarantined lines whose torn delivery was rejected. *)
@@ -1024,6 +1387,12 @@ let stats t =
       ( "failover.count",
         match t.replication with Some r -> Replication.failovers r | None -> 0 );
       ("log.lost_writes", Cl_log.lost_deliveries t.log);
+      ("faults.partitions", t.partitions_started);
+      ( "membership.false_positives",
+        match t.membership with
+        | Some m -> Membership.false_positives m
+        | None -> 0 );
+      ("fencing.rejects", fencing_rejects t);
     ]
 
 (* Canonical ordered integrity counters — the soak harness compares two
@@ -1032,6 +1401,7 @@ let stats t =
 let integrity_counters t =
   let ist = t.integrity in
   let scrub f = match t.scrubber with Some s -> f s | None -> 0 in
+  let mem f = match t.membership with Some m -> f m | None -> 0 in
   [
     ("integrity.flips_armed", ist.flips_armed);
     ("integrity.flips_found", ist.flips_found);
@@ -1049,6 +1419,22 @@ let integrity_counters t =
     ("scrub.pages", scrub Scrubber.pages_scrubbed);
     ("scrub.repairs", scrub Scrubber.repairs);
     ("scrub.sweeps", scrub Scrubber.sweeps);
+    (* PR 9: partitions, membership, fencing, interruptible recovery —
+       appended so the pre-existing prefix order is untouched. *)
+    ("partition.started", t.partitions_started);
+    ("partition.deferred", t.deferred_deliveries);
+    ("partition.flushed", t.deferred_flushed);
+    ("membership.heartbeats", mem Membership.heartbeats);
+    ("membership.suspicions", mem Membership.suspicions);
+    ("membership.suspicions_cleared", mem Membership.suspicions_cleared);
+    ("membership.declared_dead", mem Membership.declared_dead);
+    ("membership.false_positives", mem Membership.false_positives);
+    ("fencing.epoch", Rack_controller.fencing_epoch t.controller);
+    ("fencing.rejects", fencing_rejects t);
+    ("fencing.post_fence_writes", post_fence_writes t);
+    ("recovery.steps", Recovery.steps t.recovery);
+    ("recovery.tasks_completed", Recovery.completed t.recovery);
+    ("recovery.tasks_cancelled", Recovery.cancelled t.recovery);
   ]
 
 let unrepairable_pages t =
@@ -1123,6 +1509,29 @@ let controller t = t.controller
 let node_crashes t = t.node_crashes
 let failover_latency t = t.failover_latency
 let recovery_latency t = t.recovery_latency
+
+(* Membership / partition / recovery surface (PR 9). *)
+let membership t = t.membership
+let partition_active t ~id = partitioned t ~id ~at:(elapsed_ns t)
+let partitions_started t = t.partitions_started
+let deferred_pending t = List.length t.deferred
+let recovery_pending t = Recovery.pending t.recovery
+let recovery_idle t = Recovery.idle t.recovery
+let recovery_counters t = Recovery.counters t.recovery
+let step_recovery t = Recovery.step t.recovery ~now:(elapsed_ns t)
+let set_on_fence t f = t.on_fence := f
+let adopt_fencing_epoch t ~epoch = Cl_log.advance_epoch t.log ~to_:epoch
+
+let track_node t ~id =
+  match t.membership with
+  | Some m -> Membership.track m ~id ~now:(elapsed_ns t)
+  | None -> ()
+
+let false_positives t =
+  match t.membership with Some m -> Membership.false_positives m | None -> 0
+
+let declared_dead t =
+  match t.membership with Some m -> Membership.declared_dead m | None -> 0
 let hub t = t.hub
 let resource_manager t = t.rm
 let fmem t = t.fmem

@@ -81,6 +81,24 @@ type config = {
           tenants sharing memory nodes need disjoint bases so the
           receivers' per-stream sequencers never interleave two tenants in
           one sequence space.  Default 0 *)
+  backoff : Kona_util.Backoff.config;
+      (** stack-wide retry/backoff policy: shapes the queue pairs'
+          retransmission state machine and the control-path RPC
+          timeout/resend loop from one knob set
+          (default {!Kona_util.Backoff.default}) *)
+  heartbeat_ns : int option;
+      (** lease-based failure detection: each memory node heartbeats the
+          membership tracker every interval (charged to the background
+          clock).  A node whose lease expires is {e suspected}, then
+          {e declared dead} — and only then does failover run, so a
+          partitioned-but-alive node can be declared dead wrongly (the
+          false-positive path that fencing must absorb).  [None]
+          (default) = legacy omniscient detection: only an actual crash
+          triggers failover, synchronously *)
+  lease_ns : int;
+      (** lease duration: a node is suspected when its last heartbeat is
+          older than this, and declared dead at twice this age (default
+          200 us).  Meaningful only with [heartbeat_ns] set *)
 }
 
 val default_config : config
@@ -172,6 +190,71 @@ val degraded : t -> string option
 
 val node_crashes : t -> int
 (** Node-crash faults handled (primaries and mirrors). *)
+
+(** {2 Partition-tolerant membership (PR 9)}
+
+    With [heartbeat_ns] set, failover is triggered by lease expiry — the
+    detector cannot tell a crashed node from a partitioned one, so a
+    node cut off longer than twice its lease is declared dead even when
+    healthy (a {e false positive}).  Failover then fences the displaced
+    store at a fresh rack-global epoch: when the partition heals, the
+    deferred deliveries (captured by the CL-log partition gate, stamps
+    intact) land on the fenced store and are rejected as stale — the
+    split-brain writes are counted ([fencing.rejects]), never applied.
+    Failover, re-replication and drain run as resumable tasks on an
+    interruptible recovery queue, advanced one bounded step per fault
+    poll (or explicitly via {!step_recovery}), so overlapping faults
+    interleave with recovery instead of raising. *)
+
+val membership : t -> Kona_membership.Membership.t option
+(** Present when [config.heartbeat_ns] is set. *)
+
+val partition_active : t -> id:int -> bool
+(** Is physical node [id] currently inside a partition window? *)
+
+val partitions_started : t -> int
+(** Partition windows opened so far. *)
+
+val deferred_pending : t -> int
+(** Deliveries captured by the partition gate and not yet replayed. *)
+
+val recovery_pending : t -> string list
+(** Names of queued recovery tasks, in-flight head first. *)
+
+val recovery_idle : t -> bool
+
+val recovery_counters : t -> (string * int) list
+
+val step_recovery :
+  t -> [ `Idle | `Stepped of string | `Finished of string ]
+(** Advance the in-flight recovery task one bounded unit — the rack
+    engine's step loop drives recovery through this between ops. *)
+
+val set_on_fence : t -> (epoch:int -> unit) -> unit
+(** Observe every fencing epoch this runtime mints (one per membership
+    failover): the rack broadcasts it to all tenants via
+    {!adopt_fencing_epoch}. *)
+
+val adopt_fencing_epoch : t -> epoch:int -> unit
+(** Adopt a rack-global fencing epoch minted elsewhere (monotone no-op
+    when already at or past it): this tenant's CL-log sender restamps
+    subsequent shipments at the new epoch. *)
+
+val track_node : t -> id:int -> unit
+(** Start leasing physical node [id] (no-op without membership) — rack
+    node-add ops register fresh nodes here. *)
+
+val false_positives : t -> int
+(** Nodes declared dead that later proved alive (0 without membership). *)
+
+val declared_dead : t -> int
+
+val fencing_rejects : t -> int
+(** Stale shipments rejected by fenced stores, summed rack-wide. *)
+
+val post_fence_writes : t -> int
+(** Lines applied to fenced stores (the no-post-fence-write invariant
+    requires 0), summed rack-wide. *)
 
 val failover_latency : t -> Kona_util.Histogram.t
 (** App-clock latency of each failover control-plane exchange. *)

@@ -1,6 +1,7 @@
 type clause =
   | Node_crash of { at_ns : int; id : int }
   | Link_flap of { at_ns : int; dur_ns : int }
+  | Partition of { at_ns : int; dur_ns : int; ids : int list }
   | Rpc_timeout of { p : float }
   | Wqe_drop of { p : float }
   | Wqe_delay of { p : float; delay_ns : int }
@@ -92,6 +93,23 @@ let parse_clause s =
       known [ "dur" ];
       Link_flap
         { at_ns = require_at kind at; dur_ns = duration_of_string (field params "dur") }
+  | "partition" ->
+      (* Asymmetric partition: the named nodes stay alive but their links
+         drop control + data traffic for the window — distinct from the
+         fail-stop [node-crash]. *)
+      known [ "dur"; "nodes" ];
+      let ids =
+        String.split_on_char '|' (field params "nodes")
+        |> List.filter (fun x -> x <> "")
+        |> List.map (fun x ->
+               let id = int_of_field ~key:"nodes" x in
+               if id < 0 then bad "partition node ids must be >= 0 (got %d)" id;
+               id)
+      in
+      if ids = [] then bad "partition needs a non-empty nodes= list (e.g. nodes=0|1)";
+      let dur_ns = duration_of_string (field params "dur") in
+      if dur_ns < 1 then bad "partition dur must be positive";
+      Partition { at_ns = require_at kind at; dur_ns; ids }
   | "rpc-timeout" ->
       known [ "p" ];
       Rpc_timeout { p = prob_of_string (field params "p") }
@@ -119,8 +137,8 @@ let parse_clause s =
       Dup_deliver { p = prob_of_string (field params "p") }
   | other ->
       bad
-        "unknown fault kind %S (node-crash | link-flap | rpc-timeout | wqe-drop | \
-         wqe-delay | bit-flip | torn-write | stale-read | dup-deliver)"
+        "unknown fault kind %S (node-crash | link-flap | partition | rpc-timeout | \
+         wqe-drop | wqe-delay | bit-flip | torn-write | stale-read | dup-deliver)"
         other
 
 (* Probabilistic kinds may appear at most once per plan; a silent
@@ -128,7 +146,7 @@ let parse_clause s =
    plan that looks loaded.  Scheduled kinds (node-crash, link-flap)
    legitimately repeat. *)
 let prob_kind = function
-  | Node_crash _ | Link_flap _ -> None
+  | Node_crash _ | Link_flap _ | Partition _ -> None
   | Rpc_timeout _ -> Some "rpc-timeout"
   | Wqe_drop _ -> Some "wqe-drop"
   | Wqe_delay _ -> Some "wqe-delay"
@@ -179,6 +197,10 @@ let clause_to_string = function
   | Node_crash { at_ns; id } -> Printf.sprintf "node-crash@%s:id=%d" (ns_to_string at_ns) id
   | Link_flap { at_ns; dur_ns } ->
       Printf.sprintf "link-flap@%s:dur=%s" (ns_to_string at_ns) (ns_to_string dur_ns)
+  | Partition { at_ns; dur_ns; ids } ->
+      Printf.sprintf "partition@%s:dur=%s,nodes=%s" (ns_to_string at_ns)
+        (ns_to_string dur_ns)
+        (String.concat "|" (List.map string_of_int ids))
   | Rpc_timeout { p } -> Printf.sprintf "rpc-timeout:p=%g" p
   | Wqe_drop { p } -> Printf.sprintf "wqe-drop:p=%g" p
   | Wqe_delay { p; delay_ns } ->

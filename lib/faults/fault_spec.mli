@@ -12,6 +12,12 @@
       exist, reported as graceful degradation otherwise);
     - [link-flap@1ms:dur=200us] — the shared NIC port carries no traffic
       for the window (failure mode 2; absorbed by the MCE path);
+    - [partition@2ms:dur=500us,nodes=0|1] — an asymmetric partition: the
+      named memory nodes stay alive but their links drop control and
+      data traffic for the window.  Distinct from fail-stop [node-crash]:
+      under lease-based membership a partitioned node misses heartbeats
+      and can be {e falsely} declared dead, and its deferred writes land
+      after the heal — the split-brain scenario fencing must absorb;
     - [rpc-timeout:p=0.01] — each control-plane RPC independently times
       out with probability [p] and is retried with backoff;
     - [wqe-drop:p=0.001] — each posted WQE transmission attempt is lost
@@ -37,11 +43,12 @@
     A plan may not repeat a probabilistic kind (e.g. two [wqe-drop]
     clauses): [parse] rejects it with a named error rather than letting
     the last clause silently win.  Scheduled kinds ([node-crash],
-    [link-flap]) may appear any number of times. *)
+    [link-flap], [partition]) may appear any number of times. *)
 
 type clause =
   | Node_crash of { at_ns : int; id : int }
   | Link_flap of { at_ns : int; dur_ns : int }
+  | Partition of { at_ns : int; dur_ns : int; ids : int list }
   | Rpc_timeout of { p : float }
   | Wqe_drop of { p : float }
   | Wqe_delay of { p : float; delay_ns : int }

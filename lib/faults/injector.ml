@@ -26,6 +26,9 @@ type t = {
   mutable p_dup : float;
   mutable crashes : (int * int) list; (* (at_ns, id), sorted by time *)
   flaps : (int * int) list;
+  (* (at_ns, dur_ns, ids), sorted by time: scheduled asymmetric
+     partitions, handed out as they come due like crashes. *)
+  mutable partitions : (int * int * int list) list;
   mutable node_crashes : int;
   mutable link_flaps_applied : int;
   mutable rpc_timeouts : int;
@@ -35,6 +38,7 @@ type t = {
   mutable torn_writes : int;
   mutable stale_reads : int;
   mutable dup_delivers : int;
+  mutable partitions_applied : int;
 }
 
 (* Independent clauses of the same kind compose as independent events. *)
@@ -53,12 +57,14 @@ let create ~seed ~plan =
      combined as independent events, crash/flap schedules concatenate. *)
   let p_drop = ref 0. and p_delay = ref 0. and delay_ns = ref 0 and p_rpc = ref 0. in
   let p_flip = ref 0. and p_torn = ref 0. and p_stale = ref 0. and p_dup = ref 0. in
-  let crashes = ref [] and flaps = ref [] in
+  let crashes = ref [] and flaps = ref [] and partitions = ref [] in
   List.iter
     (fun clause ->
       match clause with
       | Fault_spec.Node_crash { at_ns; id } -> crashes := (at_ns, id) :: !crashes
       | Fault_spec.Link_flap { at_ns; dur_ns } -> flaps := (at_ns, dur_ns) :: !flaps
+      | Fault_spec.Partition { at_ns; dur_ns; ids } ->
+          partitions := (at_ns, dur_ns, ids) :: !partitions
       | Fault_spec.Rpc_timeout { p } -> p_rpc := combine !p_rpc p
       | Fault_spec.Wqe_drop { p } -> p_drop := combine !p_drop p
       | Fault_spec.Wqe_delay { p; delay_ns = d } ->
@@ -85,6 +91,7 @@ let create ~seed ~plan =
     p_dup = !p_dup;
     crashes = List.sort compare !crashes;
     flaps = List.rev !flaps;
+    partitions = List.sort compare !partitions;
     node_crashes = 0;
     link_flaps_applied = 0;
     rpc_timeouts = 0;
@@ -94,6 +101,7 @@ let create ~seed ~plan =
     torn_writes = 0;
     stale_reads = 0;
     dup_delivers = 0;
+    partitions_applied = 0;
   }
 
 let plan t = t.plan_
@@ -106,6 +114,8 @@ let arm t clause =
       (* The NIC outage calendar is installed by the caller (the injector
          only hands flaps out once, at wiring); record it as injected. *)
       t.link_flaps_applied <- t.link_flaps_applied + 1
+  | Fault_spec.Partition { at_ns; dur_ns; ids } ->
+      t.partitions <- List.sort compare ((at_ns, dur_ns, ids) :: t.partitions)
   | Fault_spec.Rpc_timeout { p } -> t.p_rpc <- combine t.p_rpc p
   | Fault_spec.Wqe_drop { p } -> t.p_drop <- combine t.p_drop p
   | Fault_spec.Wqe_delay { p; delay_ns = d } ->
@@ -207,6 +217,19 @@ let due_node_crashes t ~now =
       t.node_crashes <- t.node_crashes + List.length due;
       List.map snd due
 
+let partitions_pending t = List.length t.partitions
+
+let due_partitions t ~now =
+  match t.partitions with
+  | [] -> []
+  | _ ->
+      let due, pending =
+        List.partition (fun (at, _, _) -> at <= now) t.partitions
+      in
+      t.partitions <- pending;
+      t.partitions_applied <- t.partitions_applied + List.length due;
+      List.map (fun (_, dur_ns, ids) -> (dur_ns, ids)) due
+
 let counters t =
   [
     ("node_crashes", t.node_crashes);
@@ -218,6 +241,7 @@ let counters t =
     ("torn_writes", t.torn_writes);
     ("stale_reads", t.stale_reads);
     ("dup_delivers", t.dup_delivers);
+    ("partitions", t.partitions_applied);
   ]
 
 let injected t = List.fold_left (fun acc (_, v) -> acc + v) 0 (counters t)

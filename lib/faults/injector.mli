@@ -76,6 +76,14 @@ val due_node_crashes : t -> now:int -> int list
 
 val crashes_pending : t -> int
 
+val due_partitions : t -> now:int -> (int * int list) list
+(** [(dur_ns, ids)] partitions whose start time has been reached; each is
+    returned once.  The caller (the runtime) owns the partition windows —
+    deferring deliveries, blocking heartbeats — like the NIC owns flap
+    outages. *)
+
+val partitions_pending : t -> int
+
 (** {2 Accounting} *)
 
 val injected : t -> int
@@ -84,4 +92,4 @@ val injected : t -> int
 val counters : t -> (string * int) list
 (** [(category, count)] pairs: node_crashes, link_flaps, rpc_timeouts,
     wqe_drops, wqe_delays, bit_flips, torn_writes, stale_reads,
-    dup_delivers. *)
+    dup_delivers, partitions. *)

@@ -8,6 +8,17 @@ module Tx = struct
     t.epoch <- t.epoch + 1;
     Hashtbl.reset t.next_seq
 
+  (* Adopt a rack-global fencing epoch: a failover anywhere advances
+     every tenant's sender to the same epoch so a fenced store can
+     compare any shipment against one number.  Monotone — an epoch at or
+     below the current one is a no-op (the local sender is already
+     ahead or level, and its seq spaces must not reset twice). *)
+  let advance_epoch t ~to_ =
+    if to_ > t.epoch then begin
+      t.epoch <- to_;
+      Hashtbl.reset t.next_seq
+    end
+
   let next t ~stream =
     let seq = Option.value (Hashtbl.find_opt t.next_seq stream) ~default:0 in
     Hashtbl.replace t.next_seq stream (seq + 1);

@@ -17,6 +17,12 @@ module Tx : sig
   val bump_epoch : t -> unit
   (** Start a new epoch; all per-stream sequence counters restart at 0. *)
 
+  val advance_epoch : t -> to_:int -> unit
+  (** Adopt a rack-global fencing epoch (monotone): jump directly to
+      [to_] and restart the per-stream counters, or do nothing when the
+      sender is already at or past it.  Used to broadcast a failover's
+      fencing epoch to every tenant's sender in one step. *)
+
   val next : t -> stream:int -> int
   (** Allocate the next sequence number on [stream] (0, 1, 2, ...). *)
 end

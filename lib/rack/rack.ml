@@ -10,6 +10,7 @@ module Directory = Kona_coherence.Directory
 module Heat = Kona_placement.Heat
 module Placement_policy = Kona_placement.Placement_policy
 module Migrator = Kona_placement.Migrator
+module Recovery = Kona_membership.Recovery
 open Kona
 
 type tenant_cfg = {
@@ -132,6 +133,7 @@ type engine = {
   e_fast_nodes : int;
   e_drained_pages : int ref;
   e_drain_failures : int ref;
+  e_recovery : Recovery.t;
   e_now : unit -> int;
   e_step : unit -> int;
   e_finish : unit -> result;
@@ -320,6 +322,12 @@ let start cfg tenants =
             replicas = cfg.replicas;
             faults = (if i = 0 then cfg.faults else []);
             fault_seed = cfg.fault_seed;
+            (* Exactly one membership authority per rack: tenant 0 leases
+               the nodes and triggers failover; the others learn of it
+               through the fencing-epoch broadcast below.  Two detectors
+               would race to promote different mirrors for one slot. *)
+            heartbeat_ns =
+              (if i = 0 then cfg.runtime.Runtime.heartbeat_ns else None);
           }
         in
         let arbitrate ~node ~op:_ ~len ~now =
@@ -337,6 +345,23 @@ let start cfg tenants =
           ~arbitrate ?replication ~controller
           ~read_local:read_locals.(i) ())
   in
+  (* A fencing epoch minted by any tenant's failover is rack-global: every
+     tenant's CL-log sender must restamp at the new epoch, or its next
+     flush to the displaced store would be applied rather than rejected.
+     Adoption is a monotone no-op on the minter itself. *)
+  Array.iter
+    (fun rt ->
+      Runtime.set_on_fence rt (fun ~epoch ->
+          Array.iter
+            (fun rt' -> Runtime.adopt_fencing_epoch rt' ~epoch)
+            runtimes))
+    runtimes;
+  (* Rack-level recovery queue: drain re-homing runs here as a resumable
+     task (a bounded batch of pages per engine step), so a crash or
+     partition landing mid-drain interleaves with it instead of waiting
+     behind a synchronous copy loop.  [finish] pumps it to idle. *)
+  let rack_recovery = Recovery.create () in
+  let partitions_over = ref false in
   (* -------- shared segment: tenant 0 publishes, the rest map -------- *)
   let rack_dir = Directory.create () in
   let invalidations_sent = ref 0 in
@@ -545,7 +570,12 @@ let start cfg tenants =
       let id = !node_count in
       Rack_controller.register_node controller
         (Memory_node.create ~id ~capacity);
-      incr node_count
+      incr node_count;
+      (* satellite 1: ids are minted by the controller's registry (this
+         [id] is [!node_count], disjoint from failover's fresh-mirror ids
+         minted via [Rack_controller.mint_backing_id]); the membership
+         authority starts leasing the new node immediately *)
+      Runtime.track_node runtimes.(0) ~id
     end
   in
   (* Most-free live non-draining node (node_infos ascending: ties break
@@ -564,49 +594,103 @@ let start cfg tenants =
               else best)
       None (node_infos ())
   in
-  let exec_drain ~now id =
-    Rack_controller.set_draining controller ~id true;
-    flush_all_logs ();
-    (* Every owned page still homed on the node; a crashed-and-failed-
-       over node drains from its promoted mirror (the controller's
-       backing for [id]), or any live replica. *)
-    let victims = ref [] in
-    Array.iteri
-      (fun i rt ->
-        Resource_manager.iter_backed_pages (Runtime.resource_manager rt)
-          (fun ~vpage ~node ~remote_addr ->
-            if node = id then victims := (i, vpage, remote_addr) :: !victims))
-      runtimes;
-    List.iter
-      (fun (_, vpage, addr) ->
-        match read_page_bytes ~node:id ~addr with
-        | None -> incr drain_failures
-        | Some data -> (
-            match choose_rehome () with
-            | None -> incr drain_failures
-            | Some ni -> (
-                let dst = ni.Placement_policy.ni_node in
-                match place_page ~dst ~data with
-                | None -> incr drain_failures
-                | Some dst_addr ->
-                    (* retarget the owner and every foreign mapping that
-                       still points at the drained copy *)
-                    Array.iter
-                      (fun rt ->
-                        let rm = Runtime.resource_manager rt in
-                        match
-                          Resource_manager.translate rm ~vaddr:(vpage * page)
-                        with
-                        | Some (node', addr') when node' = id && addr' = addr
-                          ->
-                            Resource_manager.remap_page rm ~vpage ~node:dst
-                              ~remote_addr:dst_addr
-                        | _ -> ())
-                      runtimes;
-                    incr drained_pages;
-                    ignore (charge ~node:id ~bytes:page ~now);
-                    ignore (charge ~node:dst ~bytes:page ~now))))
-      (List.sort compare !victims)
+  (* Re-home one drain victim now; [false] only when the victim was
+     already moved out from under us (migration or an earlier overlapping
+     drain) — neither a drained page nor a failure. *)
+  let drain_one ~now id (_, vpage, addr) =
+    let still_homed =
+      Array.exists
+        (fun rt ->
+          match
+            Resource_manager.translate
+              (Runtime.resource_manager rt)
+              ~vaddr:(vpage * page)
+          with
+          | Some (node', addr') -> node' = id && addr' = addr
+          | None -> false)
+        runtimes
+    in
+    if not still_homed then false
+    else begin
+      (match read_page_bytes ~node:id ~addr with
+      | None -> incr drain_failures
+      | Some data -> (
+          match choose_rehome () with
+          | None -> incr drain_failures
+          | Some ni -> (
+              let dst = ni.Placement_policy.ni_node in
+              match place_page ~dst ~data with
+              | None -> incr drain_failures
+              | Some dst_addr ->
+                  (* retarget the owner and every foreign mapping that
+                     still points at the drained copy *)
+                  Array.iter
+                    (fun rt ->
+                      let rm = Runtime.resource_manager rt in
+                      match
+                        Resource_manager.translate rm ~vaddr:(vpage * page)
+                      with
+                      | Some (node', addr') when node' = id && addr' = addr ->
+                          Resource_manager.remap_page rm ~vpage ~node:dst
+                            ~remote_addr:dst_addr
+                      | _ -> ())
+                    runtimes;
+                  incr drained_pages;
+                  ignore (charge ~node:id ~bytes:page ~now);
+                  ignore (charge ~node:dst ~bytes:page ~now))));
+      true
+    end
+  in
+  let drain_pages_per_step = 16 in
+  let exec_drain ~now:_ id =
+    let name = Printf.sprintf "drain:%d" id in
+    (* an overlapping drain of the same node would double-move the pages
+       the pending task hasn't reached yet *)
+    if not (List.mem name (Recovery.pending rack_recovery)) then begin
+      Rack_controller.set_draining controller ~id true;
+      flush_all_logs ();
+      (* Every owned page still homed on the node; a crashed-and-failed-
+         over node drains from its promoted mirror (the controller's
+         backing for [id]), or any live replica.  Victims are frozen now;
+         each step revalidates its batch against the live translations. *)
+      let victims = ref [] in
+      Array.iteri
+        (fun i rt ->
+          Resource_manager.iter_backed_pages (Runtime.resource_manager rt)
+            (fun ~vpage ~node ~remote_addr ->
+              if node = id then victims := (i, vpage, remote_addr) :: !victims))
+        runtimes;
+      let todo = ref (List.sort compare !victims) in
+      ignore
+        (Recovery.enqueue rack_recovery ~name (fun ~now ->
+             if !todo = [] then `Done
+             else if
+               (* the drained node is inside a partition window: its pages
+                  are unreadable until the links heal, so the task parks
+                  (resumable, not failed) — [finish] lifts the block along
+                  with the runtimes' own deferred-delivery flush *)
+               (not !partitions_over)
+               && Runtime.partition_active runtimes.(0) ~id
+             then `Again
+             else begin
+               (* fence before copying: lines staged since the previous
+                  step (slices interleave with drain) still target the
+                  old home — ship them so the batch reads fresh bytes,
+                  while evictions of already-re-homed pages translate to
+                  the new home on their own *)
+               flush_all_logs ();
+               let budget = ref drain_pages_per_step in
+               while !budget > 0 && !todo <> [] do
+                 (match !todo with
+                 | [] -> ()
+                 | v :: rest ->
+                     todo := rest;
+                     ignore (drain_one ~now id v));
+                 decr budget
+               done;
+               if !todo = [] then `Done else `Again
+             end))
+    end
   in
   let exec_rebalance ~now =
     flush_all_logs ();
@@ -773,6 +857,12 @@ let start cfg tenants =
       let now = Runtime.elapsed_ns runtimes.(i) in
       fire_ops ~now;
       Migrator.tick migrator ~now;
+      (* one bounded recovery step per slice: the rack's drain re-homing
+         and each tenant's failover/re-replication tasks make progress
+         even for tenants whose replay is already exhausted (their own
+         fault polls have stopped) *)
+      ignore (Recovery.step rack_recovery ~now);
+      Array.iter (fun rt -> ignore (Runtime.step_recovery rt)) runtimes;
       !consumed
     end
   in
@@ -836,10 +926,25 @@ let start cfg tenants =
     match !finished with
     | Some r -> r
     | None ->
+        (* every partition window is over by msync time: the runtimes'
+           drains flush their deferred deliveries, and the rack drain
+           tasks stop parking on partitioned sources *)
+        partitions_over := true;
         Array.iter Runtime.drain runtimes;
         (* ops scheduled past the last replayed access still run (a drain
            must re-home its pages no matter how short the workload was) *)
         fire_ops ~now:max_int;
+        (* pump the rack recovery queue dry: a drain interrupted by a
+           crash or partition mid-run completes here, after the fault *)
+        let final_now =
+          Array.fold_left (fun a rt -> max a (Runtime.elapsed_ns rt)) 0 runtimes
+        in
+        let rec pump () =
+          match Recovery.step rack_recovery ~now:final_now with
+          | `Idle -> ()
+          | `Stepped _ | `Finished _ -> pump ()
+        in
+        pump ();
         let r_tenants = Array.init n tenant_result in
         let r =
           {
@@ -925,6 +1030,7 @@ let start cfg tenants =
     e_fast_nodes = cfg.fast_nodes;
     e_drained_pages = drained_pages;
     e_drain_failures = drain_failures;
+    e_recovery = rack_recovery;
     e_now = engine_now;
     e_step = step;
     e_finish = finish;
@@ -972,6 +1078,30 @@ let flap_links e ~dur_ns =
         (Kona_faults.Fault_spec.Link_flap
            { at_ns = Runtime.elapsed_ns rt; dur_ns }))
     e.e_runtimes
+
+let partition_nodes e ~dur_ns ~ids =
+  (* An asymmetric partition cuts the listed nodes' links to the whole
+     rack: every tenant opens its own deferral window (CL-log deliveries
+     to those nodes park with their stamps intact), and tenant 0's
+     membership detector stops hearing their heartbeats — the nodes stay
+     healthy throughout, unlike a crash. *)
+  if dur_ns > 0 && ids <> [] then
+    Array.iter
+      (fun rt ->
+        Runtime.arm_fault rt
+          (Kona_faults.Fault_spec.Partition
+             { at_ns = Runtime.elapsed_ns rt; dur_ns; ids }))
+      e.e_runtimes
+
+let recovery_pending e =
+  Recovery.pending e.e_recovery
+  @ List.concat_map Runtime.recovery_pending (Array.to_list e.e_runtimes)
+
+let recovery_idle e = recovery_pending e = []
+
+let step_recovery e =
+  ignore (Recovery.step e.e_recovery ~now:(e.e_now ()));
+  Array.iter (fun rt -> ignore (Runtime.step_recovery rt)) e.e_runtimes
 
 let force_scrub e = Array.iter Runtime.force_scrub e.e_runtimes
 

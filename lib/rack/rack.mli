@@ -70,7 +70,10 @@ type config = {
           no free slot is refused.  0 (default) for scheduled-ops runs *)
   runtime : Kona.Runtime.config;
       (** per-tenant base; the rack overrides [tenant], [stream_base],
-          [replicas], [faults] and [fault_seed] per tenant *)
+          [replicas], [faults] and [fault_seed] per tenant.
+          [heartbeat_ns] is honoured on tenant 0 only: one membership
+          authority leases the rack's nodes and triggers failover, and
+          its fencing epochs broadcast to every tenant's sender *)
 }
 
 val default_config : config
@@ -194,6 +197,29 @@ val arm_fault : engine -> Kona_faults.Fault_spec.clause -> unit
 val flap_links : engine -> dur_ns:int -> unit
 (** Outage every tenant's NIC port for [dur_ns] starting at each
     tenant's current virtual time. *)
+
+val partition_nodes : engine -> dur_ns:int -> ids:int list -> unit
+(** Asymmetric partition: cut the listed (healthy) nodes off from the
+    whole rack for [dur_ns].  Every tenant's CL-log deliveries to those
+    nodes are deferred with their stamps intact, and the membership
+    authority (tenant 0, when [runtime.heartbeat_ns] is set) stops
+    hearing their heartbeats — long partitions are declared dead and
+    failed over; the deferred writes then meet the fencing epoch at heal
+    and are rejected as stale.  Requires an injector, like
+    {!arm_fault}.  No-op for [dur_ns <= 0] or an empty node list. *)
+
+val step_recovery : engine -> unit
+(** Advance the rack drain queue and every tenant's recovery queue one
+    bounded step each — what {!step} does after each slice, exposed for
+    drivers that need recovery to progress while replay is paused. *)
+
+val recovery_pending : engine -> string list
+(** Names of unfinished resumable recovery tasks, rack drain tasks
+    first, then per-tenant failover/re-replication tasks. *)
+
+val recovery_idle : engine -> bool
+(** No resumable recovery work outstanding anywhere in the rack — the
+    recovery-convergence invariant's engine-side predicate. *)
 
 val force_scrub : engine -> unit
 (** Run one full scrub sweep on every runtime configured with one. *)

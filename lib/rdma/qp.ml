@@ -20,6 +20,14 @@ type retry = { rx_timeout_ns : int; retry_limit : int; backoff_cap : int }
    seven retries, backoff doubling capped at 16x. *)
 let default_retry = { rx_timeout_ns = 8_000; retry_limit = 7; backoff_cap = 4 }
 
+(* The transport's view of the stack-wide backoff policy. *)
+let retry_of (b : Backoff.config) =
+  {
+    rx_timeout_ns = b.Backoff.base_ns;
+    retry_limit = b.Backoff.qp_retry_max;
+    backoff_cap = b.Backoff.cap_shift;
+  }
+
 exception Retry_exhausted of { attempts : int }
 
 (* A posted WQE awaiting its completion time.  Batches occupy the wire in

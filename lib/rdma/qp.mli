@@ -50,6 +50,11 @@ type retry = {
 val default_retry : retry
 (** 8 us timer, 7 retries, backoff capped at 16x. *)
 
+val retry_of : Kona_util.Backoff.config -> retry
+(** Derive the transport's retransmission parameters from the
+    stack-wide backoff policy ([retry_of Backoff.default] equals
+    {!default_retry}). *)
+
 exception Retry_exhausted of { attempts : int }
 (** A WQE exhausted its retransmission budget: the QP enters the error
     state (callers surface this as a failed operation, not a hang). *)

@@ -19,6 +19,7 @@ val create :
   ?service_ns:int ->
   ?timeout_ns:int ->
   ?retry_limit:int ->
+  ?backoff:Kona_util.Backoff.config ->
   ?fail:(unit -> bool) ->
   ?inject:(unit -> [ `Drop | `Delay of int ] option) ->
   clock:Kona_util.Clock.t ->
@@ -31,8 +32,11 @@ val create :
 
     [fail] is the fault-injection hook, consulted once per attempt: [true]
     loses the exchange, costing [timeout_ns] (doubling per consecutive
-    loss, capped at 16x; default 10 us) before a resend, up to
-    [retry_limit] retries (default 5) and then {!Timeout_exhausted}.
+    loss, capped at [2^cap_shift]; default 10 us) before a resend, up to
+    [retry_limit] retries and then {!Timeout_exhausted}.  The retry
+    budget and backoff cap come from [backoff] (default
+    {!Kona_util.Backoff.default}: 5 resends, cap 16x); an explicit
+    [retry_limit] overrides the policy's budget.
 
     [inject] is forwarded to the channel's internal queue pair, so
     wqe-drop/wqe-delay plans also stress the control path's SENDs. *)

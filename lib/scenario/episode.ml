@@ -46,6 +46,9 @@ let config_of_setup (s : Spec.setup) ~extra_node_slots =
           (if s.Spec.scrub_ns > 0 then Some s.Spec.scrub_ns else None);
         verify_checksums = s.Spec.verify;
         arm_injector = true (* fault clauses arrive as ops, mid-replay *);
+        heartbeat_ns =
+          (if s.Spec.heartbeat_ns > 0 then Some s.Spec.heartbeat_ns else None);
+        lease_ns = s.Spec.lease_ns;
       };
   }
 
@@ -71,6 +74,7 @@ let apply_op e op =
       done
   | Spec.Crash { id } -> Rack.crash_node e ~id
   | Spec.Flap { dur_ns } -> Rack.flap_links e ~dur_ns
+  | Spec.Partition { dur_ns; ids } -> Rack.partition_nodes e ~dur_ns ~ids
   | Spec.Corrupt clause -> Rack.arm_fault e clause
   | Spec.Quota { tenant; bytes } ->
       if tenant < Rack.tenant_count e then

@@ -33,7 +33,7 @@ let corruption_setup rng =
   }
 
 let corruption_op rng ~published =
-  match Rng.int rng 10 with
+  match Rng.int rng 11 with
   | 0 | 1 | 2 ->
       Spec.Run { n = 256 * (1 + Rng.int rng 8) }
   | 3 ->
@@ -48,6 +48,13 @@ let corruption_op rng ~published =
   | 8 ->
       if published then Spec.Shared { rounds = 8 + Rng.int rng 24 }
       else Spec.Publish { pages = 16 + Rng.int rng 48 }
+  | 9 ->
+      (* no membership here (hb=0): the window defers deliveries and
+         replays them at heal; corruption riding a deferred delivery must
+         still be detected when it finally lands (the exactness ledger
+         excludes partition runs — deferral heals some injections) *)
+      Spec.Partition
+        { dur_ns = 1_000 * (20 + Rng.int rng 80); ids = [ Rng.int rng 2 ] }
   | _ ->
       Spec.Quota
         { tenant = 0; bytes = Units.mib (16 + Rng.int rng 48) }
@@ -61,11 +68,20 @@ let corruption_op rng ~published =
 let ops_setup rng =
   let tenants = 1 + Rng.int rng 3 in
   let nodes = 2 + Rng.int rng 3 in
+  (* Membership on a grid: off (legacy detection) or a short lease so
+     generated partitions actually expire leases within an episode.
+     With membership on, crashes are excluded (ops_op) — failover waits
+     for lease expiry, and a too-short episode would leave pages homed
+     on the dead store with the detector still counting down. *)
+  let heartbeat_ns = pick rng [ 0; 0; 10_000; 20_000 ] in
+  let lease_ns = pick rng [ 50_000; 100_000 ] in
   {
     Spec.default_setup with
     tenants;
     nodes;
     replicas = 1;
+    heartbeat_ns;
+    lease_ns;
     fmem = pick rng [ 128; 256 ];
     quantum = pick rng [ 128; 256; 512 ];
     seed = Rng.int rng 1_000_000;
@@ -82,13 +98,22 @@ let ops_setup rng =
 
 let ops_op rng ~setup ~crashes ~adds ~published =
   let tenants = setup.Spec.tenants in
-  match Rng.int rng 12 with
+  match Rng.int rng 13 with
   | 0 | 1 | 2 | 3 ->
       Spec.Run { n = 256 * (1 + Rng.int rng 8) }
-  | 4 when !crashes < setup.Spec.replicas ->
+  | 4 when !crashes < setup.Spec.replicas && setup.Spec.heartbeat_ns = 0 ->
       incr crashes;
       Spec.Crash { id = Rng.int rng setup.Spec.nodes }
   | 5 -> Spec.Flap { dur_ns = 1_000 * (10 + Rng.int rng 90) }
+  | 12 ->
+      (* partitions never touch mirror stores (minted physical ids), so
+         every write made during the window survives on a mirror even
+         when a long window triggers a false-positive failover *)
+      Spec.Partition
+        {
+          dur_ns = 1_000 * (50 + Rng.int rng 250);
+          ids = [ Rng.int rng setup.Spec.nodes ];
+        }
   | 6 ->
       Spec.Quota
         {

@@ -4,6 +4,7 @@ module Resource_manager = Kona.Resource_manager
 module Memory_node = Kona.Memory_node
 module Runtime = Kona.Runtime
 module Injector = Kona_faults.Injector
+module Membership = Kona_membership.Membership
 module Units = Kona_util.Units
 
 type scope = Boundary | End
@@ -93,6 +94,19 @@ let placement_coherence ctx =
   let bad = ref [] in
   let add fmt = Printf.ksprintf (fun s -> bad := s :: !bad) fmt in
   let require_alive = crash_ops ctx.spec <= ctx.spec.Spec.setup.Spec.replicas in
+  (* With lease-based membership, a crashed home is only a violation once
+     the detector has declared that store dead AND its queued failover
+     finished — mid-lease (or mid-recovery) boundaries legitimately see
+     pages homed on a dead store. *)
+  let converged_dead n =
+    if ctx.spec.Spec.setup.Spec.heartbeat_ns = 0 then true
+    else
+      match Runtime.membership (Rack.runtime e ~tenant:0) with
+      | None -> true
+      | Some m ->
+          Membership.state m ~id:(Memory_node.id n) = Some Membership.Dead
+          && Rack.recovery_idle e
+  in
   for i = 0 to Rack.tenant_count e - 1 do
     let rm = Runtime.resource_manager (Rack.runtime e ~tenant:i) in
     Resource_manager.iter_backed_pages rm (fun ~vpage ~node ~remote_addr ->
@@ -105,7 +119,9 @@ let placement_coherence ctx =
             then
               add "tenant %d page %d at %#x outside node %d (cap %d)" i vpage
                 remote_addr node (Memory_node.capacity n)
-            else if require_alive && not (Memory_node.alive n) then
+            else if
+              require_alive && (not (Memory_node.alive n)) && converged_dead n
+            then
               add "tenant %d page %d homed on dead node %d despite %d replica(s)"
                 i vpage node ctx.spec.Spec.setup.Spec.replicas)
   done;
@@ -146,17 +162,22 @@ let integrity_accounting ctx =
       match Runtime.injector rt with
       | None -> []
       | Some inj ->
+          let injected = Injector.counters inj in
           let exact =
             r.Rack.r_node_crashes = 0
             && r.Rack.r_migrations = 0
             && r.Rack.r_drained_pages = 0
             && Rack.drain_failures e = 0
             && find "log.lost_writes" (Runtime.stats rt) = 0
+            (* a partition defers deliveries across the detectors' replay
+               and a membership failover re-copies pages wholesale — both
+               heal or reject corruption outside the detection ledger *)
+            && find "partitions" injected = 0
+            && Runtime.declared_dead rt = 0
           in
           if not exact then []
           else begin
             let counters = Runtime.integrity_counters rt in
-            let injected = Injector.counters inj in
             let bad = ref [] in
             let expect what got want =
               if got <> want then
@@ -177,6 +198,60 @@ let integrity_accounting ctx =
               + find "integrity.healed_overwrite" counters);
             List.rev !bad
           end)
+
+(* Split-brain exclusion: for every logical slot, the store currently
+   backing it is the only one allowed to be alive and unfenced.  Every
+   former backing — displaced by a failover — must be either actually
+   crashed or fenced at a failover epoch; a falsely-declared-dead node
+   returning from a partition shows up here alive, and MUST be fenced. *)
+let at_most_one_primary ctx =
+  let e = ctx.engine in
+  let c = Rack.controller e in
+  let bad = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> bad := s :: !bad) fmt in
+  List.iter
+    (fun id ->
+      let backing = Rack_controller.node c ~id in
+      List.iter
+        (fun f ->
+          if Memory_node.alive f && not (Memory_node.fenced f) then
+            add
+              "slot %d: former backing %d is alive and unfenced alongside \
+               backing %d"
+              id (Memory_node.id f) (Memory_node.id backing))
+        (Rack_controller.former_backings c ~id))
+    (Rack_controller.logical_ids c);
+  List.rev !bad
+
+(* Fences are absolute: a fenced store never absorbs another line, not
+   even from a delivery stamped at the current epoch. *)
+let no_post_fence_write ctx =
+  let n = Runtime.post_fence_writes (Rack.runtime ctx.engine ~tenant:0) in
+  if n > 0 then
+    [ Printf.sprintf "%d line(s) were applied to fenced stores" n ]
+  else []
+
+(* Interruptible recovery must converge: once the episode has drained,
+   no resumable task (failover, re-replication, rack drain) is still
+   queued and no partition-deferred delivery is still parked — whatever
+   overlapping faults interrupted them mid-run. *)
+let recovery_convergence ctx =
+  match ctx.result with
+  | None -> []
+  | Some _ ->
+      let e = ctx.engine in
+      let bad = ref [] in
+      let add fmt = Printf.ksprintf (fun s -> bad := s :: !bad) fmt in
+      (match Rack.recovery_pending e with
+      | [] -> ()
+      | pending ->
+          add "unfinished recovery task(s): %s" (String.concat ", " pending));
+      for i = 0 to Rack.tenant_count e - 1 do
+        let d = Runtime.deferred_pending (Rack.runtime e ~tenant:i) in
+        if d > 0 then
+          add "tenant %d still holds %d deferred deliveries after drain" i d
+      done;
+      List.rev !bad
 
 (* WFQ sanity: no tenant's achieved rate beats the link, contended bytes
    are a subset of admitted bytes, and saturation never exceeds the
@@ -241,6 +316,28 @@ let registry =
         "injected corruption is detected or healed, exactly, when no page \
          moved out from under the detectors";
       check = integrity_accounting;
+    };
+    {
+      name = "at-most-one-primary";
+      scope = Boundary;
+      doc =
+        "every displaced former backing is crashed or fenced — a returning \
+         false positive never serves alongside its successor";
+      check = at_most_one_primary;
+    };
+    {
+      name = "no-post-fence-write";
+      scope = Boundary;
+      doc = "no line is ever applied to a fenced store";
+      check = no_post_fence_write;
+    };
+    {
+      name = "recovery-convergence";
+      scope = End;
+      doc =
+        "after drain no resumable recovery task is queued and no deferred \
+         delivery is parked, however faults overlapped";
+      check = recovery_convergence;
     };
     {
       name = "wfq-bounds";

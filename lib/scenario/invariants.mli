@@ -25,9 +25,10 @@ type t = {
 }
 
 val registry : t list
-(** node-accounting, quota-conservation and placement-coherence at every
-    boundary; shadow-heap, integrity-accounting and wfq-bounds at the
-    end of the episode. *)
+(** node-accounting, quota-conservation, placement-coherence,
+    at-most-one-primary and no-post-fence-write at every boundary;
+    shadow-heap, integrity-accounting, recovery-convergence and
+    wfq-bounds at the end of the episode. *)
 
 val names : string list
 

@@ -12,6 +12,8 @@ let shrink_op (op : Spec.op) =
   | Spec.Run { n } -> List.map (fun n -> Spec.Run { n }) (halve n 1)
   | Spec.Flap { dur_ns } ->
       List.map (fun dur_ns -> Spec.Flap { dur_ns }) (halve dur_ns 1_000)
+  | Spec.Partition { dur_ns; ids } ->
+      List.map (fun dur_ns -> Spec.Partition { dur_ns; ids }) (halve dur_ns 1_000)
   | Spec.Shared { rounds } ->
       List.map (fun rounds -> Spec.Shared { rounds }) (halve rounds 1)
   | Spec.Publish { pages } ->

@@ -5,6 +5,7 @@ type op =
   | Run of { n : int }
   | Crash of { id : int }
   | Flap of { dur_ns : int }
+  | Partition of { dur_ns : int; ids : int list }
   | Corrupt of Fault_spec.clause
   | Quota of { tenant : int; bytes : int }
   | Publish of { pages : int }
@@ -33,6 +34,8 @@ type setup = {
   policy : string;
   fast_nodes : int;
   slow_extra_ns : int;
+  heartbeat_ns : int;
+  lease_ns : int;
 }
 
 type t = { setup : setup; ops : op list }
@@ -56,6 +59,8 @@ let default_setup =
     policy = "first-fit";
     fast_nodes = 1;
     slow_extra_ns = 0;
+    heartbeat_ns = 0;
+    lease_ns = 200_000;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -151,7 +156,7 @@ let parse_setup clause =
   known "setup" params
     [ "tenants"; "nodes"; "cap"; "gbps"; "replicas"; "fmem"; "quantum"; "seed";
       "fseed"; "scrub"; "verify"; "workloads"; "shares"; "quotas"; "policy";
-      "fast"; "slowns" ];
+      "fast"; "slowns"; "hb"; "lease" ];
   let get key f default =
     match List.assoc_opt key params with Some v -> f v | None -> default
   in
@@ -187,11 +192,15 @@ let parse_setup clause =
       policy = get "policy" (fun v -> v) default_setup.policy;
       fast_nodes = get "fast" (nonneg_of_field ~key:"fast") default_setup.fast_nodes;
       slow_extra_ns = get "slowns" duration_of_string default_setup.slow_extra_ns;
+      heartbeat_ns = get "hb" duration_of_string default_setup.heartbeat_ns;
+      lease_ns = get "lease" duration_of_string default_setup.lease_ns;
     }
   in
   List.iter
     (fun share -> if share < 1 then bad "shares entries must be >= 1 (got %d)" share)
     s.shares;
+  if s.heartbeat_ns > 0 && s.lease_ns < s.heartbeat_ns then
+    bad "lease (%d ns) must be >= hb (%d ns)" s.lease_ns s.heartbeat_ns;
   s
 
 let parse_op clause =
@@ -208,6 +217,11 @@ let parse_op clause =
       let dur_ns = duration_of_string (field params "dur") in
       if dur_ns < 1 then bad "flap dur must be positive";
       Flap { dur_ns }
+  | "partition" ->
+      known kind params [ "dur"; "nodes" ];
+      let dur_ns = duration_of_string (field params "dur") in
+      if dur_ns < 1 then bad "partition dur must be positive";
+      Partition { dur_ns; ids = int_list ~key:"nodes" (field params "nodes") }
   | "quota" ->
       known kind params [ "t"; "bytes" ];
       Quota
@@ -248,8 +262,15 @@ let parse_op clause =
          (crash:, flap:) that act at the op's position in the sequence
          rather than at an absolute virtual time. *)
       match Fault_spec.parse clause with
-      | Ok [ (Fault_spec.Node_crash _ | Fault_spec.Link_flap _) ] ->
-          bad "scheduled fault %S not allowed here (use crash:id=/flap:dur=)" clause
+      | Ok
+          [
+            ( Fault_spec.Node_crash _ | Fault_spec.Link_flap _
+            | Fault_spec.Partition _ );
+          ] ->
+          bad
+            "scheduled fault %S not allowed here (use \
+             crash:id=/flap:dur=/partition:dur=,nodes=)"
+            clause
       | Ok [ c ] -> Corrupt c
       | Ok _ -> bad "expected exactly one clause in %S" clause
       | Error msg -> bad "unknown op %S (%s)" clause msg)
@@ -276,7 +297,7 @@ let parse_exn s =
 
 let setup_to_string s =
   Printf.sprintf
-    "setup:tenants=%d,nodes=%d,cap=%d,gbps=%g,replicas=%d,fmem=%d,quantum=%d,seed=%d,fseed=%d,scrub=%s,verify=%d,workloads=%s,shares=%s,quotas=%s,policy=%s,fast=%d,slowns=%s"
+    "setup:tenants=%d,nodes=%d,cap=%d,gbps=%g,replicas=%d,fmem=%d,quantum=%d,seed=%d,fseed=%d,scrub=%s,verify=%d,workloads=%s,shares=%s,quotas=%s,policy=%s,fast=%d,slowns=%s,hb=%s,lease=%s"
     s.tenants s.nodes s.node_cap s.gbps s.replicas s.fmem s.quantum s.seed
     s.fault_seed (ns_to_string s.scrub_ns)
     (if s.verify then 1 else 0)
@@ -285,11 +306,16 @@ let setup_to_string s =
     (String.concat "|" (List.map string_of_int s.quotas))
     s.policy s.fast_nodes
     (ns_to_string s.slow_extra_ns)
+    (ns_to_string s.heartbeat_ns)
+    (ns_to_string s.lease_ns)
 
 let op_to_string = function
   | Run { n } -> Printf.sprintf "run:n=%d" n
   | Crash { id } -> Printf.sprintf "crash:id=%d" id
   | Flap { dur_ns } -> Printf.sprintf "flap:dur=%s" (ns_to_string dur_ns)
+  | Partition { dur_ns; ids } ->
+      Printf.sprintf "partition:dur=%s,nodes=%s" (ns_to_string dur_ns)
+        (String.concat "|" (List.map string_of_int ids))
   | Corrupt c -> Fault_spec.to_string [ c ]
   | Quota { tenant; bytes } -> Printf.sprintf "quota:t=%d,bytes=%d" tenant bytes
   | Publish { pages } -> Printf.sprintf "publish:pages=%d" pages

@@ -14,6 +14,10 @@
       (interleaved across tenants in scheduler quanta);
     - [crash:id=N] — fail-stop memory node [N] now (failover/degrade);
     - [flap:dur=D] — outage every tenant's NIC port for [D];
+    - [partition:dur=D,nodes=A|B] — asymmetric partition: the listed
+      nodes stay healthy but their links to the whole rack drop for [D]
+      (deliveries defer, heartbeats go silent; with [hb] set in the
+      setup, long partitions are falsely declared dead and fenced);
     - any probabilistic {!Kona_faults.Fault_spec} clause
       ([bit-flip:p=0.1], [torn-write:p=...], [stale-read:p=...],
       [dup-deliver:p=...], [wqe-drop:p=...], [wqe-delay:p=...,ns=...],
@@ -37,6 +41,7 @@ type op =
   | Run of { n : int }
   | Crash of { id : int }
   | Flap of { dur_ns : int }
+  | Partition of { dur_ns : int; ids : int list }
   | Corrupt of Kona_faults.Fault_spec.clause  (** probabilistic kinds only *)
   | Quota of { tenant : int; bytes : int }
   | Publish of { pages : int }
@@ -65,6 +70,11 @@ type setup = {
   policy : string;  (** placement policy slug *)
   fast_nodes : int;
   slow_extra_ns : int;
+  heartbeat_ns : int;
+      (** [hb=]: membership heartbeat interval; 0 (default) = legacy
+          omniscient failure detection, no lease machinery *)
+  lease_ns : int;
+      (** [lease=]: membership lease; must be >= [hb] when [hb > 0] *)
 }
 
 type t = { setup : setup; ops : op list }

@@ -46,6 +46,12 @@ let test_spec_parse () =
       check_int "at" 1_000_000 at_ns;
       check_int "dur" 200_000 dur_ns
   | _ -> Alcotest.fail "link-flap parse");
+  (match Fault_spec.parse "partition@2ms:dur=500us,nodes=0|2" with
+  | Ok [ Fault_spec.Partition { at_ns; dur_ns; ids } ] ->
+      check_int "partition at" 2_000_000 at_ns;
+      check_int "partition dur" 500_000 dur_ns;
+      check_bool "partition ids" true (ids = [ 0; 2 ])
+  | _ -> Alcotest.fail "partition parse");
   match Fault_spec.parse "rpc-timeout:p=0.01; wqe-drop:p=0.5 ;wqe-delay:p=1,ns=300" with
   | Ok
       [
@@ -71,6 +77,8 @@ let test_spec_roundtrip () =
       "bit-flip:p=0.01";
       "torn-write:p=0.05;stale-read:p=0.02;dup-deliver:p=0.125";
       "bit-flip:p=0.25;torn-write:p=0.5;node-crash@3ms:id=1";
+      "partition@1ms:dur=200us,nodes=0";
+      "partition@200us:dur=5ms,nodes=0|1|3;node-crash@2ms:id=2";
     ]
 
 let test_spec_errors () =
@@ -83,6 +91,14 @@ let test_spec_errors () =
   check_bool "crash needs id" true (String.length (err "node-crash@1ms") > 0);
   check_bool "bad duration" true (String.length (err "link-flap@soon:dur=1us") > 0);
   check_bool "unknown parameter" true (String.length (err "wqe-drop:p=0.1,q=2") > 0);
+  check_bool "partition needs nodes" true
+    (String.length (err "partition@1ms:dur=200us,nodes=") > 0);
+  check_bool "partition rejects negative ids" true
+    (String.length (err "partition@1ms:dur=200us,nodes=0|-1") > 0);
+  check_bool "partition dur must be positive" true
+    (String.length (err "partition@1ms:dur=0ns,nodes=0") > 0);
+  check_bool "partition needs time" true
+    (String.length (err "partition:dur=200us,nodes=0") > 0);
   check_bool "parse_exn raises" true
     (raises_invalid (fun () -> Fault_spec.parse_exn "nope") <> None)
 
@@ -124,6 +140,13 @@ let plan_gen =
     list_size (int_range 0 2)
       (map2 (fun at_ns dur_ns -> Fault_spec.Link_flap { at_ns; dur_ns }) time time)
   in
+  let partitions =
+    list_size (int_range 0 2)
+      (map2
+         (fun (at_ns, dur_ns) ids -> Fault_spec.Partition { at_ns; dur_ns; ids })
+         (pair time time)
+         (list_size (int_range 1 3) (int_range 0 7)))
+  in
   let maybe g = map (function Some c -> [ c ] | None -> []) (opt g) in
   let p1 mk = maybe (map mk prob) in
   map List.concat
@@ -131,6 +154,7 @@ let plan_gen =
        [
          crashes;
          flaps;
+         partitions;
          p1 (fun p -> Fault_spec.Rpc_timeout { p });
          p1 (fun p -> Fault_spec.Wqe_drop { p });
          maybe

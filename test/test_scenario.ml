@@ -20,8 +20,9 @@ let check_string = Alcotest.(check string)
 let kitchen_sink =
   "setup:tenants=2,nodes=3,cap=8388608,gbps=2,replicas=1,fmem=64,quantum=128,\
    seed=1,fseed=2,scrub=100us,verify=1,workloads=kv-seq|kv-uniform,\
-   shares=2|1,quotas=0|1048576,policy=heat,fast=2,slowns=500ns;run:n=100;\
-   crash:id=1;flap:dur=20us;bit-flip:p=0.25;torn-write:p=0.1;\
+   shares=2|1,quotas=0|1048576,policy=heat,fast=2,slowns=500ns,hb=20us,\
+   lease=100us;run:n=100;\
+   crash:id=1;flap:dur=20us;partition:dur=30us,nodes=0|2;bit-flip:p=0.25;torn-write:p=0.1;\
    stale-read:p=0.05;dup-deliver:p=0.2;wqe-drop:p=0.1;wqe-delay:p=0.1,ns=500;\
    rpc-timeout:p=0.05;quota:t=1,bytes=2097152;publish:pages=8;\
    shared:rounds=4;scrub;add;add:cap=4194304;drain:id=2;rebalance;\
@@ -36,7 +37,9 @@ let test_parse_kitchen_sink () =
     "workloads"
     [ "kv-seq"; "kv-uniform" ]
     t.Spec.setup.Spec.workloads;
-  check_int "ops" 19 (List.length t.Spec.ops);
+  check_int "hb" 20_000 t.Spec.setup.Spec.heartbeat_ns;
+  check_int "lease" 100_000 t.Spec.setup.Spec.lease_ns;
+  check_int "ops" 20 (List.length t.Spec.ops);
   (match t.Spec.ops with
   | Spec.Run { n = 100 } :: Spec.Crash { id = 1 } :: Spec.Flap { dur_ns = 20_000 } :: _
     ->
@@ -65,6 +68,11 @@ let test_parse_errors () =
     (bad "setup:;node-crash@1ms:id=0");
   check_bool "scheduled flap clause rejected" true
     (bad "setup:;link-flap@1ms:dur=2ms");
+  check_bool "scheduled partition clause rejected" true
+    (bad "setup:;partition@1ms:dur=2ms,nodes=0");
+  check_bool "lease below heartbeat rejected" true
+    (bad "setup:hb=100us,lease=50us");
+  check_bool "partition needs nodes" true (bad "setup:;partition:dur=2ms");
   check_bool "unknown op" true (bad "setup:;frobnicate");
   check_bool "unknown setup key" true (bad "setup:bogus=1");
   check_bool "bad duration" true (bad "setup:scrub=fast");
@@ -96,6 +104,10 @@ let spec_gen =
         map (fun n -> Spec.Run { n = n + 1 }) (int_bound 5000);
         map (fun id -> Spec.Crash { id }) (int_bound 7);
         map (fun d -> Spec.Flap { dur_ns = d + 1 }) (int_bound 1_000_000);
+        map2
+          (fun d ids -> Spec.Partition { dur_ns = d + 1; ids })
+          (int_bound 1_000_000)
+          (list_size (int_range 1 3) (int_bound 7));
         map (fun c -> Spec.Corrupt c) corrupt;
         map2
           (fun tenant bytes -> Spec.Quota { tenant; bytes })
@@ -129,7 +141,9 @@ let spec_gen =
     let* quotas = list_size (int_range 1 4) (int_bound 100_000_000) in
     let* policy = oneofl [ "first-fit"; "heat"; "centralized" ] in
     let* fast_nodes = int_bound 5 in
-    let+ slow_extra_ns = int_bound 10_000 in
+    let* slow_extra_ns = int_bound 10_000 in
+    let* heartbeat_ns = oneofl [ 0; 0; 10_000; 50_000 ] in
+    let+ lease_ns = oneofl [ 50_000; 100_000; 200_000 ] in
     {
       Spec.tenants;
       nodes;
@@ -148,6 +162,8 @@ let spec_gen =
       policy;
       fast_nodes;
       slow_extra_ns;
+      heartbeat_ns;
+      lease_ns;
     }
   in
   QCheck.Gen.map2
@@ -256,6 +272,46 @@ let test_execute_rack_ops () =
       check_bool "drain moved pages" true (r.Rack.r_drained_pages > 0);
       check_int "ops applied" 3 r.Rack.r_ops_applied
 
+(* Overlapping faults: a partition strikes while a node drain is in
+   flight, under lease-based membership.  The drain is a resumable
+   recovery task, so the partition interleaves with it instead of
+   aborting it; the shadow-heap oracle and the membership invariants
+   (at-most-one-primary, no-post-fence-write, recovery-convergence)
+   check every op boundary. *)
+let test_partition_mid_drain () =
+  let spec =
+    {
+      Spec.setup =
+        {
+          small_setup with
+          Spec.nodes = 3;
+          replicas = 1;
+          heartbeat_ns = 20_000;
+          lease_ns = 100_000;
+        };
+      ops =
+        [
+          Spec.Run { n = 1024 };
+          Spec.Drain { id = 1 };
+          (* mid-drain: the drain task is pending when this window opens *)
+          Spec.Partition { dur_ns = 300_000; ids = [ 0 ] };
+          Spec.Run { n = 1024 };
+          Spec.Run { n = 1024 };
+        ];
+    }
+  in
+  let a = Episode.execute spec in
+  check_bool "not aborted" true (a.Episode.oc_aborted = None);
+  (match a.Episode.oc_violations with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "unexpected violation [%s] %s" v.Invariants.inv
+        v.Invariants.detail);
+  (* the same overlapping schedule is bit-reproducible *)
+  let b = Episode.execute spec in
+  check_string "bit-identical fingerprints" a.Episode.oc_fingerprint
+    b.Episode.oc_fingerprint
+
 let test_registry_names () =
   List.iter
     (fun n ->
@@ -267,6 +323,9 @@ let test_registry_names () =
       "shadow-heap";
       "integrity-accounting";
       "wfq-bounds";
+      "at-most-one-primary";
+      "no-post-fence-write";
+      "recovery-convergence";
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -406,6 +465,8 @@ let () =
           Alcotest.test_case "deterministic fingerprints" `Quick
             test_execute_deterministic;
           Alcotest.test_case "rack ops" `Quick test_execute_rack_ops;
+          Alcotest.test_case "partition mid-drain" `Quick
+            test_partition_mid_drain;
           Alcotest.test_case "registry names" `Quick test_registry_names;
         ] );
       ( "shrinker",
