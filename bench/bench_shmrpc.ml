@@ -1,0 +1,137 @@
+(* Shared-memory RPC vs the QP message path (lib/shmem).
+
+   The same request/response exchange priced two ways:
+
+   - shm: the ring of Shm_rpc — coherent cache lines of a published
+     rack segment, head/tail doorbells deliberately ping-ponging MSI
+     ownership between client and server, every recall charged as wire
+     time through the home node's WFQ link;
+   - msg: the two-sided Rpc channel over the queue-pair model —
+     request SEND + response SEND at matching byte counts (service time
+     zeroed: the comparison is transport-only).
+
+   Two sections: an idle rack (pure transport cost, swept over payload
+   sizes) and a post-replay rack (the ring runs after the full woven
+   workload, so its recalls contend with everything the replay queued).
+
+   Artifact: BENCH_shmrpc.json (one row per configuration, commit/seed
+   stamped by Report). *)
+
+module Rack = Kona_rack.Rack
+module Shm_rpc = Kona_shmem.Shm_rpc
+module Rpc = Kona_rdma.Rpc
+module Nic = Kona_rdma.Nic
+module Workloads = Kona_workloads.Workloads
+module Units = Kona_util.Units
+module Clock = Kona_util.Clock
+module Json = Kona_telemetry.Json
+
+let artifact = "BENCH_shmrpc.json"
+let seed = 42
+
+let tenants =
+  [
+    { Rack.name = "server"; workload = "kv-seq"; bw_share = 1; mem_quota = None; seed };
+    {
+      Rack.name = "client";
+      workload = "kv-uniform";
+      bw_share = 1;
+      mem_quota = None;
+      seed = seed + 1;
+    };
+  ]
+
+let engine ~drained () =
+  let cfg =
+    { Rack.default_config with Rack.scale = Workloads.Smoke; shared_pages = 0 }
+  in
+  let e = Rack.start cfg tenants in
+  if drained then while Rack.step e > 0 do () done;
+  e
+
+(* The message-path baseline: one fresh channel per row, zero service
+   time, request/response sized to the ring's line counts. *)
+let msg_mean_ns ~req_lines ~resp_lines ~calls =
+  let clock = Clock.create () in
+  let rpc = Rpc.create ~service_ns:0 ~clock ~nic:(Nic.create ()) () in
+  for _ = 1 to calls do
+    ignore
+      (Rpc.call rpc
+         ~request_bytes:(req_lines * Units.cache_line)
+         ~response_bytes:(resp_lines * Units.cache_line)
+         (fun x -> x)
+         ())
+  done;
+  Rpc.total_ns rpc / max 1 (Rpc.calls rpc)
+
+let row ~label ~drained ~req_lines ~resp_lines ~calls =
+  let e = engine ~drained () in
+  let s = Shm_rpc.run e ~req_lines ~resp_lines ~client:1 ~server:0 ~calls () in
+  let shm_mean = Shm_rpc.mean_ns s in
+  let msg_mean = msg_mean_ns ~req_lines ~resp_lines ~calls in
+  let speedup =
+    if shm_mean > 0 then float_of_int msg_mean /. float_of_int shm_mean else 0.0
+  in
+  Report.json_line
+    [
+      ("kind", Json.String "shmrpc-config");
+      ("label", Json.String label);
+      ("drained", Json.Bool drained);
+      ("req_lines", Json.Int req_lines);
+      ("resp_lines", Json.Int resp_lines);
+      ("calls", Json.Int s.Shm_rpc.s_calls);
+      ("shm_mean_ns", Json.Int shm_mean);
+      ("shm_max_ns", Json.Int s.Shm_rpc.s_max_ns);
+      ("shm_total_ns", Json.Int s.Shm_rpc.s_total_ns);
+      ("handoffs", Json.Int s.Shm_rpc.s_handoffs);
+      ("invalidations", Json.Int s.Shm_rpc.s_invalidations);
+      ("msg_mean_ns", Json.Int msg_mean);
+      ("msg_over_shm", Json.Float speedup);
+    ];
+  [
+    label;
+    Printf.sprintf "%d+%d" req_lines resp_lines;
+    string_of_int s.Shm_rpc.s_calls;
+    Report.ns shm_mean;
+    Report.ns s.Shm_rpc.s_max_ns;
+    Printf.sprintf "%.1f" (float_of_int s.Shm_rpc.s_handoffs /. float_of_int (max 1 s.Shm_rpc.s_calls));
+    Report.ns msg_mean;
+    Printf.sprintf "%.1fx" speedup;
+  ]
+
+let run ~scale () =
+  Report.set_seed seed;
+  let calls = match scale with Workloads.Smoke -> 128 | Workloads.Full -> 1024 in
+  Report.with_artifact ~path:artifact
+    ~meta:
+      [
+        ("experiment", Json.String "shmrpc");
+        ( "scale",
+          Json.String
+            (match scale with Workloads.Smoke -> "smoke" | Workloads.Full -> "full")
+        );
+      ]
+    (fun () ->
+      Report.section "shm-rpc: coherent shared lines vs QP messages";
+      Report.note
+        "same exchange both ways: MSI ring (head/tail doorbells ping-pong \
+         ownership) vs two-sided SENDs at matching bytes, zero service time";
+      let header =
+        [
+          "config"; "lines"; "calls"; "shm-mean"; "shm-max"; "handoffs/call";
+          "msg-mean"; "msg/shm";
+        ]
+      in
+      let idle =
+        List.map
+          (fun (r, p) ->
+            row
+              ~label:(Printf.sprintf "idle-%d+%d" r p)
+              ~drained:false ~req_lines:r ~resp_lines:p ~calls)
+          [ (1, 1); (2, 2); (4, 4) ]
+      in
+      let contended =
+        [ row ~label:"post-replay-1+1" ~drained:true ~req_lines:1 ~resp_lines:1 ~calls ]
+      in
+      Report.table ~header (idle @ contended);
+      Report.note "artifact: %s" artifact)

@@ -27,7 +27,7 @@ module Snapshot = Kona_telemetry.Snapshot
 
 let all_ids =
   [ "table2"; "fig2"; "fig7"; "fig8"; "fig9"; "fig11"; "sec61"; "ablate"; "system";
-    "faults"; "recovery"; "integrity"; "rack"; "placement"; "micro" ]
+    "faults"; "recovery"; "integrity"; "rack"; "placement"; "shmrpc"; "micro" ]
 
 let artifact_path = "BENCH_telemetry.json"
 
@@ -156,6 +156,7 @@ let () =
     | "integrity" -> Bench_integrity.run ()
     | "rack" -> Bench_rack.run ~scale ()
     | "placement" -> Bench_placement.run ~scale ()
+    | "shmrpc" -> Bench_shmrpc.run ~scale ()
     | "micro" -> Bench_micro.run ()
     | _ -> assert false
   in

@@ -692,6 +692,7 @@ let cmd_fuzz episodes ops master_seed replay repro_out metrics_json =
    cross-tenant shared segment (see lib/rack). *)
 
 module Rack = Kona_rack.Rack
+module Shm_rpc = Kona_shmem.Shm_rpc
 
 let parse_list ~what ~parse s =
   String.split_on_char ',' s |> List.map String.trim
@@ -706,10 +707,11 @@ let nth_cyclic l i default =
   match l with [] -> default | _ -> List.nth l (i mod List.length l)
 
 let cmd_rack tenants_n workloads bw_shares mem_quotas nodes node_cap node_gbps
-    shared_pages shared_ops quantum policy fast_nodes slow_extra_ns
-    hot_threshold migrate_epoch migrate_budget migrate_share rack_ops
-    rack_fmem_pages replicas fault_spec fault_seed retry_max backoff_base_ns
-    heartbeat_ns lease_ns seed full metrics_json repro_check =
+    shared_pages shared_ops shared_writers shm_rpc_calls quantum policy
+    fast_nodes slow_extra_ns hot_threshold migrate_epoch migrate_budget
+    migrate_share rack_ops rack_fmem_pages replicas fault_spec fault_seed
+    retry_max backoff_base_ns heartbeat_ns lease_ns seed full metrics_json
+    repro_check =
   if tenants_n < 1 then begin
     Fmt.epr "--tenants must be >= 1@.";
     exit 1
@@ -767,6 +769,7 @@ let cmd_rack tenants_n workloads bw_shares mem_quotas nodes node_cap node_gbps
       fault_seed;
       shared_pages;
       shared_ops;
+      shared_writers;
       quantum;
       policy;
       fast_nodes;
@@ -780,7 +783,22 @@ let cmd_rack tenants_n workloads bw_shares mem_quotas nodes node_cap node_gbps
       runtime;
     }
   in
-  match Rack.run cfg tenant_cfgs with
+  (* --shm-rpc rides the same engine after replay: the ring's coherent
+     line traffic lands on the drained-but-live fabric, so its telemetry
+     folds into the run's fingerprints (and the repro re-run's). *)
+  let run_once () =
+    let e = Rack.start cfg tenant_cfgs in
+    while Rack.step e > 0 do
+      ()
+    done;
+    let rpc =
+      if shm_rpc_calls > 0 && tenants_n >= 2 then
+        Some (Shm_rpc.run e ~client:1 ~server:0 ~calls:shm_rpc_calls ())
+      else None
+    in
+    (Rack.finish e, rpc)
+  in
+  match run_once () with
   | exception Invalid_argument msg ->
       Fmt.epr "%s (try 'konactl workloads')@." msg;
       1
@@ -790,7 +808,7 @@ let cmd_rack tenants_n workloads bw_shares mem_quotas nodes node_cap node_gbps
         q.tenant Units.pp_bytes q.requested Units.pp_bytes q.used
         Units.pp_bytes q.quota;
       3
-  | r ->
+  | r, rpc ->
       Fmt.pr "rack: %d tenant(s), %d node(s) @ %.2f Gbit/s ingress, %s, %a@."
         tenants_n nodes node_gbps (scale_name full) Units.pp_ns r.Rack.r_elapsed_ns;
       Array.iter
@@ -808,6 +826,20 @@ let cmd_rack tenants_n workloads bw_shares mem_quotas nodes node_cap node_gbps
          reads, %d snoops, %d invalidations@."
         r.Rack.r_saturated_admits r.Rack.r_total_admits r.Rack.r_shared_writes
         r.Rack.r_shared_reads r.Rack.r_snoops r.Rack.r_invalidations_sent;
+      if r.Rack.r_owner_changes > 0 then
+        Fmt.pr
+          "coherence: %d writer handoff(s), %d owner change(s), %d \
+           invalidation(s)@."
+          r.Rack.r_handoffs r.Rack.r_owner_changes r.Rack.r_coh_invalidations;
+      (match rpc with
+      | Some s ->
+          Fmt.pr
+            "shm-rpc: %d call(s) over coherent lines (%d+%d per call)  mean \
+             %a/call  max %a  %d handoff(s)@."
+            s.Shm_rpc.s_calls s.Shm_rpc.s_req_lines s.Shm_rpc.s_resp_lines
+            Units.pp_ns (Shm_rpc.mean_ns s) Units.pp_ns s.Shm_rpc.s_max_ns
+            s.Shm_rpc.s_handoffs
+      | None -> ());
       Fmt.pr
         "placement: policy %s  %d migration(s) (%a moved, %d declined)  \
          remote-hit %d.%d%%  hot-hit %d.%d%%@."
@@ -840,12 +872,13 @@ let cmd_rack tenants_n workloads bw_shares mem_quotas nodes node_cap node_gbps
         Fmt.pr "integrity: remote memory matches every tenant's view@.";
       let repro_failed = ref false in
       if repro_check then begin
-        let r2 = Rack.run cfg tenant_cfgs in
+        let r2, rpc2 = run_once () in
         let same =
           Array.for_all2
             (fun (a : Rack.tenant_result) (b : Rack.tenant_result) ->
               a.Rack.t_fingerprint = b.Rack.t_fingerprint)
             r.Rack.r_tenants r2.Rack.r_tenants
+          && rpc = rpc2
         in
         if same then
           Fmt.pr "repro: per-tenant counters bit-identical across re-run@."
@@ -894,6 +927,27 @@ let cmd_rack tenants_n workloads bw_shares mem_quotas nodes node_cap node_gbps
                 ("saturated_admits", Json.Int r.Rack.r_saturated_admits);
                 ("snoops", Json.Int r.Rack.r_snoops);
                 ("invalidations_sent", Json.Int r.Rack.r_invalidations_sent);
+                ("shared_writers", Json.Int shared_writers);
+                ("handoffs", Json.Int r.Rack.r_handoffs);
+                ("owner_changes", Json.Int r.Rack.r_owner_changes);
+                ( "coherence_invalidations",
+                  Json.Int r.Rack.r_coh_invalidations );
+                ( "shm_rpc",
+                  match rpc with
+                  | None -> Json.Null
+                  | Some s ->
+                      Json.Obj
+                        [
+                          ("calls", Json.Int s.Shm_rpc.s_calls);
+                          ("total_ns", Json.Int s.Shm_rpc.s_total_ns);
+                          ("mean_ns", Json.Int (Shm_rpc.mean_ns s));
+                          ("max_ns", Json.Int s.Shm_rpc.s_max_ns);
+                          ("req_lines", Json.Int s.Shm_rpc.s_req_lines);
+                          ("resp_lines", Json.Int s.Shm_rpc.s_resp_lines);
+                          ("handoffs", Json.Int s.Shm_rpc.s_handoffs);
+                          ( "invalidations",
+                            Json.Int s.Shm_rpc.s_invalidations );
+                        ] );
                 ("policy", Json.String r.Rack.r_policy);
                 ("migrations", Json.Int r.Rack.r_migrations);
                 ("bytes_moved", Json.Int r.Rack.r_bytes_moved);
@@ -1243,6 +1297,28 @@ let rack_shared_ops =
           "synthetic shared-segment ops woven into each tenant's replay \
            (tenant 0 writes, the rest read)")
 
+let rack_shared_writers =
+  Arg.(
+    value & opt int 1
+    & info [ "shared-writers" ]
+        ~doc:
+          "tenants allowed to write the shared segment (woven op k's \
+           writer is tenant k mod N); > 1 routes shared traffic through \
+           the per-line MSI directory with writer handoff and RFO \
+           invalidations priced through the contended links")
+
+let rack_shm_rpc =
+  Arg.(
+    value
+    & opt ~vopt:64 int 0
+    & info [ "shm-rpc" ]
+        ~doc:
+          "after replay, run $(docv) shared-memory RPC calls between \
+           tenant 1 (client) and tenant 0 (server) over coherent lines of \
+           the shared segment (head/tail doorbell lines ping-pong \
+           ownership); 0 = off, bare flag = 64 calls"
+        ~docv:"CALLS")
+
 let rack_quantum =
   Arg.(
     value & opt int 256
@@ -1361,7 +1437,8 @@ let cmds =
       Term.(
         const cmd_rack $ rack_tenants $ rack_workloads $ rack_bw_shares
         $ rack_mem_quotas $ rack_nodes $ rack_node_cap $ rack_node_gbps
-        $ rack_shared_pages $ rack_shared_ops $ rack_quantum $ rack_policy
+        $ rack_shared_pages $ rack_shared_ops $ rack_shared_writers
+        $ rack_shm_rpc $ rack_quantum $ rack_policy
         $ rack_fast_nodes $ rack_slow_extra_ns $ rack_hot_threshold
         $ rack_migrate_epoch $ rack_migrate_budget $ rack_migrate_share
         $ rack_ops_spec $ rack_fmem_pages $ replicas $ fault_spec

@@ -27,6 +27,7 @@ type t = {
      the physical target id; returning true means the gate captured
      [fire] (the runtime defers it until the partition heals). *)
   mutable gate : (node:int -> fire:(unit -> unit) -> bool) option;
+  mutable stale_filter : (node:int -> addr:int -> data:string -> bool) option;
   mutable on_report :
     (node:int -> target:Memory_node.t -> Memory_node.report -> unit) option;
   mutable on_flip : (target:Memory_node.t -> addr:int -> fresh:bool -> unit) option;
@@ -41,6 +42,7 @@ type t = {
   mutable doorbell_batch_peak : int;
   mutable lost_deliveries : int;
   mutable lost_lines : int;
+  mutable stale_lines : int;
   mutable bitmap_ns : int;
   mutable copy_ns : int;
   mutable rdma_ns : int;
@@ -65,6 +67,7 @@ let create ?(capacity = 512) ?(stream_base = 0)
     pending_dups = Hashtbl.create 4;
     inject = None;
     gate = None;
+    stale_filter = None;
     on_report = None;
     on_flip = None;
     lines_logged = 0;
@@ -78,6 +81,7 @@ let create ?(capacity = 512) ?(stream_base = 0)
     doorbell_batch_peak = 0;
     lost_deliveries = 0;
     lost_lines = 0;
+    stale_lines = 0;
     bitmap_ns = 0;
     copy_ns = 0;
     rdma_ns = 0;
@@ -101,6 +105,8 @@ let set_inject t f = t.inject <- Some f
 let set_on_report t f = t.on_report <- Some f
 let set_on_flip t f = t.on_flip <- Some f
 let set_gate t f = t.gate <- Some f
+let set_stale_filter t f = t.stale_filter <- Some f
+let stale_lines t = t.stale_lines
 let bump_epoch t = Sequencer.Tx.bump_epoch t.seq_tx
 let advance_epoch t ~to_ = Sequencer.Tx.advance_epoch t.seq_tx ~to_
 let epoch t = Sequencer.Tx.epoch t.seq_tx
@@ -131,14 +137,49 @@ let tamper_entry (e : Memory_node.log_entry) =
   done;
   { e with Memory_node.data = Bytes.to_string data }
 
+(* Writeback-race resolution under multi-writer coherence: an eviction
+   staged before the directory revoked the holder's ownership can
+   deliver after the line's next owner already wrote back a newer value.
+   A real home NACKs such a writeback — the holder's grant is stale —
+   so, when a filter is installed, stale lines are dropped at delivery
+   time.  Runs split so the fresh lines of a mixed run still land. *)
+let drop_stale t ~node entries =
+  match t.stale_filter with
+  | None -> entries
+  | Some stale ->
+      List.concat_map
+        (fun (e : Memory_node.log_entry) ->
+          let nlines = Array.length e.Memory_node.crcs in
+          let line i =
+            {
+              Memory_node.addr = e.Memory_node.addr + (i * Units.cache_line);
+              data =
+                String.sub e.Memory_node.data (i * Units.cache_line)
+                  Units.cache_line;
+              crcs = [| e.Memory_node.crcs.(i) |];
+            }
+          in
+          let fresh = ref [] in
+          for i = nlines - 1 downto 0 do
+            let le = line i in
+            if
+              stale ~node ~addr:le.Memory_node.addr ~data:le.Memory_node.data
+            then t.stale_lines <- t.stale_lines + 1
+            else fresh := le :: !fresh
+          done;
+          if List.length !fresh = nlines then [ e ] else !fresh)
+        entries
+
 (* Delivery body: classify + verify + apply on the target, then arm
    any at-rest bit flip the injector scheduled for this copy. *)
 let deliver_now t ~node ~target ~entries ~delivery ~lines ~flip =
   try
+    let entries = drop_stale t ~node entries in
     let report = Memory_node.receive_log ~delivery target entries in
     (match t.on_report with Some f -> f ~node ~target report | None -> ());
     match flip with
     | None -> ()
+    | Some _ when entries = [] -> ()
     | Some (entry_pick, line_pick, bit_pick) ->
         let e = List.nth entries (entry_pick mod List.length entries) in
         let nlines = Array.length e.Memory_node.crcs in

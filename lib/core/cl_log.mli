@@ -78,6 +78,18 @@ val set_gate : t -> (node:int -> fire:(unit -> unit) -> bool) -> unit
     until the partition heals, at which point a fenced target rejects it
     as stale — the split-brain write path. *)
 
+val set_stale_filter : t -> (node:int -> addr:int -> data:string -> bool) -> unit
+(** Install the stale-writeback filter, consulted per cache-line at each
+    delivery's completion time.  Returning [true] drops that line: under
+    multi-writer coherence, an eviction staged before the directory
+    revoked the holder's grant can deliver {e after} the line's next
+    owner wrote back a newer value, and the home resolves the race by
+    NACKing the stale copy (runs split so fresh lines still land).
+    Without a filter the delivery path is unchanged. *)
+
+val stale_lines : t -> int
+(** Cache-lines dropped by the stale-writeback filter. *)
+
 val bump_epoch : t -> unit
 (** Start a new delivery epoch (called after failover): stragglers
     stamped with the old epoch are rejected as stale by receivers. *)

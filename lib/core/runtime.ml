@@ -246,6 +246,7 @@ let register_metrics t reg =
   (* CL log: volume, amplification, per-phase time (Fig. 11) *)
   c "cllog.lines" (fun () -> Cl_log.lines_logged t.log);
   c "cllog.appends" (fun () -> Cl_log.appends t.log);
+  c "cllog.stale_writebacks" (fun () -> Cl_log.stale_lines t.log);
   c "cllog.flushes" (fun () -> Cl_log.flushes t.log);
   c "cllog.payload_bytes" (fun () -> Cl_log.payload_bytes t.log);
   c "cllog.wire_bytes" (fun () -> Cl_log.wire_bytes t.log);
@@ -1466,6 +1467,12 @@ let invalidate_page t ~vpage =
   Clock.advance t.bg_clock (int_of_float t.config.cost.Cost_model.fmem_ns)
 
 let invalidations_received t = t.invalidations_received
+
+(* Multi-writer coherence: the rack installs the home-side judgment of
+   which delivered writeback lines are stale (ownership revoked, newer
+   value already home) — see {!Cl_log.set_stale_filter}. *)
+let set_writeback_filter t f = Cl_log.set_stale_filter t.log f
+let stale_writebacks t = Cl_log.stale_lines t.log
 
 (* Page migration support.  Staged CL-log entries resolve (node, raddr)
    at append time, so the migrator flushes before any remap; the remap

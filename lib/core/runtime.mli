@@ -310,6 +310,16 @@ val invalidate_page : t -> vpage:int -> unit
 
 val invalidations_received : t -> int
 
+val set_writeback_filter : t -> (node:int -> addr:int -> data:string -> bool) -> unit
+(** Install the home-side stale-writeback judgment on this tenant's CL
+    log ({!Cl_log.set_stale_filter}): under multi-writer coherence a
+    writeback staged before the directory revoked the holder's grant can
+    deliver after the line's next owner already wrote back a newer
+    value, and the home drops exactly those lines. *)
+
+val stale_writebacks : t -> int
+(** Cache-lines the stale-writeback filter dropped at delivery. *)
+
 val flush_log : t -> unit
 (** Flush the CL log's staged buffers.  The migrator calls this before
     remapping: staged entries resolve (node, raddr) at append time and

@@ -1,4 +1,5 @@
 module Units = Kona_util.Units
+module Histogram = Kona_util.Histogram
 module Workloads = Kona_workloads.Workloads
 module Heap = Kona_workloads.Heap
 module Access = Kona_trace.Access
@@ -31,6 +32,7 @@ type config = {
   fault_seed : int;
   shared_pages : int;
   shared_ops : int;
+  shared_writers : int;
   quantum : int;
   policy : string;
   fast_nodes : int;
@@ -55,6 +57,7 @@ let default_config =
     fault_seed = 42;
     shared_pages = 64;
     shared_ops = 256;
+    shared_writers = 1;
     quantum = 256;
     policy = "first-fit";
     fast_nodes = 1;
@@ -95,6 +98,9 @@ type result = {
   r_invalidations_sent : int;
   r_shared_writes : int;
   r_shared_reads : int;
+  r_handoffs : int;
+  r_owner_changes : int;
+  r_coh_invalidations : int;
   r_node_crashes : int;
   r_policy : string;
   r_migrations : int;
@@ -140,6 +146,13 @@ type engine = {
   e_apply : Rack_ops.op -> unit;
   e_publish : pages:int -> unit;
   e_shared_round : unit -> unit;
+  e_shared_access :
+    tenant:int -> line:int -> write:bool -> payload:char option -> unit;
+  e_mw_round : unit -> unit;
+  e_enable_mw : unit -> unit;
+  e_mw_dir : Directory.t;
+  e_coherence_audit : unit -> string list;
+  e_shared_divergence : unit -> int;
   e_flush : unit -> unit;
   e_migrate : unit -> unit;
 }
@@ -150,6 +163,8 @@ let validate cfg tenants =
   if cfg.shared_pages < 0 || cfg.shared_ops < 0 then
     invalid_arg "Rack.run: negative shared-segment parameters";
   if cfg.quantum < 1 then invalid_arg "Rack.run: quantum must be positive";
+  if cfg.shared_writers < 1 then
+    invalid_arg "Rack.run: shared_writers must be >= 1";
   (match Placement_policy.find cfg.policy with
   | (_ : Placement_policy.t) -> ()
   | exception Invalid_argument msg -> invalid_arg ("Rack.run: " ^ msg));
@@ -427,6 +442,98 @@ let start cfg tenants =
     end
   in
   if cfg.shared_pages > 0 then publish ~pages:cfg.shared_pages;
+  (* -------- multi-writer MSI over the shared segment -------- *)
+  (* A second directory at cache-line granularity mediates concurrent
+     writers: [mw_dir] tracks granted permissions (not residency), so it
+     is driven only by explicit shared-line accesses, never by demand
+     fetches.  The read-mostly [rack_dir] above keeps its historical
+     byte-identical behavior for single-publisher segments. *)
+  let mw_dir = Directory.create () in
+  let mw_w = max 1 (min n cfg.shared_writers) in
+  let recall_hist = Histogram.create () in
+  let payload_char k = Char.chr (((k * 37) + 1) land 0xff) in
+  (* Writeback-race resolution: with several writers, two tenants' CL
+     logs can carry entries for the same segment line, and cross-log
+     delivery order is not capture order — a capacity-evicted copy
+     lingering in one log could land {e after} the line's next owner
+     already wrote back a newer value.  The home drops exactly those
+     stale lines: [!seg] is the coherence-ordered value sequence (every
+     capture reads it), so a delivered line is stale iff its bytes no
+     longer match.  Installed only in multi-writer mode — the
+     single-publisher path never races and stays byte-identical. *)
+  let seg_home_off ~node ~addr =
+    let rm0 = Runtime.resource_manager runtimes.(0) in
+    let rec scan p =
+      if p >= !seg_pages then None
+      else
+        match
+          Resource_manager.translate rm0 ~vaddr:((seg_first + p) * page)
+        with
+        | Some (n', raddr) when n' = node && addr >= raddr && addr < raddr + page
+          ->
+            Some ((p * page) + (addr - raddr))
+        | _ -> scan (p + 1)
+    in
+    scan 0
+  in
+  let mw_filter_installed = ref false in
+  let enable_mw_coherence () =
+    if not !mw_filter_installed then begin
+      mw_filter_installed := true;
+      Array.iter
+        (fun rt ->
+          Runtime.set_writeback_filter rt (fun ~node ~addr ~data ->
+              match seg_home_off ~node ~addr with
+              | Some off ->
+                  Bytes.sub_string !seg off (String.length data) <> data
+              | None -> false))
+        runtimes
+    end
+  in
+  if mw_w > 1 then enable_mw_coherence ();
+  (* One coherent access to shared-segment line [line] by [tenant]: the
+     home directory grants it, and every copy the grant had to kill is
+     recalled as a background control message through the requester's QP —
+     it contends at the line's home node's WFQ link, so ownership
+     ping-pong shows up in completion latencies.  The recalled holder's
+     dirty data rides its own eviction/CL-log path (priced there). *)
+  let shared_access ~tenant ~line ~write ~payload =
+    if
+      !seg_pages > 0 && tenant >= 0 && tenant < n && line >= 0
+      && line < !seg_pages * Units.lines_per_page
+    then begin
+      let off = line * Units.cache_line in
+      let vpage = seg_first + (line / Units.lines_per_page) in
+      let g = Directory.acquire mw_dir ~line ~tenant ~write in
+      let rt = runtimes.(tenant) in
+      let rm0 = Runtime.resource_manager runtimes.(0) in
+      let recall ~target =
+        incr invalidations_sent;
+        match Resource_manager.translate rm0 ~vaddr:(vpage * page) with
+        | Some (node, _) ->
+            let t0 = Runtime.elapsed_ns rt in
+            Runtime.post_bg_message rt ~node ~len:Units.cache_line
+              ~deliver:(fun () ->
+                Histogram.add recall_hist (max 0 (Runtime.elapsed_ns rt - t0));
+                Runtime.invalidate_page runtimes.(target) ~vpage)
+        | None -> ()
+      in
+      (match g.Directory.g_peer with
+      | Some o when o <> tenant -> recall ~target:o
+      | Some _ | None -> ());
+      List.iter
+        (fun s -> if s <> tenant then recall ~target:s)
+        g.Directory.g_invalidated;
+      (match payload with
+      | Some c -> Bytes.fill !seg off Units.cache_line c
+      | None -> ());
+      Runtime.sink rt
+        (if write then Access.write ~addr:(shared_base + off) ~len:Units.cache_line
+         else Access.read ~addr:(shared_base + off) ~len:Units.cache_line);
+      true
+    end
+    else false
+  in
   (* -------- heat feed and fetch attribution -------- *)
   (* Anything at or above the shared base belongs to the published
      segment's slabs (including slab-rounding slack that readers map
@@ -762,6 +869,13 @@ let start cfg tenants =
   Registry.counter_fn reg "rack.invalidations_sent" (fun () -> !invalidations_sent);
   Registry.counter_fn reg "rack.shared.writes" (fun () -> !shared_writes);
   Registry.counter_fn reg "rack.shared.reads" (fun () -> !shared_reads);
+  Registry.counter_fn reg "coherence.handoffs" (fun () ->
+      Directory.handoffs mw_dir);
+  Registry.counter_fn reg "coherence.invalidations" (fun () ->
+      Directory.invalidations mw_dir);
+  Registry.counter_fn reg "coherence.owner_changes" (fun () ->
+      Directory.owner_changes mw_dir);
+  Registry.histogram_ref reg "coherence.recall_ns" recall_hist;
   let total_moves () = Migrator.migrations migrator + !op_moves in
   let permille num den = if den = 0 then 0 else num * 1000 / den in
   Registry.counter_fn reg "placement.migrations" (fun () -> total_moves ());
@@ -799,7 +913,12 @@ let start cfg tenants =
             (fun j e ->
               out := App e :: !out;
               if (j + 1) mod stride = 0 && !k < cfg.shared_ops then begin
-                out := (if i = 0 then Shared_write !k else Shared_read !k) :: !out;
+                (* op k's writer rotates over the first [mw_w] tenants;
+                   with one writer this is exactly the historical
+                   publisher/reader weave *)
+                out :=
+                  (if !k mod mw_w = i then Shared_write !k else Shared_read !k)
+                  :: !out;
                 incr k
               end)
             trace;
@@ -813,16 +932,26 @@ let start cfg tenants =
     | Shared_write k ->
         incr shared_writes;
         let p = k mod !seg_pages in
-        Bytes.fill !seg (p * page) Units.cache_line
-          (Char.chr (((k * 37) + 1) land 0xff));
-        Runtime.sink runtimes.(i)
-          (Access.write ~addr:(shared_base + (p * page)) ~len:Units.cache_line);
-        Directory.on_fill ~sharer:0 rack_dir ~line:p ~write:true
+        if mw_w > 1 then
+          ignore
+            (shared_access ~tenant:i ~line:(p * Units.lines_per_page)
+               ~write:true ~payload:(Some (payload_char k)))
+        else begin
+          Bytes.fill !seg (p * page) Units.cache_line (payload_char k);
+          Runtime.sink runtimes.(i)
+            (Access.write ~addr:(shared_base + (p * page)) ~len:Units.cache_line);
+          Directory.on_fill ~sharer:0 rack_dir ~line:p ~write:true
+        end
     | Shared_read k ->
         incr shared_reads;
         let p = k mod !seg_pages in
-        Runtime.sink runtimes.(i)
-          (Access.read ~addr:(shared_base + (p * page)) ~len:Units.cache_line)
+        if mw_w > 1 then
+          ignore
+            (shared_access ~tenant:i ~line:(p * Units.lines_per_page)
+               ~write:false ~payload:None)
+        else
+          Runtime.sink runtimes.(i)
+            (Access.read ~addr:(shared_base + (p * page)) ~len:Units.cache_line)
   in
   let lens = Array.map Array.length steps in
   let pos = Array.make n 0 in
@@ -959,6 +1088,9 @@ let start cfg tenants =
             r_invalidations_sent = !invalidations_sent;
             r_shared_writes = !shared_writes;
             r_shared_reads = !shared_reads;
+            r_handoffs = Directory.handoffs mw_dir;
+            r_owner_changes = Directory.owner_changes mw_dir;
+            r_coh_invalidations = Directory.invalidations mw_dir;
             r_node_crashes =
               Array.fold_left (fun a rt -> a + Runtime.node_crashes rt) 0 runtimes;
             r_policy = policy.Placement_policy.name;
@@ -1020,6 +1152,75 @@ let start cfg tenants =
       done
     end
   in
+  (* One multi-writer round: op ids share the [shared_k] sequence so
+     payload bytes never collide with woven or single-writer rounds; the
+     writer rotates over the first [mw_w] tenants, everyone else reads the
+     same line — by construction an ownership ping-pong. *)
+  let mw_round () =
+    if !seg_pages > 0 then begin
+      let k = !shared_k in
+      incr shared_k;
+      let writer = k mod mw_w in
+      let line = k mod !seg_pages * Units.lines_per_page in
+      incr shared_writes;
+      ignore
+        (shared_access ~tenant:writer ~line ~write:true
+           ~payload:(Some (payload_char k)));
+      for i = 0 to n - 1 do
+        if i <> writer then begin
+          incr shared_reads;
+          ignore (shared_access ~tenant:i ~line ~write:false ~payload:None)
+        end
+      done
+    end
+  in
+  (* The single-owner-per-line invariant: the MSI home table must be
+     internally coherent and never grant ownership to a non-tenant. *)
+  let coherence_audit () =
+    let bad = ref (Directory.audit mw_dir) in
+    for line = 0 to (!seg_pages * Units.lines_per_page) - 1 do
+      match Directory.owner mw_dir ~line with
+      | Some o when o < 0 || o >= n ->
+          bad :=
+            Printf.sprintf "line %d: owner %d is not a tenant" line o :: !bad
+      | _ -> ()
+    done;
+    List.sort compare !bad
+  in
+  (* readers-observe-last-write: after draining, every readable shared
+     page's remote bytes must equal the last-writer-wins image ([!seg],
+     maintained under the deterministic replay's total order).  Pages made
+     unrepairable by an armed bit-flip, or homed on a crashed node with no
+     live copy, are the integrity/fault oracles' business, not this one's. *)
+  let shared_divergence () =
+    if !seg_pages = 0 then 0
+    else begin
+      let unrepairable =
+        Array.fold_left
+          (fun acc rt -> Runtime.unrepairable_pages rt @ acc)
+          [] runtimes
+      in
+      let rm0 = Runtime.resource_manager runtimes.(0) in
+      let bad = ref 0 in
+      for p = 0 to !seg_pages - 1 do
+        let vpage = seg_first + p in
+        if not (List.mem vpage unrepairable) then
+          match Resource_manager.translate rm0 ~vaddr:(vpage * page) with
+          | None -> ()
+          | Some (node, addr) -> (
+              match
+                Memory_node.peek
+                  (Rack_controller.node controller ~id:node)
+                  ~addr ~len:page
+              with
+              | remote ->
+                  if remote <> Bytes.sub_string !seg (p * page) page then
+                    incr bad
+              | exception Memory_node.Crashed _ -> ())
+      done;
+      !bad
+    end
+  in
   {
     e_tenants = tenants;
     e_controller = controller;
@@ -1037,6 +1238,15 @@ let start cfg tenants =
     e_apply = apply_now;
     e_publish = publish;
     e_shared_round = shared_round;
+    e_shared_access =
+      (fun ~tenant ~line ~write ~payload ->
+        if shared_access ~tenant ~line ~write ~payload then
+          if write then incr shared_writes else incr shared_reads);
+    e_mw_round = mw_round;
+    e_enable_mw = enable_mw_coherence;
+    e_mw_dir = mw_dir;
+    e_coherence_audit = coherence_audit;
+    e_shared_divergence = shared_divergence;
     e_flush = flush_all_logs;
     e_migrate = (fun () -> Migrator.force migrator ~now:(engine_now ()));
   }
@@ -1047,6 +1257,21 @@ let now_ns e = e.e_now ()
 let apply_op e op = e.e_apply op
 let publish e ~pages = e.e_publish ~pages
 let shared_round e = e.e_shared_round ()
+
+let shared_line_write e ~tenant ~line ~payload =
+  e.e_shared_access ~tenant ~line ~write:true ~payload:(Some payload)
+
+let shared_line_read e ~tenant ~line =
+  e.e_shared_access ~tenant ~line ~write:false ~payload:None
+
+let multi_writer_round e = e.e_mw_round ()
+let enable_multi_writer e = e.e_enable_mw ()
+let coherence_audit e = e.e_coherence_audit ()
+let shared_divergence e = e.e_shared_divergence ()
+let shared_owner e ~line = Directory.owner e.e_mw_dir ~line
+let shared_handoffs e = Directory.handoffs e.e_mw_dir
+let shared_owner_changes e = Directory.owner_changes e.e_mw_dir
+let shared_invalidations e = Directory.invalidations e.e_mw_dir
 let flush_logs e = e.e_flush ()
 let force_migration e = e.e_migrate ()
 let tenant_count e = Array.length e.e_tenants

@@ -48,6 +48,14 @@ type config = {
   shared_ops : int;
       (** synthetic shared-segment operations woven into each tenant's
           replay (tenant 0 writes, the rest read) *)
+  shared_writers : int;
+      (** tenants allowed to write the shared segment: woven op [k]'s
+          writer is tenant [k mod shared_writers].  1 (default) keeps the
+          historical single-publisher read-mostly path byte-identical;
+          > 1 routes every woven shared op through the per-line MSI home
+          directory ({!Kona_coherence.Directory.acquire}) with writer
+          handoff, RFO invalidation and recall traffic priced through the
+          contended links *)
   quantum : int;  (** accesses per scheduling slice *)
   policy : string;
       (** placement policy slug ({!Kona_placement.Placement_policy.find}):
@@ -114,6 +122,12 @@ type result = {
   r_invalidations_sent : int;
   r_shared_writes : int;
   r_shared_reads : int;
+  r_handoffs : int;
+      (** writer handoffs: RFOs that recalled another tenant's dirty copy
+          (multi-writer MSI directory) *)
+  r_owner_changes : int;  (** exclusive grants handed out by the MSI home *)
+  r_coh_invalidations : int;
+      (** copies killed by RFOs and handoffs at the MSI home *)
   r_node_crashes : int;
   r_policy : string;
   r_migrations : int;  (** pages moved (migrator epochs + rebalance ops) *)
@@ -234,6 +248,57 @@ val publish : engine -> pages:int -> unit
 val shared_round : engine -> unit
 (** One synthetic shared-segment round: tenant 0 writes the next op id,
     every other tenant reads it.  No-op before {!publish}. *)
+
+val shared_line_write : engine -> tenant:int -> line:int -> payload:char -> unit
+(** One coherent write of shared-segment cache line [line] (segment-
+    relative index) by [tenant]: an RFO at the MSI home directory — the
+    previous owner's dirty copy is recalled, every other sharer is
+    invalidated, and each recall is a background control message priced
+    through the line's home-node WFQ link.  The payload byte fills the
+    line in the last-writer-wins image.  No-op before {!publish}, or when
+    [tenant]/[line] is out of range. *)
+
+val shared_line_read : engine -> tenant:int -> line:int -> unit
+(** Coherent read of [line] by [tenant]: a Shared grant; reading another
+    tenant's Modified line recalls its dirty copy (downgrade), priced
+    like a write recall.  No-op outside the published segment. *)
+
+val multi_writer_round : engine -> unit
+(** One multi-writer shared round: the next op id's writer (rotating over
+    the first [shared_writers] tenants) RFO-writes a line, every other
+    tenant reads it back — by construction an ownership ping-pong.
+    No-op before {!publish}. *)
+
+val enable_multi_writer : engine -> unit
+(** Turn on multi-writer coherence for the shared segment regardless of
+    {!config.shared_writers}: installs the home-side stale-writeback
+    filter that resolves cross-tenant writeback races (an eviction
+    staged before the directory revoked its holder's grant must not
+    land over a newer value).  Idempotent; implied by
+    [shared_writers > 1].  {!Kona_shmem.Shm_rpc.create} calls it — ring
+    doorbell lines always have two writers. *)
+
+val coherence_audit : engine -> string list
+(** The single-owner-per-line invariant, engine side: MSI home-table
+    consistency ({!Kona_coherence.Directory.audit}) plus owner-id range
+    checks over the published segment's lines.  Empty = coherent. *)
+
+val shared_divergence : engine -> int
+(** readers-observe-last-write, engine side: shared pages whose remote
+    bytes differ from the last-writer-wins image under the virtual-clock
+    total order.  Excludes pages that are unrepairable (armed bit-flips)
+    or homed on a dead node — those belong to the integrity and fault
+    oracles.  Meaningful after {!finish} (drains flush the CL logs). *)
+
+val shared_owner : engine -> line:int -> int option
+(** Current exclusive owner of a shared-segment line, if any. *)
+
+val shared_handoffs : engine -> int
+val shared_owner_changes : engine -> int
+val shared_invalidations : engine -> int
+(** Live MSI-home counters (also exported as [coherence.handoffs] /
+    [coherence.owner_changes] / [coherence.invalidations] and the
+    [coherence.recall_ns] histogram in the telemetry snapshot). *)
 
 val flush_logs : engine -> unit
 (** Flush every tenant's CL log. *)

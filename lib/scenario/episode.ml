@@ -32,6 +32,7 @@ let config_of_setup (s : Spec.setup) ~extra_node_slots =
     fault_seed = s.Spec.fault_seed;
     shared_pages = 0 (* published through ops, never at start *);
     shared_ops = 0;
+    shared_writers = s.Spec.writers;
     quantum = s.Spec.quantum;
     policy = s.Spec.policy;
     fast_nodes = min s.Spec.fast_nodes s.Spec.nodes;
@@ -87,6 +88,15 @@ let apply_op e op =
       for _ = 1 to rounds do
         Rack.shared_round e
       done
+  | Spec.Mwrite { rounds } ->
+      for _ = 1 to rounds do
+        Rack.multi_writer_round e
+      done
+  | Spec.Shm_rpc { calls } ->
+      (* fixed roles: tenant 1 calls into tenant 0; a one-tenant rack has
+         no peer to ring, so the op degenerates to a no-op *)
+      if Rack.tenant_count e >= 2 then
+        ignore (Kona_shmem.Shm_rpc.run e ~client:1 ~server:0 ~calls ())
   | Spec.Scrub ->
       Rack.flush_logs e;
       Rack.force_scrub e

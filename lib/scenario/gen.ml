@@ -135,18 +135,76 @@ let ops_op rng ~setup ~crashes ~adds ~published =
       if published then Spec.Shared { rounds = 8 + Rng.int rng 24 }
       else Spec.Publish { pages = 16 + Rng.int rng 48 }
 
+(* Shmem family: multi-writer shared traffic through the MSI directory —
+   rotating writers, shared-memory RPC rings, crashes of the node homing
+   the segment (owner data) and partitions landing mid-handoff (recall
+   deliveries defer and replay at heal).  Corruption is excluded for the
+   same reason as the ops family; crashes are bounded by the replica
+   degree so the last-writer-wins oracle keeps something to read. *)
+let shmem_setup rng =
+  let tenants = 2 + Rng.int rng 2 in
+  {
+    Spec.default_setup with
+    tenants;
+    nodes = 2;
+    replicas = 1;
+    writers = 2 + Rng.int rng (tenants - 1);
+    fmem = pick rng [ 64; 128; 256 ];
+    quantum = pick rng [ 128; 256 ];
+    seed = Rng.int rng 1_000_000;
+    fault_seed = Rng.int rng 1_000_000;
+    workloads = List.init tenants (fun _ -> pick rng workload_pool);
+    shares = List.init tenants (fun _ -> 1 + Rng.int rng 3);
+    quotas = [ 0 ];
+    gbps = pick rng [ 0.5; 1.0; 2.0 ];
+  }
+
+let shmem_op rng ~setup ~crashes ~published =
+  let publish () = Spec.Publish { pages = 8 + Rng.int rng 24 } in
+  match Rng.int rng 12 with
+  | 0 | 1 | 2 -> Spec.Run { n = 256 * (1 + Rng.int rng 6) }
+  | 3 | 4 | 5 ->
+      if published then Spec.Mwrite { rounds = 8 + Rng.int rng 24 }
+      else publish ()
+  | 6 | 7 ->
+      if published then Spec.Shm_rpc { calls = 4 + Rng.int rng 12 }
+      else publish ()
+  | 8 when !crashes < setup.Spec.replicas ->
+      (* with the segment published, this can be the node homing the
+         current owner's lines: the handoff state must survive failover *)
+      incr crashes;
+      Spec.Crash { id = Rng.int rng setup.Spec.nodes }
+  | 9 ->
+      Spec.Partition
+        {
+          dur_ns = 1_000 * (20 + Rng.int rng 80);
+          ids = [ Rng.int rng setup.Spec.nodes ];
+        }
+  | 10 -> Spec.Flap { dur_ns = 1_000 * (10 + Rng.int rng 50) }
+  | _ ->
+      if published then Spec.Shared { rounds = 4 + Rng.int rng 12 }
+      else publish ()
+
 let generate ~seed ~ops =
   let rng = Rng.create ~seed in
-  let corruption = Rng.bool rng in
-  let setup = if corruption then corruption_setup rng else ops_setup rng in
+  let family = Rng.int rng 3 in
+  let setup =
+    match family with
+    | 0 -> corruption_setup rng
+    | 1 -> ops_setup rng
+    | _ -> shmem_setup rng
+  in
   let crashes = ref 0 and adds = ref 0 and published = ref false in
   let n = max 1 ops in
   let op_list =
     List.init n (fun i ->
         let op =
           if i = 0 then Spec.Run { n = 256 * (1 + Rng.int rng 4) }
-          else if corruption then corruption_op rng ~published:!published
-          else ops_op rng ~setup ~crashes ~adds ~published:!published
+          else
+            match family with
+            | 0 -> corruption_op rng ~published:!published
+            | 1 -> ops_op rng ~setup ~crashes ~adds ~published:!published
+            | _ -> shmem_op rng ~setup ~crashes ~published:!published
         in
         (match op with Spec.Publish _ -> published := true | _ -> ());
         op)

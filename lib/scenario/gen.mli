@@ -1,6 +1,7 @@
 (** Seeded whole-surface op-sequence generator.
 
-    Every episode is drawn from one of two families, chosen by the seed:
+    Every episode is drawn from one of three families, chosen by the
+    seed:
 
     - the {e corruption} family — a single tenant with verification and a
       background scrubber on, exercising every probabilistic fault kind
@@ -10,7 +11,11 @@
     - the {e ops} family — a multi-tenant rack under reconfiguration:
       crashes (at most [replicas], so failover keeps every page
       reachable), link flaps, quota changes, node adds/drains, forced
-      rebalances and migration epochs.  Corruption clauses are excluded.
+      rebalances and migration epochs.  Corruption clauses are excluded;
+    - the {e shmem} family — 2-3 tenants with multiple shared-segment
+      writers, driving multi-writer rounds and shared-memory RPC rings
+      through the MSI directory while crashing nodes (bounded by
+      [replicas]) and partitioning them mid-handoff.
 
     Numeric parameters are drawn from grids whose canonical rendering
     re-parses exactly, so [Spec.parse (Spec.to_string (generate ...))]

@@ -279,6 +279,27 @@ let wfq_bounds ctx =
           r.Rack.r_total_admits;
       List.rev !bad
 
+(* Single owner per line: the multi-writer MSI home table must stay
+   internally coherent at every op boundary — at most one tenant holds a
+   line Modified, no other tracked copy survives a grant, owners are
+   real tenants. *)
+let single_owner_per_line ctx = Rack.coherence_audit ctx.engine
+
+(* Readers observe the last write: after drain, every readable shared
+   page's remote bytes equal the per-line last-writer-wins image under
+   the virtual-clock total order — however many tenants wrote it. *)
+let readers_observe_last_write ctx =
+  match ctx.result with
+  | None -> []
+  | Some _ ->
+      let n = Rack.shared_divergence ctx.engine in
+      if n > 0 then
+        [
+          Printf.sprintf
+            "%d shared page(s) diverged from the last-writer-wins image" n;
+        ]
+      else []
+
 let registry =
   [
     {
@@ -344,6 +365,22 @@ let registry =
       scope = End;
       doc = "achieved rates, contended bytes and saturation respect the link";
       check = wfq_bounds;
+    };
+    {
+      name = "single-owner-per-line";
+      scope = Boundary;
+      doc =
+        "the multi-writer MSI directory grants each shared line to at most \
+         one owner, with no stale copy or non-tenant owner";
+      check = single_owner_per_line;
+    };
+    {
+      name = "readers-observe-last-write";
+      scope = End;
+      doc =
+        "after drain, shared pages match the per-line last-writer-wins image \
+         under the virtual-clock total order";
+      check = readers_observe_last_write;
     };
   ]
 

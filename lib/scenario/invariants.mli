@@ -26,9 +26,10 @@ type t = {
 
 val registry : t list
 (** node-accounting, quota-conservation, placement-coherence,
-    at-most-one-primary and no-post-fence-write at every boundary;
-    shadow-heap, integrity-accounting, recovery-convergence and
-    wfq-bounds at the end of the episode. *)
+    at-most-one-primary, no-post-fence-write and single-owner-per-line
+    at every boundary; shadow-heap, integrity-accounting,
+    recovery-convergence, wfq-bounds and readers-observe-last-write at
+    the end of the episode. *)
 
 val names : string list
 

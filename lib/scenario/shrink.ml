@@ -16,6 +16,10 @@ let shrink_op (op : Spec.op) =
       List.map (fun dur_ns -> Spec.Partition { dur_ns; ids }) (halve dur_ns 1_000)
   | Spec.Shared { rounds } ->
       List.map (fun rounds -> Spec.Shared { rounds }) (halve rounds 1)
+  | Spec.Mwrite { rounds } ->
+      List.map (fun rounds -> Spec.Mwrite { rounds }) (halve rounds 1)
+  | Spec.Shm_rpc { calls } ->
+      List.map (fun calls -> Spec.Shm_rpc { calls }) (halve calls 1)
   | Spec.Publish { pages } ->
       List.map (fun pages -> Spec.Publish { pages }) (halve pages 1)
   | Spec.Quota { tenant; bytes } ->

@@ -10,6 +10,8 @@ type op =
   | Quota of { tenant : int; bytes : int }
   | Publish of { pages : int }
   | Shared of { rounds : int }
+  | Mwrite of { rounds : int }
+  | Shm_rpc of { calls : int }
   | Scrub
   | Add_node of { capacity : int option }
   | Drain of { id : int }
@@ -36,6 +38,7 @@ type setup = {
   slow_extra_ns : int;
   heartbeat_ns : int;
   lease_ns : int;
+  writers : int;
 }
 
 type t = { setup : setup; ops : op list }
@@ -61,6 +64,7 @@ let default_setup =
     slow_extra_ns = 0;
     heartbeat_ns = 0;
     lease_ns = 200_000;
+    writers = 1;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -156,7 +160,7 @@ let parse_setup clause =
   known "setup" params
     [ "tenants"; "nodes"; "cap"; "gbps"; "replicas"; "fmem"; "quantum"; "seed";
       "fseed"; "scrub"; "verify"; "workloads"; "shares"; "quotas"; "policy";
-      "fast"; "slowns"; "hb"; "lease" ];
+      "fast"; "slowns"; "hb"; "lease"; "writers" ];
   let get key f default =
     match List.assoc_opt key params with Some v -> f v | None -> default
   in
@@ -194,6 +198,7 @@ let parse_setup clause =
       slow_extra_ns = get "slowns" duration_of_string default_setup.slow_extra_ns;
       heartbeat_ns = get "hb" duration_of_string default_setup.heartbeat_ns;
       lease_ns = get "lease" duration_of_string default_setup.lease_ns;
+      writers = get "writers" (pos_of_field ~key:"writers") default_setup.writers;
     }
   in
   List.iter
@@ -235,6 +240,12 @@ let parse_op clause =
   | "shared" ->
       known kind params [ "rounds" ];
       Shared { rounds = pos_of_field ~key:"rounds" (field params "rounds") }
+  | "mwrite" ->
+      known kind params [ "rounds" ];
+      Mwrite { rounds = pos_of_field ~key:"rounds" (field params "rounds") }
+  | "shmrpc" ->
+      known kind params [ "calls" ];
+      Shm_rpc { calls = pos_of_field ~key:"calls" (field params "calls") }
   | "scrub" ->
       known kind params [];
       Scrub
@@ -297,7 +308,7 @@ let parse_exn s =
 
 let setup_to_string s =
   Printf.sprintf
-    "setup:tenants=%d,nodes=%d,cap=%d,gbps=%g,replicas=%d,fmem=%d,quantum=%d,seed=%d,fseed=%d,scrub=%s,verify=%d,workloads=%s,shares=%s,quotas=%s,policy=%s,fast=%d,slowns=%s,hb=%s,lease=%s"
+    "setup:tenants=%d,nodes=%d,cap=%d,gbps=%g,replicas=%d,fmem=%d,quantum=%d,seed=%d,fseed=%d,scrub=%s,verify=%d,workloads=%s,shares=%s,quotas=%s,policy=%s,fast=%d,slowns=%s,hb=%s,lease=%s,writers=%d"
     s.tenants s.nodes s.node_cap s.gbps s.replicas s.fmem s.quantum s.seed
     s.fault_seed (ns_to_string s.scrub_ns)
     (if s.verify then 1 else 0)
@@ -308,6 +319,7 @@ let setup_to_string s =
     (ns_to_string s.slow_extra_ns)
     (ns_to_string s.heartbeat_ns)
     (ns_to_string s.lease_ns)
+    s.writers
 
 let op_to_string = function
   | Run { n } -> Printf.sprintf "run:n=%d" n
@@ -320,6 +332,8 @@ let op_to_string = function
   | Quota { tenant; bytes } -> Printf.sprintf "quota:t=%d,bytes=%d" tenant bytes
   | Publish { pages } -> Printf.sprintf "publish:pages=%d" pages
   | Shared { rounds } -> Printf.sprintf "shared:rounds=%d" rounds
+  | Mwrite { rounds } -> Printf.sprintf "mwrite:rounds=%d" rounds
+  | Shm_rpc { calls } -> Printf.sprintf "shmrpc:calls=%d" calls
   | Scrub -> "scrub"
   | Add_node { capacity = None } -> "add"
   | Add_node { capacity = Some c } -> Printf.sprintf "add:cap=%d" c

@@ -28,6 +28,13 @@
       the others map it foreign;
     - [shared:rounds=N] — [N] synthetic shared-segment rounds (tenant 0
       writes, the rest read);
+    - [mwrite:rounds=N] — [N] multi-writer rounds: the writer rotates
+      over the setup's [writers] tenants, every other tenant reads the
+      line back through the MSI directory (writer handoffs, RFO
+      invalidations);
+    - [shmrpc:calls=N] — [N] shared-memory RPC calls between tenant 1
+      (client) and tenant 0 (server) over coherent ring lines; no-op
+      with fewer than two tenants;
     - [scrub] — force one full scrub sweep on every runtime;
     - [add[:cap=B]] / [drain:id=N] / [rebalance] — rack reconfiguration
       ops applied immediately;
@@ -46,6 +53,8 @@ type op =
   | Quota of { tenant : int; bytes : int }
   | Publish of { pages : int }
   | Shared of { rounds : int }
+  | Mwrite of { rounds : int }
+  | Shm_rpc of { calls : int }
   | Scrub
   | Add_node of { capacity : int option }
   | Drain of { id : int }
@@ -75,6 +84,10 @@ type setup = {
           omniscient failure detection, no lease machinery *)
   lease_ns : int;
       (** [lease=]: membership lease; must be >= [hb] when [hb > 0] *)
+  writers : int;
+      (** [writers=]: tenants allowed to write the shared segment
+          ({!Kona_rack.Rack.config.shared_writers}); 1 (default) keeps
+          the single-publisher read-mostly path *)
 }
 
 type t = { setup : setup; ops : op list }

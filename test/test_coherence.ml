@@ -229,7 +229,10 @@ let test_directory_sharers () =
     (Directory.sharers d ~line:5);
   Alcotest.check state_t "invalid after recall" Directory.Invalid
     (Directory.state d ~line:5);
-  check_int "recall counts as one snoop" 1 (Directory.snoops d)
+  (* invalidating a wide reader set is charged per sharer recalled *)
+  check_int "recall counts one snoop per sharer" 2 (Directory.snoops d);
+  check_int "recall counts one invalidation per sharer" 2
+    (Directory.invalidations d)
 
 (* Model-based property: replay random fill/writeback/snoop sequences
    against a reference I/S/M map.  After every op [granted_lines] must
@@ -314,6 +317,165 @@ let prop_directory_unwritten_snoops_clean =
           | `Snoop l -> Directory.snoop d ~line:l = `Clean)
         ops)
 
+(* ------------------------------------------------------------------ *)
+(* Multi-writer home directory ([acquire]) *)
+
+let test_directory_acquire_handoff () =
+  let d = Directory.create () in
+  let g = Directory.acquire d ~line:7 ~tenant:0 ~write:true in
+  Alcotest.(check (option int)) "fresh grant has no peer" None g.Directory.g_peer;
+  check_int "owner change" 1 (Directory.owner_changes d);
+  Alcotest.(check (option int)) "t0 owns" (Some 0) (Directory.owner d ~line:7);
+  (* t1's write miss is an RFO: recall t0's dirty copy — a handoff *)
+  let g = Directory.acquire d ~line:7 ~tenant:1 ~write:true in
+  Alcotest.(check (option int)) "recalled previous owner" (Some 0)
+    g.Directory.g_peer;
+  Alcotest.(check bool) "recall carries data" true g.Directory.g_peer_dirty;
+  check_int "handoff counted" 1 (Directory.handoffs d);
+  Alcotest.(check (option int)) "ownership moved" (Some 1)
+    (Directory.owner d ~line:7);
+  (* t1 writing again is a hit: nothing recalled, nothing charged *)
+  let g = Directory.acquire d ~line:7 ~tenant:1 ~write:true in
+  Alcotest.(check (option int)) "write hit" None g.Directory.g_peer;
+  Alcotest.(check (list int)) "write hit invalidates nothing" []
+    g.Directory.g_invalidated;
+  check_int "still one handoff" 1 (Directory.handoffs d);
+  Alcotest.(check (list string)) "audit clean" [] (Directory.audit d)
+
+let test_directory_acquire_downgrade_and_rfo () =
+  let d = Directory.create () in
+  ignore (Directory.acquire d ~line:3 ~tenant:0 ~write:true);
+  (* t2 reads the modified line: dirty downgrade, both end Shared *)
+  let g = Directory.acquire d ~line:3 ~tenant:2 ~write:false in
+  Alcotest.(check (option int)) "downgrade recalls owner" (Some 0)
+    g.Directory.g_peer;
+  Alcotest.(check bool) "downgrade carries data" true g.Directory.g_peer_dirty;
+  Alcotest.(check (option int)) "no owner after downgrade" None
+    (Directory.owner d ~line:3);
+  Alcotest.(check (list int)) "both share" [ 0; 2 ] (Directory.sharers d ~line:3);
+  (* t1's RFO kills both read-only copies: invalidations, not a handoff *)
+  let g = Directory.acquire d ~line:3 ~tenant:1 ~write:true in
+  Alcotest.(check (option int)) "no dirty peer" None g.Directory.g_peer;
+  Alcotest.(check (list int)) "sharers invalidated" [ 0; 2 ]
+    g.Directory.g_invalidated;
+  check_int "no handoff for clean kills" 0 (Directory.handoffs d);
+  Alcotest.(check (option int)) "t1 owns" (Some 1) (Directory.owner d ~line:3);
+  Alcotest.(check (list string)) "audit clean" [] (Directory.audit d)
+
+(* The tentpole's model-checking property: drive random (agent, line,
+   Read/Write/Evict) traces through [Protocol]'s per-agent MESI machine
+   and, in lock-step, through [Directory.acquire]/[on_writeback] as the
+   home side.  Because the home answers every read miss with a Shared
+   grant, Exclusive is unreachable, and the directory must be exactly
+   the home-side MSI projection of the agents' states:
+
+   - the directory's owner is the unique agent in Modified (both ways);
+   - a directory-Shared line has no Modified agent, and every
+     model-Shared agent appears among the tracked sharers (the
+     directory may over-approximate: silent clean drops are invisible);
+   - a directory-Invalid line means every agent holds Invalid;
+   - an RFO's recalled peer is exactly the Modified agent, and its
+     invalidation list covers the model-Shared holders;
+   - [audit] stays empty throughout. *)
+let prop_directory_projects_protocol =
+  let agents = 3 and lines = 4 in
+  let op_gen =
+    QCheck.Gen.(
+      map3
+        (fun a l k -> (a, l, k))
+        (int_bound (agents - 1))
+        (int_bound (lines - 1))
+        (int_bound 2))
+  in
+  QCheck.Test.make
+    ~name:"multi-writer directory is Protocol's home-side MSI projection"
+    ~count:300
+    (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 1 80) op_gen))
+    (fun ops ->
+      let d = Directory.create () in
+      let model = Array.make_matrix agents lines Protocol.Invalid in
+      let bus l ~from event =
+        for o = 0 to agents - 1 do
+          if o <> from then model.(o).(l) <- fst (Protocol.on_bus model.(o).(l) event)
+        done
+      in
+      let holds_m l = List.find_opt (fun o -> model.(o).(l) = Protocol.Modified)
+          (List.init agents Fun.id)
+      in
+      let projection_ok l =
+        let m = holds_m l in
+        let shared_agents =
+          List.filter (fun o -> model.(o).(l) = Protocol.Shared)
+            (List.init agents Fun.id)
+        in
+        (* no agent ever reaches Exclusive: the home grants reads Shared *)
+        Array.for_all (fun row -> row.(l) <> Protocol.Exclusive) model
+        && Directory.owner d ~line:l = m
+        && (match Directory.state d ~line:l with
+           | Directory.Modified -> m <> None
+           | Directory.Shared ->
+               m = None
+               && List.for_all
+                    (fun o -> List.mem o (Directory.sharers d ~line:l))
+                    shared_agents
+           | Directory.Invalid -> m = None && shared_agents = [])
+        && Directory.audit d = []
+      in
+      List.for_all
+        (fun (a, l, k) ->
+          let ev =
+            match k with 0 -> Protocol.Read | 1 -> Protocol.Write | _ -> Protocol.Evict
+          in
+          let st', action = Protocol.on_processor model.(a).(l) ev in
+          let grant_ok =
+            match action with
+            | Protocol.Issue_read ->
+                (* read miss: home grants Shared (E stays unreachable) *)
+                let expected_peer = holds_m l in
+                let g = Directory.acquire d ~line:l ~tenant:a ~write:false in
+                model.(a).(l) <- Protocol.Shared;
+                bus l ~from:a Protocol.Bus_read;
+                g.Directory.g_peer = expected_peer
+                && (expected_peer = None || g.Directory.g_peer_dirty)
+            | Protocol.Issue_rfo | Protocol.Issue_invalidate ->
+                let expected_peer = holds_m l in
+                let expected_dead =
+                  List.filter
+                    (fun o -> o <> a && model.(o).(l) = Protocol.Shared)
+                    (List.init agents Fun.id)
+                in
+                let g = Directory.acquire d ~line:l ~tenant:a ~write:true in
+                model.(a).(l) <- Protocol.Modified;
+                bus l ~from:a
+                  (if action = Protocol.Issue_rfo then
+                     Protocol.Bus_read_for_ownership
+                   else Protocol.Bus_invalidate);
+                g.Directory.g_peer = expected_peer
+                && List.for_all
+                     (fun o -> List.mem o g.Directory.g_invalidated)
+                     expected_dead
+            | Protocol.Writeback ->
+                (* Modified evict: the home sees the data come back *)
+                Directory.on_writeback d ~line:l;
+                model.(a).(l) <- st';
+                true
+            | Protocol.No_bus_action ->
+                (* hits and silent clean drops: the home learns nothing;
+                   write hits still route through acquire (as the rack
+                   does) and must charge nothing *)
+                (match ev with
+                | Protocol.Write ->
+                    let g = Directory.acquire d ~line:l ~tenant:a ~write:true in
+                    model.(a).(l) <- st';
+                    g.Directory.g_peer = None && g.Directory.g_invalidated = []
+                | Protocol.Read | Protocol.Evict ->
+                    model.(a).(l) <- st';
+                    true)
+            | Protocol.Supply_data -> false (* never a processor action *)
+          in
+          grant_ok && projection_ok l)
+        ops)
+
 let qsuite name props = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) props)
 
 let () =
@@ -346,7 +508,14 @@ let () =
           Alcotest.test_case "snoop" `Quick test_directory_snoop;
           Alcotest.test_case "counters" `Quick test_directory_counters;
           Alcotest.test_case "sharers" `Quick test_directory_sharers;
+          Alcotest.test_case "acquire handoff" `Quick test_directory_acquire_handoff;
+          Alcotest.test_case "acquire downgrade + rfo" `Quick
+            test_directory_acquire_downgrade_and_rfo;
         ] );
       qsuite "directory-props"
-        [ prop_directory_matches_model; prop_directory_unwritten_snoops_clean ];
+        [
+          prop_directory_matches_model;
+          prop_directory_unwritten_snoops_clean;
+          prop_directory_projects_protocol;
+        ];
     ]

@@ -172,6 +172,91 @@ let test_rack_fault_failover () =
       check_bool "not degraded" true (t.Rack.t_degraded = None))
     r.Rack.r_tenants
 
+(* Multi-writer shared segment: both tenants RFO-write the same lines,
+   so the MSI home must recall dirty copies and hand ownership back and
+   forth; the per-line last-writer-wins oracle still has to converge. *)
+let mw_cfg ?(replicas = 0) ?(faults = []) () =
+  { Rack.default_config with Rack.shared_writers = 2; replicas; faults }
+
+let test_rack_multi_writer () =
+  let r = Rack.run (mw_cfg ()) (tenants ()) in
+  check_bool "the home granted new exclusives" true (r.Rack.r_owner_changes > 0);
+  check_bool "recalls snooped holders" true (r.Rack.r_snoops > 0);
+  Array.iter
+    (fun t ->
+      check_int
+        (Printf.sprintf "%s converged to last-writer-wins"
+           t.Rack.t_cfg.Rack.name)
+        0 t.Rack.t_mismatches)
+    r.Rack.r_tenants
+
+(* Writer handoff proper — a write-miss recalling the previous writer's
+   *dirty* copy — needs back-to-back writes with no intervening read
+   (the woven replay always downgrades lines to Shared first), so drive
+   a doorbell-style ping-pong directly and crash a node mid-stream. *)
+let test_rack_writer_handoff_under_fault () =
+  let cfg =
+    { Rack.default_config with Rack.replicas = 1; shared_pages = 0 }
+  in
+  let e = Rack.start cfg (tenants ()) in
+  Rack.publish e ~pages:1;
+  Rack.enable_multi_writer e;
+  let ping_pong k0 =
+    for k = k0 to k0 + 15 do
+      Rack.shared_line_write e ~tenant:(k mod 2) ~line:0
+        ~payload:(Char.chr (0x20 + (k land 0x3f)))
+    done
+  in
+  ping_pong 0;
+  let h1 = Rack.shared_handoffs e in
+  check_bool "each write recalled the peer's dirty line" true (h1 >= 8);
+  Rack.crash_node e ~id:1;
+  while not (Rack.recovery_idle e) do
+    Rack.step_recovery e
+  done;
+  ping_pong 16;
+  check_bool "handoffs continued after the failover" true
+    (Rack.shared_handoffs e > h1);
+  Alcotest.(check (option int))
+    "last writer owns the line" (Some 1)
+    (Rack.shared_owner e ~line:0);
+  Alcotest.(check (list string)) "home table stayed coherent" []
+    (Rack.coherence_audit e);
+  while Rack.step e > 0 do () done;
+  let r = Rack.finish e in
+  check_int "remote image converged to last-writer-wins" 0
+    (Rack.shared_divergence e);
+  Array.iter
+    (fun t ->
+      check_int
+        (Printf.sprintf "%s survived intact" t.Rack.t_cfg.Rack.name)
+        0 t.Rack.t_mismatches)
+    r.Rack.r_tenants
+
+let test_rack_multi_writer_failover () =
+  let faults = Fault_spec.parse_exn "node-crash@2ms:id=1" in
+  let r = Rack.run (mw_cfg ~replicas:1 ~faults ()) (tenants ()) in
+  check_int "the crash happened" 1 r.Rack.r_node_crashes;
+  Array.iter
+    (fun t ->
+      check_int
+        (Printf.sprintf "%s survived the failover intact"
+           t.Rack.t_cfg.Rack.name)
+        0 t.Rack.t_mismatches;
+      check_int
+        (Printf.sprintf "%s lost no pages" t.Rack.t_cfg.Rack.name)
+        0 t.Rack.t_lost_pages)
+    r.Rack.r_tenants
+
+let test_rack_multi_writer_determinism () =
+  let fingerprints () =
+    let r = Rack.run (mw_cfg ()) (tenants ()) in
+    Array.map (fun t -> t.Rack.t_fingerprint) r.Rack.r_tenants
+  in
+  let a = fingerprints () and b = fingerprints () in
+  Alcotest.(check (array string))
+    "same seeds give bit-identical multi-writer runs" a b
+
 (* ------------------------------------------------------------------ *)
 (* Placement: migration, drain, and their composition with faults.     *)
 
@@ -341,6 +426,13 @@ let () =
           Alcotest.test_case "determinism" `Quick test_rack_determinism;
           Alcotest.test_case "quota rejection" `Quick test_rack_quota_rejection;
           Alcotest.test_case "fault failover" `Quick test_rack_fault_failover;
+          Alcotest.test_case "multi-writer" `Quick test_rack_multi_writer;
+          Alcotest.test_case "writer handoff under fault" `Quick
+            test_rack_writer_handoff_under_fault;
+          Alcotest.test_case "multi-writer failover" `Quick
+            test_rack_multi_writer_failover;
+          Alcotest.test_case "multi-writer determinism" `Quick
+            test_rack_multi_writer_determinism;
           Alcotest.test_case "validates tenants" `Quick
             test_rack_validates_tenants;
         ] );

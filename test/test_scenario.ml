@@ -114,6 +114,8 @@ let spec_gen =
           (int_bound 3) (int_bound 100_000_000);
         map (fun p -> Spec.Publish { pages = p + 1 }) (int_bound 100);
         map (fun r -> Spec.Shared { rounds = r + 1 }) (int_bound 100);
+        map (fun r -> Spec.Mwrite { rounds = r + 1 }) (int_bound 100);
+        map (fun c -> Spec.Shm_rpc { calls = c + 1 }) (int_bound 100);
         pure Spec.Scrub;
         map
           (fun c -> Spec.Add_node { capacity = Option.map (( + ) 1) c })
@@ -143,7 +145,8 @@ let spec_gen =
     let* fast_nodes = int_bound 5 in
     let* slow_extra_ns = int_bound 10_000 in
     let* heartbeat_ns = oneofl [ 0; 0; 10_000; 50_000 ] in
-    let+ lease_ns = oneofl [ 50_000; 100_000; 200_000 ] in
+    let* lease_ns = oneofl [ 50_000; 100_000; 200_000 ] in
+    let+ writers = int_range 1 4 in
     {
       Spec.tenants;
       nodes;
@@ -164,6 +167,7 @@ let spec_gen =
       slow_extra_ns;
       heartbeat_ns;
       lease_ns;
+      writers;
     }
   in
   QCheck.Gen.map2
